@@ -1,0 +1,98 @@
+//! E-F2 — Figure 2: payment-over-bid margins of the five largest BPs
+//! under Constraints #1/#2/#3, plus timing of one full VCG round.
+//!
+//! `POC_PAPER_SCALE=1 cargo bench -p poc-bench --bench fig2_pob` prints the
+//! full-scale figure (several minutes); the default prints the same series
+//! on the laptop-scale instance.
+
+use criterion::{criterion_group, Criterion};
+use poc_auction::{run_auction, GreedySelector, Market};
+use poc_bench::{instance, paper_scale};
+use poc_flow::Constraint;
+use std::time::Duration;
+
+fn print_figure2() {
+    let (topo, tm) = instance();
+    let market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(16);
+    let stride = if paper_scale() { 32 } else { 4 };
+    println!(
+        "\n=== E-F2 / Figure 2: PoB margins, five largest BPs ({} scale) ===",
+        if paper_scale() { "paper" } else { "small" }
+    );
+    let mut rows: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for c in Constraint::paper_suite(stride) {
+        match run_auction(&market, &tm, c, &selector) {
+            Ok(out) => {
+                println!(
+                    "constraint {}: |SL| = {}, C(SL) = ${:.0}",
+                    c.label(),
+                    out.selected.len(),
+                    out.total_cost
+                );
+                rows.push((
+                    c.label().into(),
+                    out.top_pob(5).into_iter().map(|(bp, p)| (bp.to_string(), p)).collect(),
+                ));
+            }
+            Err(e) => println!("constraint {} infeasible: {e}", c.label()),
+        }
+    }
+    print!("{:<10}", "BP");
+    for (label, _) in &rows {
+        print!("{label:>12}");
+    }
+    println!();
+    if let Some((_, first)) = rows.first() {
+        for i in 0..first.len() {
+            print!("{:<10}", first[i].0);
+            for (_, series) in &rows {
+                match series.get(i) {
+                    Some((_, pob)) => print!("{pob:>12.4}"),
+                    None => print!("{:>12}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+}
+
+fn bench_auction_round(c: &mut Criterion) {
+    let (topo, tm) = {
+        // Timing always on the small instance — a paper-scale VCG round is
+        // minutes long and belongs in the printed experiment, not the
+        // statistical timer.
+        let mut topo = poc_topology::ZooGenerator::new(poc_topology::ZooConfig::small())
+            .generate();
+        poc_topology::zoo::attach_external_isps(
+            &mut topo,
+            &poc_topology::zoo::ExternalIspConfig::default(),
+            &poc_topology::CostModel::default(),
+        );
+        let tm = poc_traffic::TrafficScenario {
+            total_gbps: 2500.0,
+            ..poc_traffic::TrafficScenario::paper_default()
+        }
+        .generate(&topo);
+        (topo, tm)
+    };
+    let market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(8);
+    c.bench_function("vcg_round_baseload_small", |b| {
+        b.iter(|| {
+            run_auction(&market, &tm, Constraint::BaseLoad, &selector).expect("feasible")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(20));
+    targets = bench_auction_round
+}
+
+fn main() {
+    print_figure2();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

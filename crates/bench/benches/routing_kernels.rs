@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the substrate kernels everything else is built on:
+//! LinkSet algebra, single-source shortest path, full-matrix routing,
+//! forwarding-table installation, and max-min fair allocation.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use poc_bench::{instance, paper_instance};
+use poc_core::fabric::ForwardingState;
+use poc_flow::{route_tm, CapacityGraph, LinkSet};
+use poc_netsim::fairness::{max_min_rates, AllocFlow};
+use poc_topology::RouterId;
+use std::time::Duration;
+
+fn bench_linkset(c: &mut Criterion) {
+    let (topo, _) = paper_instance();
+    let n = topo.n_links();
+    let full = LinkSet::full(n);
+    let odd = LinkSet::from_links(
+        n,
+        (0..n).filter(|i| i % 2 == 1).map(poc_topology::LinkId::from_index),
+    );
+    c.bench_function("linkset_union_4700", |b| b.iter(|| full.union(&odd)));
+    c.bench_function("linkset_difference_4700", |b| b.iter(|| full.difference(&odd)));
+    c.bench_function("linkset_iter_count_4700", |b| b.iter(|| odd.iter().count()));
+}
+
+fn bench_shortest_path(c: &mut Criterion) {
+    let (topo, _) = paper_instance();
+    let all = LinkSet::full(topo.n_links());
+    let g = CapacityGraph::new(&topo, &all);
+    let (src, dst) = (RouterId(0), RouterId(topo.n_routers() as u32 - 1));
+    c.bench_function("dijkstra_paper_scale", |b| {
+        b.iter(|| {
+            g.shortest_path(src, dst, |l, _| topo.link(l).distance_km, |_, _| true)
+                .expect("connected")
+        })
+    });
+}
+
+fn bench_route_tm(c: &mut Criterion) {
+    let (topo, tm) = instance();
+    let all = LinkSet::full(topo.n_links());
+    c.bench_function("route_tm_small", |b| {
+        b.iter(|| route_tm(&topo, &all, &tm).expect("feasible"))
+    });
+}
+
+fn bench_forwarding_install(c: &mut Criterion) {
+    for (label, (topo, _)) in [("small", instance()), ("paper", paper_instance())] {
+        let all = LinkSet::full(topo.n_links());
+        c.bench_with_input(
+            BenchmarkId::new("forwarding_install", label),
+            &topo,
+            |b, topo| b.iter(|| ForwardingState::install(topo, &all)),
+        );
+    }
+}
+
+fn bench_fairness(c: &mut Criterion) {
+    let (topo, tm) = instance();
+    let all = LinkSet::full(topo.n_links());
+    let routing = route_tm(&topo, &all, &tm).expect("feasible");
+    let g = CapacityGraph::new(&topo, &all);
+    let flows: Vec<AllocFlow> = routing
+        .flows
+        .iter()
+        .flat_map(|f| {
+            f.paths.iter().map(|(path, gbps)| {
+                let dirs = g.path_dirs(f.src, path);
+                AllocFlow {
+                    hops: path.iter().copied().zip(dirs).collect(),
+                    demand_gbps: *gbps,
+                }
+            })
+        })
+        .collect();
+    c.bench_function(&format!("max_min_rates_{}_flows", flows.len()), |b| {
+        b.iter(|| max_min_rates(&topo, &flows, None))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(10));
+    targets = bench_linkset, bench_shortest_path, bench_route_tm, bench_forwarding_install, bench_fairness
+}
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,42 @@
+//! E-T1 — §3.3 instance statistics: 20 BPs, ≈4674 logical links, per-BP
+//! shares ≈2%–12%. Always printed at paper scale (generation is cheap);
+//! the timer measures instance generation.
+
+use criterion::{criterion_group, Criterion};
+use poc_topology::{TopologyStats, ZooConfig, ZooGenerator};
+use std::time::Duration;
+
+fn print_stats() {
+    let topo = ZooGenerator::new(ZooConfig::paper()).generate();
+    let stats = TopologyStats::compute(&topo);
+    println!("\n=== E-T1 / §3.3 instance statistics (paper: 20 BPs, 4674 links, 2%–12%) ===");
+    println!("{}", stats.render_table());
+    let (min, max) = stats.share_range();
+    println!(
+        "links = {} (paper 4674), shares {:.1}%–{:.1}% (paper ~2%–12%)",
+        stats.n_bp_links,
+        min * 100.0,
+        max * 100.0
+    );
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("zoo_generate_paper_scale", |b| {
+        b.iter(|| ZooGenerator::new(ZooConfig::paper()).generate())
+    });
+    c.bench_function("zoo_generate_small", |b| {
+        b.iter(|| ZooGenerator::new(ZooConfig::small()).generate())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(10));
+    targets = bench_generation
+}
+
+fn main() {
+    print_stats();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,237 @@
+//! Lease lifecycle: auction outcomes become leases; BPs can recall links.
+//!
+//! §3.3's provisioning story: large CSPs "can overbuy, and then lease out
+//! (on a temporary basis) their excess bandwidth but can quickly recall it
+//! from the POC when needed". A recall deactivates the lease after its
+//! notice period and flags that a re-auction is due.
+
+use poc_auction::AuctionOutcome;
+use poc_flow::LinkSet;
+use poc_topology::{BpId, LinkId, LinkOwner, PocTopology};
+use serde::{Deserialize, Serialize};
+
+/// State of one lease.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LeaseState {
+    Active,
+    /// Recall requested; the lease dies at the end of `effective_period`.
+    Recalled { effective_period: u32 },
+    Expired,
+}
+
+/// One leased link.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Lease {
+    pub link: LinkId,
+    pub bp: BpId,
+    /// This link's share of the BP's monthly VCG payment (allocated
+    /// pro-rata by declared unit price — the VCG payment itself is per-BP).
+    pub monthly_payment: f64,
+    pub started_period: u32,
+    pub state: LeaseState,
+}
+
+/// The book of active and historical leases.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LeaseBook {
+    leases: Vec<Lease>,
+    /// Set when a recall or expiry means the installed fabric no longer
+    /// matches the lease book.
+    reauction_needed: bool,
+}
+
+impl LeaseBook {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest an auction outcome: one lease per selected BP link, with the
+    /// BP's payment allocated pro-rata by the topology's declared cost
+    /// (virtual links are contract-priced and not leased through the book).
+    pub fn ingest_auction(
+        &mut self,
+        topo: &PocTopology,
+        outcome: &AuctionOutcome,
+        period: u32,
+    ) {
+        for settlement in &outcome.settlements {
+            if settlement.n_selected_links == 0 {
+                continue;
+            }
+            let links: Vec<LinkId> = outcome
+                .selected
+                .iter()
+                .filter(|&l| topo.link(l).owner == LinkOwner::Bp(settlement.bp))
+                .collect();
+            let weight_total: f64 =
+                links.iter().map(|&l| topo.link(l).true_monthly_cost).sum();
+            for &l in &links {
+                let w = topo.link(l).true_monthly_cost;
+                let share = if weight_total > 0.0 { w / weight_total } else { 0.0 };
+                self.leases.push(Lease {
+                    link: l,
+                    bp: settlement.bp,
+                    monthly_payment: settlement.payment * share,
+                    started_period: period,
+                    state: LeaseState::Active,
+                });
+            }
+        }
+    }
+
+    /// All leases (including recalled/expired).
+    pub fn leases(&self) -> &[Lease] {
+        &self.leases
+    }
+
+    /// Links with an active lease as of `period`.
+    pub fn active_links(&self, universe: usize, period: u32) -> LinkSet {
+        LinkSet::from_links(
+            universe,
+            self.leases.iter().filter(|l| l.is_active_in(period)).map(|l| l.link),
+        )
+    }
+
+    /// Monthly payment owed to each BP for leases active in `period`.
+    pub fn payments_due(&self, period: u32) -> Vec<(BpId, f64)> {
+        let mut by_bp: std::collections::BTreeMap<BpId, f64> = Default::default();
+        for l in &self.leases {
+            if l.is_active_in(period) {
+                *by_bp.entry(l.bp).or_insert(0.0) += l.monthly_payment;
+            }
+        }
+        by_bp.into_iter().collect()
+    }
+
+    /// BP recalls one of its leased links with `notice_periods` of notice.
+    /// Returns whether a matching active lease was found.
+    pub fn recall(&mut self, bp: BpId, link: LinkId, now: u32, notice_periods: u32) -> bool {
+        let mut found = false;
+        for l in &mut self.leases {
+            if l.bp == bp && l.link == link && matches!(l.state, LeaseState::Active) {
+                l.state = LeaseState::Recalled { effective_period: now + notice_periods };
+                found = true;
+            }
+        }
+        if found {
+            self.reauction_needed = true;
+        }
+        found
+    }
+
+    /// Advance the book to `period`, expiring recalled leases that reached
+    /// their effective period. Returns the links that just expired.
+    pub fn advance_to(&mut self, period: u32) -> Vec<LinkId> {
+        let mut expired = Vec::new();
+        for l in &mut self.leases {
+            if let LeaseState::Recalled { effective_period } = l.state {
+                if period >= effective_period {
+                    l.state = LeaseState::Expired;
+                    expired.push(l.link);
+                }
+            }
+        }
+        expired
+    }
+
+    /// Whether the installed fabric is stale (a recall/expiry happened
+    /// since the last auction ingest).
+    pub fn reauction_needed(&self) -> bool {
+        self.reauction_needed
+    }
+
+    /// Clear the re-auction flag (called after a fresh auction round).
+    pub fn mark_reauctioned(&mut self) {
+        self.reauction_needed = false;
+    }
+}
+
+impl Lease {
+    fn is_active_in(&self, period: u32) -> bool {
+        match self.state {
+            LeaseState::Active => true,
+            LeaseState::Recalled { effective_period } => period < effective_period,
+            LeaseState::Expired => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poc_auction::{run_auction, ExhaustiveSelector, Market};
+    use poc_flow::Constraint;
+    use poc_topology::builder::two_bp_square;
+    use poc_topology::RouterId;
+    use poc_traffic::TrafficMatrix;
+
+    fn outcome_and_topo() -> (poc_topology::PocTopology, AuctionOutcome) {
+        let t = two_bp_square();
+        let m = Market::truthful(&t, 3.0);
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(RouterId(0), RouterId(1), 10.0);
+        tm.set(RouterId(1), RouterId(2), 5.0);
+        let out = run_auction(&m, &tm, Constraint::BaseLoad, &ExhaustiveSelector).unwrap();
+        (t, out)
+    }
+
+    #[test]
+    fn ingest_creates_leases_matching_selection() {
+        let (t, out) = outcome_and_topo();
+        let mut book = LeaseBook::new();
+        book.ingest_auction(&t, &out, 1);
+        assert_eq!(book.leases().len(), out.selected.len());
+        let active = book.active_links(t.n_links(), 1);
+        assert_eq!(active, out.selected);
+    }
+
+    #[test]
+    fn payments_allocate_full_vcg_amount() {
+        let (t, out) = outcome_and_topo();
+        let mut book = LeaseBook::new();
+        book.ingest_auction(&t, &out, 1);
+        let due: f64 = book.payments_due(1).iter().map(|(_, p)| p).sum();
+        let paid: f64 = out.settlements.iter().map(|s| s.payment).sum();
+        assert!((due - paid).abs() < 1e-9, "due {due} vs VCG {paid}");
+    }
+
+    #[test]
+    fn recall_lifecycle() {
+        let (t, out) = outcome_and_topo();
+        let mut book = LeaseBook::new();
+        book.ingest_auction(&t, &out, 1);
+        let lease = book.leases()[0].clone();
+        assert!(!book.reauction_needed());
+        assert!(book.recall(lease.bp, lease.link, 2, 1));
+        assert!(book.reauction_needed());
+        // Still active during the notice period.
+        assert!(book.active_links(t.n_links(), 2).contains(lease.link));
+        // Expired after.
+        let expired = book.advance_to(3);
+        assert_eq!(expired, vec![lease.link]);
+        assert!(!book.active_links(t.n_links(), 3).contains(lease.link));
+    }
+
+    #[test]
+    fn recall_unknown_link_is_noop() {
+        let (t, out) = outcome_and_topo();
+        let mut book = LeaseBook::new();
+        book.ingest_auction(&t, &out, 1);
+        assert!(!book.recall(BpId(9), LinkId(0), 2, 1));
+        assert!(!book.reauction_needed());
+        drop(t);
+    }
+
+    #[test]
+    fn mark_reauctioned_clears_flag() {
+        let (t, out) = outcome_and_topo();
+        let mut book = LeaseBook::new();
+        book.ingest_auction(&t, &out, 1);
+        let lease = book.leases()[0].clone();
+        book.recall(lease.bp, lease.link, 2, 0);
+        assert!(book.reauction_needed());
+        book.mark_reauctioned();
+        assert!(!book.reauction_needed());
+        drop(t);
+    }
+}

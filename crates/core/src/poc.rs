@@ -1,0 +1,480 @@
+//! The POC facade: membership, auction rounds, fabric installs, billing.
+//!
+//! Lifecycle of one operating period:
+//!
+//! 1. members attach ([`Poc::attach_lmp`], [`Poc::attach_direct_csp`],
+//!    [`Poc::attach_hosted_csp`]) and sign the ToS;
+//! 2. the POC estimates its traffic matrix and runs an auction round
+//!    ([`Poc::run_auction_round`]) — leases are booked and the fabric
+//!    installed;
+//! 3. traffic flows (simulated by `poc-netsim`), producing per-member
+//!    usage;
+//! 4. [`Poc::billing_cycle`] settles: BPs and external ISPs are paid,
+//!    members are charged usage-proportional transit fees sized to exactly
+//!    cover the outlay — the nonprofit break-even discipline of §3.2.
+
+use crate::entity::{EntityId, EntityKind, Registry, RegistryError};
+use crate::fabric::ForwardingState;
+use crate::lease::LeaseBook;
+use crate::settlement::{Account, Ledger};
+use crate::tos::{NeutralityEngine, TrafficPolicy, Verdict};
+use poc_auction::{run_auction, AuctionOutcome, GreedySelector, Market};
+use poc_flow::Constraint;
+use poc_topology::{PocTopology, RouterId};
+use poc_traffic::TrafficMatrix;
+
+/// POC operating parameters.
+#[derive(Clone, Debug)]
+pub struct PocConfig {
+    /// Contract premium applied to external-ISP virtual links.
+    pub virtual_price_factor: f64,
+    /// Feasibility constraint for auction rounds.
+    pub constraint: Constraint,
+    /// Selection heuristic parameters.
+    pub selector: GreedySelector,
+}
+
+impl Default for PocConfig {
+    fn default() -> Self {
+        Self {
+            virtual_price_factor: 3.0,
+            constraint: Constraint::BaseLoad,
+            selector: GreedySelector::default(),
+        }
+    }
+}
+
+/// Result of one billing cycle.
+#[derive(Clone, Debug)]
+pub struct BillingSummary {
+    pub period: u32,
+    /// Payments to BPs plus external-ISP contract costs.
+    pub total_outlay: f64,
+    /// Total billable usage, Gbit/s-period.
+    pub total_usage_gbps: f64,
+    /// Transit price per Gbit/s-period that exactly covers the outlay.
+    pub unit_price: f64,
+    /// Per-member charges.
+    pub charges: Vec<(EntityId, f64)>,
+    /// POC net position for the period (≈0: nonprofit break-even).
+    pub poc_net: f64,
+}
+
+/// Errors from POC operations.
+#[derive(Debug)]
+pub enum PocError {
+    Registry(RegistryError),
+    Auction(poc_auction::vcg::AuctionError),
+    /// Billing requested before any auction round installed a fabric.
+    NoFabric,
+    /// Usage reported for an entity that may not send traffic.
+    NotAuthorized(EntityId),
+}
+
+impl std::fmt::Display for PocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PocError::Registry(e) => write!(f, "registry: {e}"),
+            PocError::Auction(e) => write!(f, "auction: {e}"),
+            PocError::NoFabric => write!(f, "no fabric installed (run an auction round first)"),
+            PocError::NotAuthorized(e) => write!(f, "{e} is not authorized to send traffic"),
+        }
+    }
+}
+
+impl std::error::Error for PocError {}
+
+impl From<RegistryError> for PocError {
+    fn from(e: RegistryError) -> Self {
+        PocError::Registry(e)
+    }
+}
+
+/// The Public Option for the Core.
+pub struct Poc {
+    topo: PocTopology,
+    config: PocConfig,
+    registry: Registry,
+    ledger: Ledger,
+    leases: LeaseBook,
+    fabric: Option<ForwardingState>,
+    engine: NeutralityEngine,
+    violations: Vec<(EntityId, Verdict)>,
+    last_outcome: Option<AuctionOutcome>,
+    period: u32,
+}
+
+impl Poc {
+    pub fn new(topo: PocTopology, config: PocConfig) -> Self {
+        let mut registry = Registry::new();
+        // Infrastructure roles are pre-registered from the topology.
+        for bp in &topo.bps {
+            registry
+                .register(&format!("bp:{}", bp.name), EntityKind::BandwidthProvider { bp: bp.id })
+                .expect("BP names unique by construction");
+        }
+        let mut isps: Vec<u32> = topo
+            .links
+            .iter()
+            .filter_map(|l| match l.owner {
+                poc_topology::LinkOwner::Virtual(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        isps.sort_unstable();
+        isps.dedup();
+        for isp in isps {
+            registry
+                .register(&format!("isp:ext{isp}"), EntityKind::ExternalIsp { isp_index: isp })
+                .expect("ISP names unique by construction");
+        }
+        Self {
+            topo,
+            config,
+            registry,
+            ledger: Ledger::new(),
+            leases: LeaseBook::new(),
+            fabric: None,
+            engine: NeutralityEngine::new(),
+            violations: Vec::new(),
+            last_outcome: None,
+            period: 0,
+        }
+    }
+
+    pub fn topo(&self) -> &PocTopology {
+        &self.topo
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    pub fn leases(&self) -> &LeaseBook {
+        &self.leases
+    }
+
+    pub fn fabric(&self) -> Option<&ForwardingState> {
+        self.fabric.as_ref()
+    }
+
+    pub fn last_outcome(&self) -> Option<&AuctionOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Attach an LMP at a router; signs the ToS (attachment is conditional
+    /// on accepting the peering conditions, §3.4).
+    pub fn attach_lmp(&mut self, name: &str, router: RouterId) -> Result<EntityId, PocError> {
+        let id = self.registry.register(name, EntityKind::Lmp { router })?;
+        self.registry.sign_tos(id)?;
+        Ok(id)
+    }
+
+    /// Attach a large CSP directly to the POC.
+    pub fn attach_direct_csp(
+        &mut self,
+        name: &str,
+        router: RouterId,
+    ) -> Result<EntityId, PocError> {
+        let id = self.registry.register(name, EntityKind::DirectCsp { router })?;
+        self.registry.sign_tos(id)?;
+        Ok(id)
+    }
+
+    /// Register a CSP that reaches the POC through an LMP.
+    pub fn attach_hosted_csp(
+        &mut self,
+        name: &str,
+        via_lmp: EntityId,
+    ) -> Result<EntityId, PocError> {
+        Ok(self.registry.register(name, EntityKind::HostedCsp { via_lmp })?)
+    }
+
+    /// Run one auction round against the upper-bound traffic matrix,
+    /// ingest leases, install the fabric.
+    pub fn run_auction_round(&mut self, tm: &TrafficMatrix) -> Result<&AuctionOutcome, PocError> {
+        let market = Market::truthful(&self.topo, self.config.virtual_price_factor);
+        let outcome = run_auction(&market, tm, self.config.constraint, &self.config.selector)
+            .map_err(PocError::Auction)?;
+        self.leases.ingest_auction(&self.topo, &outcome, self.period);
+        self.leases.mark_reauctioned();
+        self.fabric = Some(ForwardingState::install(&self.topo, &outcome.selected));
+        self.last_outcome = Some(outcome);
+        Ok(self.last_outcome.as_ref().expect("just set"))
+    }
+
+    /// Settle one period. `usage` is billable usage per member (Gbit/s
+    /// averaged over the period, sent + received). The POC prices transit
+    /// at exactly outlay/usage — nonprofit break-even.
+    pub fn billing_cycle(
+        &mut self,
+        usage: &[(EntityId, f64)],
+    ) -> Result<BillingSummary, PocError> {
+        let outcome = self.last_outcome.as_ref().ok_or(PocError::NoFabric)?;
+        for &(id, _) in usage {
+            if !self.registry.may_send_traffic(id) {
+                return Err(PocError::NotAuthorized(id));
+            }
+        }
+        let period = self.period;
+
+        // Outlay: BP lease payments...
+        let mut total_outlay = 0.0;
+        for (bp, amount) in self.leases.payments_due(period) {
+            let bp_entity = self
+                .registry
+                .by_name(&format!("bp:{}", self.topo.bps[bp.index()].name))
+                .expect("BPs pre-registered")
+                .id;
+            self.ledger.post(
+                period,
+                Account::Poc,
+                Account::Entity(bp_entity),
+                amount,
+                &format!("lease payment to {bp}"),
+            );
+            total_outlay += amount;
+        }
+        // ...plus external-ISP contract costs for selected virtual links.
+        let market = Market::truthful(&self.topo, self.config.virtual_price_factor);
+        let virtual_cost = market.virtual_cost(&outcome.selected);
+        if virtual_cost > 0.0 {
+            // Split per ISP index pro-rata by their links' costs.
+            let mut per_isp: std::collections::BTreeMap<u32, f64> = Default::default();
+            for l in outcome.selected.iter() {
+                if let poc_topology::LinkOwner::Virtual(i) = self.topo.link(l).owner {
+                    *per_isp.entry(i).or_insert(0.0) +=
+                        self.topo.link(l).true_monthly_cost * self.config.virtual_price_factor;
+                }
+            }
+            for (isp, amount) in per_isp {
+                let isp_entity = self
+                    .registry
+                    .by_name(&format!("isp:ext{isp}"))
+                    .expect("ISPs pre-registered")
+                    .id;
+                self.ledger.post(
+                    period,
+                    Account::Poc,
+                    Account::Entity(isp_entity),
+                    amount,
+                    &format!("virtual-link contract, ext ISP {isp}"),
+                );
+            }
+            total_outlay += virtual_cost;
+        }
+
+        // Charges: usage-proportional, summing exactly to the outlay.
+        let total_usage_gbps: f64 = usage.iter().map(|(_, u)| u).sum();
+        let unit_price =
+            if total_usage_gbps > 0.0 { total_outlay / total_usage_gbps } else { 0.0 };
+        let mut charges = Vec::with_capacity(usage.len());
+        for &(id, gbps) in usage {
+            let charge = gbps * unit_price;
+            self.ledger.post(
+                period,
+                Account::Entity(id),
+                Account::Poc,
+                charge,
+                "transit (usage-based)",
+            );
+            charges.push((id, charge));
+        }
+
+        let (inflow, outflow) = self.ledger.poc_period_flows(period);
+        self.period += 1;
+        Ok(BillingSummary {
+            period,
+            total_outlay,
+            total_usage_gbps,
+            unit_price,
+            charges,
+            poc_net: inflow - outflow,
+        })
+    }
+
+    /// A BP recalls one of its leased links (the §3.3 overbuy-then-recall
+    /// story), with `notice_periods` of notice. Returns whether a matching
+    /// active lease existed; when it did, a re-auction is flagged.
+    pub fn recall_link(
+        &mut self,
+        bp: poc_topology::BpId,
+        link: poc_topology::LinkId,
+        notice_periods: u32,
+    ) -> bool {
+        self.leases.recall(bp, link, self.period, notice_periods)
+    }
+
+    /// Whether a recall/expiry has made the installed fabric stale.
+    pub fn reauction_needed(&self) -> bool {
+        self.leases.reauction_needed()
+    }
+
+    /// Advance the lease book to the current period, expiring recalled
+    /// leases whose notice has run out. Returns the expired links.
+    pub fn expire_leases(&mut self) -> Vec<poc_topology::LinkId> {
+        self.leases.advance_to(self.period)
+    }
+
+    /// Review a traffic policy against the ToS; violations are recorded.
+    pub fn review_policy(&mut self, policy: &TrafficPolicy) -> Verdict {
+        let verdict = self.engine.review(policy);
+        if verdict.is_violation() {
+            self.violations.push((policy.lmp, verdict.clone()));
+        }
+        verdict
+    }
+
+    /// All recorded violations.
+    pub fn violations(&self) -> &[(EntityId, Verdict)] {
+        &self.violations
+    }
+
+    /// Path through the installed fabric between two members' routers.
+    pub fn member_path(
+        &self,
+        from: EntityId,
+        to: EntityId,
+    ) -> Result<Option<Vec<poc_topology::LinkId>>, PocError> {
+        let fabric = self.fabric.as_ref().ok_or(PocError::NoFabric)?;
+        let (Some(a), Some(b)) = (
+            self.registry.attachment_router(from),
+            self.registry.attachment_router(to),
+        ) else {
+            return Ok(None);
+        };
+        Ok(fabric.path(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tos::{PolicyAction, PolicyBasis, PolicyMatch};
+    use poc_topology::builder::two_bp_square;
+    use poc_topology::zoo::{attach_external_isps, ExternalIspConfig};
+    use poc_topology::CostModel;
+
+    fn poc() -> Poc {
+        let mut t = two_bp_square();
+        attach_external_isps(
+            &mut t,
+            &ExternalIspConfig { n_isps: 1, attach_points: 4, ..Default::default() },
+            &CostModel::default(),
+        );
+        Poc::new(t, PocConfig::default())
+    }
+
+    fn demand(n: usize) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::zero(n);
+        tm.set(RouterId(0), RouterId(1), 10.0);
+        tm.set(RouterId(1), RouterId(2), 5.0);
+        tm
+    }
+
+    #[test]
+    fn bps_and_isps_preregistered() {
+        let p = poc();
+        assert!(p.registry().by_name("bp:BP-A").is_some());
+        assert!(p.registry().by_name("bp:BP-B").is_some());
+        assert!(p.registry().by_name("isp:ext0").is_some());
+    }
+
+    #[test]
+    fn auction_round_installs_fabric_and_leases() {
+        let mut p = poc();
+        let tm = demand(p.topo().n_routers());
+        let out = p.run_auction_round(&tm).unwrap();
+        assert!(!out.selected.is_empty());
+        let n_selected = out.selected.len();
+        assert!(p.fabric().is_some());
+        assert!(p.leases().leases().len() <= n_selected); // virtual links not leased
+    }
+
+    #[test]
+    fn billing_breaks_even_and_conserves() {
+        let mut p = poc();
+        let tm = demand(p.topo().n_routers());
+        p.run_auction_round(&tm).unwrap();
+        let lmp1 = p.attach_lmp("lmp-west", RouterId(0)).unwrap();
+        let lmp2 = p.attach_lmp("lmp-east", RouterId(1)).unwrap();
+        let summary = p.billing_cycle(&[(lmp1, 12.0), (lmp2, 8.0)]).unwrap();
+        assert!(summary.total_outlay > 0.0);
+        assert!((summary.poc_net).abs() < 1e-6, "nonprofit must break even: {summary:?}");
+        assert!((p.ledger().conservation_error()).abs() < 1e-9);
+        // Charges proportional to usage.
+        assert!((summary.charges[0].1 / summary.charges[1].1 - 1.5).abs() < 1e-9);
+        assert_eq!(summary.period, 0);
+        assert_eq!(p.period(), 1);
+    }
+
+    #[test]
+    fn billing_requires_fabric() {
+        let mut p = poc();
+        let lmp = p.attach_lmp("lmp", RouterId(0)).unwrap();
+        assert!(matches!(p.billing_cycle(&[(lmp, 1.0)]), Err(PocError::NoFabric)));
+    }
+
+    #[test]
+    fn billing_rejects_unauthorized_senders() {
+        let mut p = poc();
+        let tm = demand(p.topo().n_routers());
+        p.run_auction_round(&tm).unwrap();
+        let bp = p.registry().by_name("bp:BP-A").unwrap().id;
+        assert!(matches!(
+            p.billing_cycle(&[(bp, 1.0)]),
+            Err(PocError::NotAuthorized(_))
+        ));
+    }
+
+    #[test]
+    fn policy_violations_recorded() {
+        let mut p = poc();
+        let lmp = p.attach_lmp("lmp", RouterId(0)).unwrap();
+        let csp = p.attach_hosted_csp("csp", lmp).unwrap();
+        let v = p.review_policy(&TrafficPolicy {
+            lmp,
+            matches: PolicyMatch { source: Some(csp), ..PolicyMatch::any() },
+            action: PolicyAction::Block,
+            basis: PolicyBasis::Commercial,
+        });
+        assert!(v.is_violation());
+        assert_eq!(p.violations().len(), 1);
+    }
+
+    #[test]
+    fn recall_via_facade_flags_and_expires() {
+        let mut p = poc();
+        let tm = demand(p.topo().n_routers());
+        p.run_auction_round(&tm).unwrap();
+        let lease = p.leases().leases()[0].clone();
+        assert!(!p.reauction_needed());
+        assert!(p.recall_link(lease.bp, lease.link, 0));
+        assert!(p.reauction_needed());
+        // Notice 0: expires as soon as leases advance to the current period.
+        let expired = p.expire_leases();
+        assert_eq!(expired, vec![lease.link]);
+        // Unknown recall is a no-op.
+        assert!(!p.recall_link(poc_topology::BpId(42), poc_topology::LinkId(0), 1));
+    }
+
+    #[test]
+    fn member_path_through_fabric() {
+        let mut p = poc();
+        let tm = demand(p.topo().n_routers());
+        p.run_auction_round(&tm).unwrap();
+        let a = p.attach_lmp("a", RouterId(0)).unwrap();
+        let b = p.attach_lmp("b", RouterId(1)).unwrap();
+        let path = p.member_path(a, b).unwrap();
+        assert!(path.is_some());
+        assert!(!path.unwrap().is_empty());
+    }
+}

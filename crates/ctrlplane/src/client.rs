@@ -1,0 +1,149 @@
+//! Typed async client for the POC control plane.
+
+use crate::codec::{read_frame, write_frame, CodecError};
+use crate::proto::{
+    AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response,
+};
+use poc_core::entity::EntityId;
+use poc_core::tos::{TrafficPolicy, Verdict};
+use tokio::net::TcpStream;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    Codec(CodecError),
+    /// The server answered `Error { .. }`.
+    Server(String),
+    /// The server answered with an unexpected variant.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Codec(e) => write!(f, "codec: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// A connection to the POC controller.
+pub struct PocClient {
+    stream: TcpStream,
+}
+
+impl PocClient {
+    pub async fn connect(addr: std::net::SocketAddr) -> std::io::Result<Self> {
+        Ok(Self { stream: TcpStream::connect(addr).await? })
+    }
+
+    async fn call(&mut self, req: Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req).await?;
+        let resp: Response = read_frame(&mut self.stream).await?;
+        if let Response::Error { message } = resp {
+            return Err(ClientError::Server(message));
+        }
+        Ok(resp)
+    }
+
+    pub async fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(Request::Ping).await? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Attach and return the assigned entity id.
+    pub async fn attach(&mut self, name: &str, role: AttachRole) -> Result<EntityId, ClientError> {
+        match self.call(Request::Attach { name: name.into(), role }).await? {
+            Response::Welcome { entity } => Ok(entity),
+            other => Err(ClientError::Protocol(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    pub async fn run_auction(&mut self) -> Result<OutcomeSummary, ClientError> {
+        match self.call(Request::RunAuction).await? {
+            Response::AuctionDone(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!("expected AuctionDone, got {other:?}"))),
+        }
+    }
+
+    pub async fn outcome(&mut self) -> Result<Option<OutcomeSummary>, ClientError> {
+        match self.call(Request::GetOutcome).await? {
+            Response::Outcome(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!("expected Outcome, got {other:?}"))),
+        }
+    }
+
+    pub async fn report_usage(&mut self, entity: EntityId, gbps: f64) -> Result<(), ClientError> {
+        match self.call(Request::ReportUsage { entity, gbps }).await? {
+            Response::Ack => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected Ack, got {other:?}"))),
+        }
+    }
+
+    pub async fn run_billing(&mut self) -> Result<BillingSummaryWire, ClientError> {
+        match self.call(Request::RunBilling).await? {
+            Response::BillingDone(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!("expected BillingDone, got {other:?}"))),
+        }
+    }
+
+    pub async fn balance(&mut self, entity: EntityId) -> Result<f64, ClientError> {
+        match self.call(Request::GetBalance { entity }).await? {
+            Response::Balance { balance, .. } => Ok(balance),
+            other => Err(ClientError::Protocol(format!("expected Balance, got {other:?}"))),
+        }
+    }
+
+    pub async fn review_policy(&mut self, policy: TrafficPolicy) -> Result<Verdict, ClientError> {
+        match self.call(Request::ReviewPolicy { policy }).await? {
+            Response::PolicyVerdict(v) => Ok(v),
+            other => Err(ClientError::Protocol(format!("expected Verdict, got {other:?}"))),
+        }
+    }
+
+    /// Recall a leased link on behalf of a BP. Returns (lease found,
+    /// re-auction pending).
+    pub async fn recall_link(
+        &mut self,
+        bp: u32,
+        link: u32,
+        notice_periods: u32,
+    ) -> Result<(bool, bool), ClientError> {
+        match self.call(Request::RecallLink { bp, link, notice_periods }).await? {
+            Response::RecallDone { found, reauction_needed } => Ok((found, reauction_needed)),
+            other => Err(ClientError::Protocol(format!("expected RecallDone, got {other:?}"))),
+        }
+    }
+
+    /// The current lease book.
+    pub async fn leases(&mut self) -> Result<Vec<LeaseWire>, ClientError> {
+        match self.call(Request::GetLeases).await? {
+            Response::Leases(ls) => Ok(ls),
+            other => Err(ClientError::Protocol(format!("expected Leases, got {other:?}"))),
+        }
+    }
+
+    /// Link ids of the fabric path between two members, if both attached
+    /// and connected.
+    pub async fn path(
+        &mut self,
+        from: EntityId,
+        to: EntityId,
+    ) -> Result<Option<Vec<u32>>, ClientError> {
+        match self.call(Request::GetPath { from, to }).await? {
+            Response::Path { links } => Ok(links),
+            other => Err(ClientError::Protocol(format!("expected Path, got {other:?}"))),
+        }
+    }
+}

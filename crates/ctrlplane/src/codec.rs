@@ -1,0 +1,146 @@
+//! Length-prefixed JSON framing.
+//!
+//! Each frame: 4-byte big-endian payload length, then that many bytes of
+//! JSON. A hard size cap protects the server from a malicious or broken
+//! peer declaring a multi-gigabyte frame.
+
+use bytes::{BufMut, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Maximum accepted frame payload (1 MiB — control-plane messages are
+/// small; anything bigger is a protocol error).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Framing/serialization errors.
+#[derive(Debug)]
+pub enum CodecError {
+    Io(std::io::Error),
+    FrameTooLarge(u32),
+    Json(serde_json::Error),
+    /// Clean EOF between frames (peer hung up).
+    Closed,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "io: {e}"),
+            CodecError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            CodecError::Json(e) => write!(f, "json: {e}"),
+            CodecError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CodecError {
+    fn from(e: serde_json::Error) -> Self {
+        CodecError::Json(e)
+    }
+}
+
+/// Write one frame.
+pub async fn write_frame<W, T>(writer: &mut W, msg: &T) -> Result<(), CodecError>
+where
+    W: AsyncWrite + Unpin,
+    T: Serialize,
+{
+    let payload = serde_json::to_vec(msg)?;
+    let len = u32::try_from(payload.len()).map_err(|_| CodecError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(CodecError::FrameTooLarge(len));
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(len);
+    buf.put_slice(&payload);
+    writer.write_all(&buf).await?;
+    writer.flush().await?;
+    Ok(())
+}
+
+/// Read one frame. Returns [`CodecError::Closed`] on clean EOF at a frame
+/// boundary.
+pub async fn read_frame<R, T>(reader: &mut R) -> Result<T, CodecError>
+where
+    R: AsyncRead + Unpin,
+    T: DeserializeOwned,
+{
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf).await {
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(CodecError::Closed)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(CodecError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload).await?;
+    Ok(serde_json::from_slice(&payload)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{Request, Response};
+    use poc_core::entity::EntityId;
+
+    #[tokio::test]
+    async fn frame_round_trip() {
+        let (mut a, mut b) = tokio::io::duplex(4096);
+        write_frame(&mut a, &Request::Ping).await.unwrap();
+        let got: Request = read_frame(&mut b).await.unwrap();
+        assert_eq!(got, Request::Ping);
+    }
+
+    #[tokio::test]
+    async fn multiple_frames_in_order() {
+        let (mut a, mut b) = tokio::io::duplex(4096);
+        write_frame(&mut a, &Response::Pong).await.unwrap();
+        write_frame(&mut a, &Response::Welcome { entity: EntityId(3) }).await.unwrap();
+        let r1: Response = read_frame(&mut b).await.unwrap();
+        let r2: Response = read_frame(&mut b).await.unwrap();
+        assert_eq!(r1, Response::Pong);
+        assert_eq!(r2, Response::Welcome { entity: EntityId(3) });
+    }
+
+    #[tokio::test]
+    async fn eof_reports_closed() {
+        let (a, mut b) = tokio::io::duplex(64);
+        drop(a);
+        let err = read_frame::<_, Request>(&mut b).await.unwrap_err();
+        assert!(matches!(err, CodecError::Closed), "{err:?}");
+    }
+
+    #[tokio::test]
+    async fn oversized_frame_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        // Hand-craft a bogus length prefix.
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&(MAX_FRAME + 1).to_be_bytes()).await.unwrap();
+        let err = read_frame::<_, Request>(&mut b).await.unwrap_err();
+        assert!(matches!(err, CodecError::FrameTooLarge(_)), "{err:?}");
+    }
+
+    #[tokio::test]
+    async fn garbage_json_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&5u32.to_be_bytes()).await.unwrap();
+        a.write_all(b"hello").await.unwrap();
+        let err = read_frame::<_, Request>(&mut b).await.unwrap_err();
+        assert!(matches!(err, CodecError::Json(_)), "{err:?}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Wire protocol: JSON payloads in length-prefixed frames.
+//!
+//! The protocol is deliberately request/response (no server push): every
+//! [`Request`] gets exactly one [`Response`] on the same connection, in
+//! order. JSON keeps the prototype debuggable with `nc`/`jq`; the framing
+//! (4-byte big-endian length) makes message boundaries explicit.
+
+use poc_core::entity::EntityId;
+use poc_core::tos::{TrafficPolicy, Verdict};
+use poc_topology::RouterId;
+use serde::{Deserialize, Serialize};
+
+/// How an attaching member connects (§1.2: LMPs and large CSPs attach
+/// directly; other CSPs come in through an LMP).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttachRole {
+    Lmp { router: RouterId },
+    DirectCsp { router: RouterId },
+    HostedCsp { via_lmp: EntityId },
+}
+
+/// Client → server.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Attach as a member; the reply carries the assigned entity id.
+    Attach { name: String, role: AttachRole },
+    /// Liveness check.
+    Ping,
+    /// Operator: run an auction round against the POC's current
+    /// traffic-matrix estimate.
+    RunAuction,
+    /// Summary of the last auction outcome.
+    GetOutcome,
+    /// Operator: settle the period from the usage reports received since
+    /// the last billing cycle.
+    RunBilling,
+    /// Member reports billable usage (Gbit/s average) for this period.
+    ReportUsage { entity: EntityId, gbps: f64 },
+    /// Ledger balance of an entity.
+    GetBalance { entity: EntityId },
+    /// Ask the neutrality engine to rule on a policy before deploying it.
+    ReviewPolicy { policy: TrafficPolicy },
+    /// Path through the installed fabric between two members.
+    GetPath { from: EntityId, to: EntityId },
+    /// A BP recalls one of its leased links (§3.3 overbuy-then-recall),
+    /// with notice measured in billing periods.
+    RecallLink { bp: u32, link: u32, notice_periods: u32 },
+    /// Current lease book summary.
+    GetLeases,
+}
+
+/// One lease as shipped to clients.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeaseWire {
+    pub link: u32,
+    pub bp: u32,
+    pub monthly_payment: f64,
+    /// "active", "recalled@<period>", or "expired".
+    pub state: String,
+}
+
+/// Auction outcome summary shipped to clients.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeSummary {
+    pub n_selected_links: usize,
+    pub total_cost: f64,
+    pub total_payments: f64,
+    /// (bp index, payment, payment-over-bid margin).
+    pub settlements: Vec<(u32, f64, Option<f64>)>,
+}
+
+/// Billing summary shipped to clients.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BillingSummaryWire {
+    pub period: u32,
+    pub total_outlay: f64,
+    pub unit_price: f64,
+    pub poc_net: f64,
+    pub charges: Vec<(EntityId, f64)>,
+}
+
+/// Server → client.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Welcome { entity: EntityId },
+    Pong,
+    Ack,
+    AuctionDone(OutcomeSummary),
+    Outcome(Option<OutcomeSummary>),
+    BillingDone(BillingSummaryWire),
+    Balance { entity: EntityId, balance: f64 },
+    PolicyVerdict(Verdict),
+    Path { links: Option<Vec<u32>> },
+    /// Recall accepted (`found` = an active lease matched) and whether a
+    /// re-auction is now pending.
+    RecallDone { found: bool, reauction_needed: bool },
+    Leases(Vec<LeaseWire>),
+    Error { message: String },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_json() {
+        let req = Request::Attach {
+            name: "lmp-1".into(),
+            role: AttachRole::Lmp { router: RouterId(3) },
+        };
+        let bytes = serde_json::to_vec(&req).unwrap();
+        let back: Request = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(req, back);
+
+        let resp = Response::Welcome { entity: EntityId(7) };
+        let bytes = serde_json::to_vec(&resp).unwrap();
+        let back: Response = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn verdict_round_trip() {
+        let v = Verdict::Violation { condition: 2, rationale: "x".into() };
+        let resp = Response::PolicyVerdict(v.clone());
+        let back: Response =
+            serde_json::from_slice(&serde_json::to_vec(&resp).unwrap()).unwrap();
+        assert_eq!(back, Response::PolicyVerdict(v));
+    }
+
+    #[test]
+    fn unknown_variant_fails_cleanly() {
+        let err = serde_json::from_str::<Request>("{\"Nonsense\":{}}");
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! The POC controller: a TCP server wrapping [`poc_core::Poc`].
+//!
+//! One tokio task per connection; all state behind a single async mutex.
+//! Auction rounds hold the lock for their duration — control-plane rounds
+//! are rare (monthly in the paper's economics) so serialization is the
+//! right simplicity trade-off for a prototype. Shutdown is cooperative via
+//! a watch channel; the accept loop and every connection task exit when it
+//! fires.
+
+use crate::codec::{read_frame, write_frame, CodecError};
+use crate::proto::{
+    AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response,
+};
+use poc_core::entity::EntityId;
+use poc_core::poc::Poc;
+use poc_traffic::TrafficMatrix;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::{watch, Mutex};
+
+/// Shared controller state.
+struct State {
+    poc: Poc,
+    /// Upper-bound traffic matrix for auction rounds.
+    tm: TrafficMatrix,
+    /// Usage reported since the last billing cycle.
+    usage: BTreeMap<EntityId, f64>,
+}
+
+/// The server. Construct with [`PocServer::bind`], then [`PocServer::run`]
+/// (or spawn it) and keep the [`ServerHandle`] for shutdown.
+pub struct PocServer {
+    listener: TcpListener,
+    state: Arc<Mutex<State>>,
+    shutdown_rx: watch::Receiver<bool>,
+}
+
+/// Handle for stopping a running server.
+pub struct ServerHandle {
+    shutdown_tx: watch::Sender<bool>,
+    pub local_addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Signal the server (accept loop + connections) to stop.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown_tx.send(true);
+    }
+}
+
+impl PocServer {
+    /// Bind on `addr` (use port 0 for an ephemeral port).
+    pub async fn bind(
+        addr: &str,
+        poc: Poc,
+        tm: TrafficMatrix,
+    ) -> std::io::Result<(Self, ServerHandle)> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let state = Arc::new(Mutex::new(State { poc, tm, usage: BTreeMap::new() }));
+        Ok((
+            Self { listener, state, shutdown_rx },
+            ServerHandle { shutdown_tx, local_addr },
+        ))
+    }
+
+    /// Accept-and-serve until shutdown.
+    pub async fn run(self) {
+        let mut shutdown = self.shutdown_rx.clone();
+        loop {
+            tokio::select! {
+                accepted = self.listener.accept() => {
+                    match accepted {
+                        Ok((stream, _peer)) => {
+                            let state = Arc::clone(&self.state);
+                            let conn_shutdown = self.shutdown_rx.clone();
+                            tokio::spawn(async move {
+                                let _ = serve_connection(stream, state, conn_shutdown).await;
+                            });
+                        }
+                        Err(_) => break,
+                    }
+                }
+                _ = shutdown.changed() => {
+                    if *shutdown.borrow() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+async fn serve_connection(
+    mut stream: TcpStream,
+    state: Arc<Mutex<State>>,
+    mut shutdown: watch::Receiver<bool>,
+) -> Result<(), CodecError> {
+    loop {
+        let request: Request = tokio::select! {
+            r = read_frame(&mut stream) => match r {
+                Ok(req) => req,
+                Err(CodecError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            },
+            _ = shutdown.changed() => {
+                if *shutdown.borrow() {
+                    return Ok(());
+                }
+                continue;
+            }
+        };
+        let response = handle(&state, request).await;
+        write_frame(&mut stream, &response).await?;
+    }
+}
+
+async fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
+    let mut st = state.lock().await;
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Attach { name, role } => {
+            let result = match role {
+                AttachRole::Lmp { router } => st.poc.attach_lmp(&name, router),
+                AttachRole::DirectCsp { router } => st.poc.attach_direct_csp(&name, router),
+                AttachRole::HostedCsp { via_lmp } => st.poc.attach_hosted_csp(&name, via_lmp),
+            };
+            match result {
+                Ok(entity) => Response::Welcome { entity },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::RunAuction => {
+            let tm = st.tm.clone();
+            match st.poc.run_auction_round(&tm) {
+                Ok(out) => Response::AuctionDone(summarize(out)),
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::GetOutcome => Response::Outcome(st.poc.last_outcome().map(summarize)),
+        Request::ReportUsage { entity, gbps } => {
+            if !gbps.is_finite() || gbps < 0.0 {
+                return Response::Error { message: "invalid usage".into() };
+            }
+            if !st.poc.registry().may_send_traffic(entity) {
+                return Response::Error {
+                    message: format!("{entity} is not authorized to send traffic"),
+                };
+            }
+            *st.usage.entry(entity).or_insert(0.0) += gbps;
+            Response::Ack
+        }
+        Request::RunBilling => {
+            let usage: Vec<(EntityId, f64)> =
+                st.usage.iter().map(|(&e, &g)| (e, g)).collect();
+            match st.poc.billing_cycle(&usage) {
+                Ok(summary) => {
+                    st.usage.clear();
+                    Response::BillingDone(BillingSummaryWire {
+                        period: summary.period,
+                        total_outlay: summary.total_outlay,
+                        unit_price: summary.unit_price,
+                        poc_net: summary.poc_net,
+                        charges: summary.charges,
+                    })
+                }
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::GetBalance { entity } => Response::Balance {
+            entity,
+            balance: st.poc.ledger().balance(poc_core::settlement::Account::Entity(entity)),
+        },
+        Request::ReviewPolicy { policy } => Response::PolicyVerdict(st.poc.review_policy(&policy)),
+        Request::GetPath { from, to } => match st.poc.member_path(from, to) {
+            Ok(links) => Response::Path {
+                links: links.map(|ls| ls.into_iter().map(|l| l.0).collect()),
+            },
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::RecallLink { bp, link, notice_periods } => {
+            let found = st.poc.recall_link(
+                poc_topology::BpId(bp),
+                poc_topology::LinkId(link),
+                notice_periods,
+            );
+            Response::RecallDone { found, reauction_needed: st.poc.reauction_needed() }
+        }
+        Request::GetLeases => Response::Leases(
+            st.poc
+                .leases()
+                .leases()
+                .iter()
+                .map(|l| LeaseWire {
+                    link: l.link.0,
+                    bp: l.bp.0,
+                    monthly_payment: l.monthly_payment,
+                    state: match l.state {
+                        poc_core::lease::LeaseState::Active => "active".into(),
+                        poc_core::lease::LeaseState::Recalled { effective_period } => {
+                            format!("recalled@{effective_period}")
+                        }
+                        poc_core::lease::LeaseState::Expired => "expired".into(),
+                    },
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn summarize(out: &poc_auction::AuctionOutcome) -> OutcomeSummary {
+    OutcomeSummary {
+        n_selected_links: out.selected.len(),
+        total_cost: out.total_cost,
+        total_payments: out.settlements.iter().map(|s| s.payment).sum(),
+        settlements: out
+            .settlements
+            .iter()
+            .map(|s| (s.bp.0, s.payment, s.pob()))
+            .collect(),
+    }
+}

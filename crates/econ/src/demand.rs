@@ -1,0 +1,226 @@
+//! Demand-curve families `D(p) = 1 − F(p)`.
+//!
+//! Lemma 1's hypotheses: `D` strictly positive, twice continuously
+//! differentiable, strictly decreasing, strictly convex, and vanishing as
+//! `p → ∞`. [`Exponential`] and [`ParetoTail`] satisfy all of them with
+//! closed-form monopoly prices (used as test oracles); [`Logistic`] is
+//! convex only above its midpoint (hypotheses hold on the relevant region);
+//! [`Linear`] deliberately violates them (it hits zero) and serves as the
+//! edge-case family in tests.
+
+use serde::{Deserialize, Serialize};
+
+/// A demand curve. `d(p)` must be in `[0, 1]`, non-increasing.
+pub trait Demand {
+    /// Fraction of consumers with willingness-to-pay ≥ `p`.
+    fn d(&self, p: f64) -> f64;
+
+    /// `D'(p)`; default central difference.
+    fn d_prime(&self, p: f64) -> f64 {
+        let h = (p.abs() * 1e-6).max(1e-8);
+        (self.d(p + h) - self.d(p - h)) / (2.0 * h)
+    }
+
+    /// A price beyond which demand is negligible (`D(p) < eps`); used as
+    /// the search/integration horizon. Default: doubling search from 1.
+    fn horizon(&self, eps: f64) -> f64 {
+        let mut hi = 1.0;
+        while self.d(hi) > eps && hi < 1e12 {
+            hi *= 2.0;
+        }
+        hi
+    }
+}
+
+/// `D(p) = e^{−λp}`. Monopoly price `p*(t) = t + 1/λ`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    pub lambda: f64,
+}
+
+impl Exponential {
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        Self { lambda }
+    }
+}
+
+impl Demand for Exponential {
+    fn d(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            1.0
+        } else {
+            (-self.lambda * p).exp()
+        }
+    }
+
+    fn d_prime(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            0.0
+        } else {
+            -self.lambda * (-self.lambda * p).exp()
+        }
+    }
+}
+
+/// `D(p) = (1 + p/σ)^{−k}`, `k > 1`. Monopoly price
+/// `p*(t) = (σ + k·t)/(k − 1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParetoTail {
+    pub sigma: f64,
+    pub k: f64,
+}
+
+impl ParetoTail {
+    pub fn new(sigma: f64, k: f64) -> Self {
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+        assert!(k > 1.0 && k.is_finite(), "k must exceed 1 for finite welfare");
+        Self { sigma, k }
+    }
+}
+
+impl Demand for ParetoTail {
+    fn d(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            1.0
+        } else {
+            (1.0 + p / self.sigma).powf(-self.k)
+        }
+    }
+
+    fn d_prime(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            0.0
+        } else {
+            -(self.k / self.sigma) * (1.0 + p / self.sigma).powf(-self.k - 1.0)
+        }
+    }
+}
+
+/// `D(p) = 1 / (1 + e^{(p−μ)/s})` (logistic tail; mass concentrated near
+/// the midpoint `μ`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Logistic {
+    pub mu: f64,
+    pub s: f64,
+}
+
+impl Logistic {
+    pub fn new(mu: f64, s: f64) -> Self {
+        assert!(mu > 0.0 && s > 0.0, "mu and s must be positive");
+        Self { mu, s }
+    }
+}
+
+impl Demand for Logistic {
+    fn d(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            // Normalize so D(0) = 1 exactly (truncated at zero).
+            1.0
+        } else {
+            let base = 1.0 / (1.0 + ((p - self.mu) / self.s).exp());
+            let at_zero = 1.0 / (1.0 + (-self.mu / self.s).exp());
+            base / at_zero
+        }
+    }
+}
+
+/// `D(p) = max(0, 1 − p/b)`: hits zero at `b`, violating Lemma 1's
+/// positivity/convexity hypotheses. Monopoly price `p*(t) = (b + t)/2`
+/// (still increasing in `t` — the lemma's conditions are sufficient, not
+/// necessary).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    pub b: f64,
+}
+
+impl Linear {
+    pub fn new(b: f64) -> Self {
+        assert!(b > 0.0 && b.is_finite(), "choke price must be positive");
+        Self { b }
+    }
+}
+
+impl Demand for Linear {
+    fn d(&self, p: f64) -> f64 {
+        (1.0 - p / self.b).clamp(0.0, 1.0)
+    }
+
+    fn horizon(&self, _eps: f64) -> f64 {
+        self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_shape() {
+        let d = Exponential::new(0.1);
+        assert_eq!(d.d(0.0), 1.0);
+        assert!(d.d(10.0) < d.d(5.0));
+        assert!((d.d(10.0) - (-1.0f64).exp()).abs() < 1e-12);
+        // Derivative matches closed form.
+        assert!((d.d_prime(10.0) + 0.1 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_shape_and_derivative() {
+        let d = ParetoTail::new(5.0, 2.0);
+        assert_eq!(d.d(0.0), 1.0);
+        assert!((d.d(5.0) - 0.25).abs() < 1e-12);
+        // Numeric default derivative close to analytic.
+        let numeric = {
+            let h = 1e-6;
+            (d.d(5.0 + h) - d.d(5.0 - h)) / (2.0 * h)
+        };
+        assert!((d.d_prime(5.0) - numeric).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logistic_normalized_at_zero() {
+        let d = Logistic::new(20.0, 5.0);
+        assert_eq!(d.d(0.0), 1.0);
+        assert!(d.d(0.001) <= 1.0 + 1e-12);
+        assert!(d.d(20.0) < d.d(10.0));
+    }
+
+    #[test]
+    fn linear_hits_zero_at_choke() {
+        let d = Linear::new(40.0);
+        assert_eq!(d.d(40.0), 0.0);
+        assert_eq!(d.d(60.0), 0.0);
+        assert_eq!(d.d(20.0), 0.5);
+        assert_eq!(d.horizon(1e-9), 40.0);
+    }
+
+    #[test]
+    fn horizons_cover_negligible_demand() {
+        for d in [Exponential::new(0.05), Exponential::new(1.0)] {
+            let h = d.horizon(1e-9);
+            assert!(d.d(h) <= 1e-9);
+        }
+        let p = ParetoTail::new(10.0, 3.0);
+        assert!(p.d(p.horizon(1e-9)) <= 1e-9);
+    }
+
+    #[test]
+    fn all_families_monotone_decreasing() {
+        let curves: Vec<Box<dyn Demand>> = vec![
+            Box::new(Exponential::new(0.2)),
+            Box::new(ParetoTail::new(8.0, 2.5)),
+            Box::new(Logistic::new(15.0, 4.0)),
+            Box::new(Linear::new(30.0)),
+        ];
+        for c in &curves {
+            let mut prev = c.d(0.0);
+            for i in 1..100 {
+                let p = i as f64 * 0.5;
+                let cur = c.d(p);
+                assert!(cur <= prev + 1e-12, "demand increased at {p}");
+                prev = cur;
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Market entry and innovation (§2.3, §4.5's competitive-advantage
+//! argument made quantitative).
+//!
+//! The paper's case for neutrality is ultimately about *future* welfare:
+//! termination fees "would hinder innovation (by favoring incumbents)".
+//! This module turns that into an entry model: a prospective CSP pays a
+//! fixed entry cost `K` and earns the per-customer-mass operating profit
+//! `(p − t)·D(p)` of its service. It enters iff profit covers `K`. Under
+//! NN, `t = 0`; under the unregulated regime the entrant faces its
+//! Nash-bargained fee — which is *higher* for entrants (they wield a
+//! smaller churn threat `⟨rc⟩`). The gap between the largest entry cost
+//! viable under NN and under UR is the **entry-deterrence band**: exactly
+//! the innovations the fee regime forecloses.
+
+use crate::demand::Demand;
+use crate::fees::{bargaining_equilibrium, monopoly_price, unilateral_fee};
+use crate::model::Regime;
+use serde::{Deserialize, Serialize};
+
+/// One entry evaluation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EntryOutcome {
+    pub regime: Regime,
+    /// Termination fee the entrant would face.
+    pub fee: f64,
+    /// Its profit-maximizing price given the fee.
+    pub price: f64,
+    /// Operating profit per unit customer mass, before entry cost.
+    pub operating_profit: f64,
+    /// `operating_profit − entry_cost`.
+    pub net_profit: f64,
+    pub enters: bool,
+}
+
+/// Evaluate the entry decision for a CSP with `demand`, fixed `entry_cost`
+/// (per unit customer mass), and churn threat `avg_rc` (`⟨rc⟩`, only used
+/// in the bargaining regime).
+pub fn entry_decision(
+    demand: &dyn Demand,
+    entry_cost: f64,
+    avg_rc: f64,
+    regime: Regime,
+) -> EntryOutcome {
+    assert!(entry_cost >= 0.0 && entry_cost.is_finite(), "invalid entry cost");
+    let (fee, price) = match regime {
+        Regime::NetworkNeutrality => (0.0, monopoly_price(demand, 0.0)),
+        Regime::UnilateralFees => unilateral_fee(demand),
+        Regime::BargainedFees => {
+            let out = bargaining_equilibrium(demand, avg_rc);
+            (out.fee, out.price)
+        }
+    };
+    let operating_profit = (price - fee) * demand.d(price);
+    let net_profit = operating_profit - entry_cost;
+    EntryOutcome {
+        regime,
+        fee,
+        price,
+        operating_profit,
+        net_profit,
+        enters: net_profit > 0.0,
+    }
+}
+
+/// The largest entry cost at which entry is still viable under `regime`
+/// (the operating profit itself).
+pub fn max_viable_entry_cost(demand: &dyn Demand, avg_rc: f64, regime: Regime) -> f64 {
+    entry_decision(demand, 0.0, avg_rc, regime).operating_profit
+}
+
+/// The entry-deterrence band `(K_ur, K_nn]`: entry costs viable under NN
+/// but foreclosed by the unregulated (bargained-fee) regime. Empty when
+/// the fee is zero (e.g. overwhelming churn threat).
+pub fn deterrence_band(demand: &dyn Demand, avg_rc: f64) -> (f64, f64) {
+    let k_ur = max_viable_entry_cost(demand, avg_rc, Regime::BargainedFees);
+    let k_nn = max_viable_entry_cost(demand, avg_rc, Regime::NetworkNeutrality);
+    (k_ur, k_nn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Exponential;
+
+    #[test]
+    fn nn_profit_is_full_monopoly_profit() {
+        // Exponential λ: p* = 1/λ, profit = (1/λ)·e^{−1}.
+        let d = Exponential::new(0.1);
+        let out = entry_decision(&d, 0.0, 0.0, Regime::NetworkNeutrality);
+        assert!((out.operating_profit - 10.0 * (-1.0f64).exp()).abs() < 1e-4);
+        assert_eq!(out.fee, 0.0);
+        assert!(out.enters);
+    }
+
+    #[test]
+    fn fees_shrink_viability() {
+        let d = Exponential::new(0.1);
+        let k_nn = max_viable_entry_cost(&d, 0.0, Regime::NetworkNeutrality);
+        let k_nbs = max_viable_entry_cost(&d, 1.0, Regime::BargainedFees);
+        let k_uni = max_viable_entry_cost(&d, 0.0, Regime::UnilateralFees);
+        assert!(k_nn > k_nbs, "bargained fees must shrink viability: {k_nn} vs {k_nbs}");
+        assert!(k_nbs > k_uni, "unilateral fees are the worst case: {k_nbs} vs {k_uni}");
+    }
+
+    #[test]
+    fn incumbent_churn_threat_widens_viability() {
+        // A bigger churn threat (higher ⟨rc⟩) lowers the bargained fee, so
+        // the incumbent-like CSP tolerates higher entry costs.
+        let d = Exponential::new(0.1);
+        let entrant = max_viable_entry_cost(&d, 0.5, Regime::BargainedFees);
+        let incumbent = max_viable_entry_cost(&d, 6.0, Regime::BargainedFees);
+        assert!(
+            incumbent > entrant,
+            "incumbent viability {incumbent} must exceed entrant {entrant}"
+        );
+    }
+
+    #[test]
+    fn deterrence_band_well_ordered_and_strict() {
+        let d = Exponential::new(0.15);
+        let (k_ur, k_nn) = deterrence_band(&d, 0.5);
+        assert!(k_ur < k_nn, "band must be non-empty with positive fees");
+        // An entry cost inside the band: enters under NN, not under UR.
+        let k = (k_ur + k_nn) / 2.0;
+        assert!(entry_decision(&d, k, 0.5, Regime::NetworkNeutrality).enters);
+        assert!(!entry_decision(&d, k, 0.5, Regime::BargainedFees).enters);
+    }
+
+    #[test]
+    fn overwhelming_churn_threat_collapses_band() {
+        // ⟨rc⟩ so large the bargained fee floors at 0 → UR ≡ NN.
+        let d = Exponential::new(0.1);
+        let (k_ur, k_nn) = deterrence_band(&d, 1e3);
+        assert!((k_ur - k_nn).abs() < 1e-6);
+    }
+
+    #[test]
+    fn marginal_entrant_does_not_enter_at_exact_cost() {
+        let d = Exponential::new(0.1);
+        let k = max_viable_entry_cost(&d, 0.0, Regime::NetworkNeutrality);
+        let out = entry_decision(&d, k, 0.0, Regime::NetworkNeutrality);
+        assert!(!out.enters, "profit must strictly exceed the entry cost");
+    }
+}

@@ -1,0 +1,232 @@
+//! Pricing and termination-fee mechanics (§4.3–4.5).
+//!
+//! * Monopoly pricing `p*(t) = argmax (p − t)·D(p)` (Equation 1);
+//! * unilateral fee setting `t* = argmax t·D(p*(t))` (double
+//!   marginalization, §4.4);
+//! * Nash-bargaining fees `t = (p − r·c)/2` and the §4.5 renegotiation
+//!   fixed point `t* = (p*(t*) − ⟨rc⟩)/2`.
+
+use crate::demand::Demand;
+
+/// Golden-section maximizer for a unimodal `f` on `[lo, hi]`.
+fn golden_max(mut lo: f64, mut hi: f64, f: impl Fn(f64) -> f64) -> f64 {
+    assert!(lo <= hi, "empty bracket");
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let mut x1 = hi - PHI * (hi - lo);
+    let mut x2 = lo + PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..200 {
+        if hi - lo < 1e-10 * (1.0 + hi.abs()) {
+            break;
+        }
+        if f1 < f2 {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + PHI * (hi - lo);
+            f2 = f(x2);
+        } else {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - PHI * (hi - lo);
+            f1 = f(x1);
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// The CSP's revenue-maximizing posted price given a per-customer
+/// termination fee `t`: `p*(t) = argmax_{p ≥ t} (p − t)·D(p)`.
+pub fn monopoly_price(demand: &dyn Demand, t: f64) -> f64 {
+    assert!(t >= 0.0 && t.is_finite(), "fee must be non-negative");
+    let hi = demand.horizon(1e-12).max(t + 1.0);
+    golden_max(t, hi, |p| (p - t) * demand.d(p))
+}
+
+/// The LMP's unilaterally revenue-maximizing termination fee:
+/// `t* = argmax_t t·D(p*(t))` (§4.4). Returns `(t*, p*(t*))`.
+pub fn unilateral_fee(demand: &dyn Demand) -> (f64, f64) {
+    let hi = demand.horizon(1e-12);
+    let t = golden_max(0.0, hi, |t| t * demand.d(monopoly_price(demand, t)));
+    (t, monopoly_price(demand, t))
+}
+
+/// The Nash-bargaining termination fee for one (CSP, LMP) pair (§4.5):
+/// `t = (p − r·c)/2`, where `p` is the CSP's price, `r` the fraction of the
+/// LMP's customers lost on disagreement, and `c` the LMP's access charge.
+/// Negative values (the LMP pays the CSP) are preserved — the paper notes
+/// the fee "can be negative".
+///
+/// ```
+/// use poc_econ::nbs_fee;
+/// // An incumbent LMP (little churn to fear) extracts more than an
+/// // entrant facing the same CSP:
+/// assert!(nbs_fee(20.0, 0.05, 50.0) > nbs_fee(20.0, 0.30, 50.0));
+/// ```
+pub fn nbs_fee(p: f64, r: f64, c: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&r), "churn rate must be in [0,1]");
+    assert!(p >= 0.0 && c >= 0.0, "price and access charge must be non-negative");
+    (p - r * c) / 2.0
+}
+
+/// Outcome of the §4.5 renegotiation process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BargainingOutcome {
+    /// Fixed-point average fee `t*` (clamped at 0 if bargaining would pay
+    /// the CSP and the analysis restricts to non-negative fees).
+    pub fee: f64,
+    /// The CSP's equilibrium price `p*(t*)`.
+    pub price: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+    /// Whether the iteration converged within tolerance.
+    pub converged: bool,
+}
+
+/// Iterate `t_{k+1} = (p*(t_k) − ⟨rc⟩)/2` to the renegotiation fixed point
+/// (§4.5 third model). `avg_rc` is the customer-weighted average of
+/// `r_l^s · c_l` across LMPs. Fees are floored at zero, matching the
+/// paper's "we assume we are in the regime where the termination fees are
+/// positive".
+pub fn bargaining_equilibrium(demand: &dyn Demand, avg_rc: f64) -> BargainingOutcome {
+    assert!(avg_rc >= 0.0 && avg_rc.is_finite(), "average r*c must be non-negative");
+    let mut t = 0.0f64;
+    let mut iterations = 0;
+    let mut converged = false;
+    for i in 1..=500 {
+        iterations = i;
+        let p = monopoly_price(demand, t);
+        let next = ((p - avg_rc) / 2.0).max(0.0);
+        // Tolerance sized to the golden-section maximizer's own precision
+        // (~1e-8 in the argmax): tighter and solver noise prevents the
+        // fixed point from ever registering.
+        if (next - t).abs() < 1e-7 * (1.0 + t.abs()) {
+            t = next;
+            converged = true;
+            break;
+        }
+        t = next;
+    }
+    BargainingOutcome { fee: t, price: monopoly_price(demand, t), iterations, converged }
+}
+
+/// Customer-weighted average of `r_l^s · c_l` over LMPs (§4.5 second
+/// model): `⟨rc⟩_s = Σ_l n_l r_l^s c_l / Σ_l n_l`.
+pub fn average_rc(lmps: &[(f64, f64, f64)]) -> f64 {
+    // (n_l, r_l^s, c_l)
+    let total_n: f64 = lmps.iter().map(|(n, _, _)| n).sum();
+    assert!(total_n > 0.0, "need at least one LMP with customers");
+    lmps.iter().map(|(n, r, c)| n * r * c).sum::<f64>() / total_n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{Exponential, Linear, ParetoTail};
+
+    #[test]
+    fn exponential_monopoly_price_closed_form() {
+        // p*(t) = t + 1/λ.
+        let d = Exponential::new(0.1);
+        for t in [0.0, 2.0, 7.5] {
+            let p = monopoly_price(&d, t);
+            assert!((p - (t + 10.0)).abs() < 1e-4, "t={t}: p={p}");
+        }
+    }
+
+    #[test]
+    fn pareto_monopoly_price_closed_form() {
+        // p*(t) = (σ + k t)/(k − 1).
+        let d = ParetoTail::new(5.0, 2.0);
+        for t in [0.0, 1.0, 4.0] {
+            let p = monopoly_price(&d, t);
+            let want = (5.0 + 2.0 * t) / 1.0;
+            assert!((p - want).abs() < 1e-3, "t={t}: p={p} want {want}");
+        }
+    }
+
+    #[test]
+    fn linear_monopoly_price_closed_form() {
+        // p*(t) = (b + t)/2.
+        let d = Linear::new(40.0);
+        for t in [0.0, 10.0, 30.0] {
+            let p = monopoly_price(&d, t);
+            assert!((p - (40.0 + t) / 2.0).abs() < 1e-5, "t={t}: p={p}");
+        }
+    }
+
+    #[test]
+    fn exponential_unilateral_fee_closed_form() {
+        // t* = 1/λ.
+        let d = Exponential::new(0.25);
+        let (t, p) = unilateral_fee(&d);
+        assert!((t - 4.0).abs() < 1e-3, "t={t}");
+        assert!((p - 8.0).abs() < 1e-3, "p={p}");
+    }
+
+    #[test]
+    fn nbs_fee_formula() {
+        assert_eq!(nbs_fee(10.0, 0.0, 5.0), 5.0);
+        assert_eq!(nbs_fee(10.0, 0.5, 10.0), 2.5);
+        // Negative when the LMP's disagreement loss dominates.
+        assert_eq!(nbs_fee(4.0, 1.0, 10.0), -3.0);
+    }
+
+    #[test]
+    fn nbs_fee_decreasing_in_churn() {
+        // The paper's incumbent-advantage driver: fee falls as r grows.
+        let mut prev = f64::INFINITY;
+        for r in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let t = nbs_fee(20.0, r, 15.0);
+            assert!(t < prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn bargaining_fixed_point_exponential() {
+        // t = (p(t) − a)/2 with p(t) = t + 1/λ ⇒ t* = (1/λ − a) (solve
+        // t = (t + 1/λ − a)/2 ⇒ t = 1/λ − a).
+        let d = Exponential::new(0.1);
+        let out = bargaining_equilibrium(&d, 4.0);
+        assert!(out.converged, "{out:?}");
+        assert!((out.fee - 6.0).abs() < 1e-4, "fee={}", out.fee);
+        assert!((out.price - 16.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bargaining_fee_floored_at_zero() {
+        // Huge ⟨rc⟩: bargaining would pay the CSP; the model floors at 0,
+        // recovering the NN outcome.
+        let d = Exponential::new(0.1);
+        let out = bargaining_equilibrium(&d, 1e3);
+        assert!(out.converged);
+        assert_eq!(out.fee, 0.0);
+        assert!((out.price - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bargaining_fee_below_unilateral() {
+        // With any churn threat the bargained fee undercuts the unilateral
+        // one.
+        let d = Exponential::new(0.2);
+        let (t_uni, _) = unilateral_fee(&d);
+        let out = bargaining_equilibrium(&d, 2.0);
+        assert!(out.fee < t_uni, "bargained {} vs unilateral {t_uni}", out.fee);
+    }
+
+    #[test]
+    fn average_rc_weighted() {
+        // Two LMPs: 3 customers with rc = 0.1*10, 1 customer with rc = 0.5*20.
+        let avg = average_rc(&[(3.0, 0.1, 10.0), (1.0, 0.5, 20.0)]);
+        assert!((avg - (3.0 * 1.0 + 1.0 * 10.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn rate")]
+    fn nbs_rejects_bad_churn() {
+        nbs_fee(10.0, 1.5, 1.0);
+    }
+}

@@ -1,0 +1,410 @@
+//! The full §4 economy: S CSPs × L LMPs under three fee regimes.
+//!
+//! This module assembles the primitives (demand curves, pricing, fees,
+//! welfare) into the paper's comparison: network neutrality (NN) vs the
+//! unregulated regime with unilateral fees vs with Nash-bargained fees,
+//! reporting per-CSP prices, fees, welfare, and the incumbent-advantage
+//! metrics of §4.5.
+
+use crate::demand::{Demand, Exponential, Linear, Logistic, ParetoTail};
+use crate::fees::{average_rc, bargaining_equilibrium, monopoly_price, nbs_fee, unilateral_fee};
+use crate::welfare::{consumer_surplus, social_welfare};
+use serde::{Deserialize, Serialize};
+
+/// A serializable, clonable demand curve (enum dispatch over the families).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DemandCurve {
+    Exponential(Exponential),
+    ParetoTail(ParetoTail),
+    Logistic(Logistic),
+    Linear(Linear),
+}
+
+impl Demand for DemandCurve {
+    fn d(&self, p: f64) -> f64 {
+        match self {
+            DemandCurve::Exponential(x) => x.d(p),
+            DemandCurve::ParetoTail(x) => x.d(p),
+            DemandCurve::Logistic(x) => x.d(p),
+            DemandCurve::Linear(x) => x.d(p),
+        }
+    }
+
+    fn horizon(&self, eps: f64) -> f64 {
+        match self {
+            DemandCurve::Exponential(x) => x.horizon(eps),
+            DemandCurve::ParetoTail(x) => x.horizon(eps),
+            DemandCurve::Logistic(x) => x.horizon(eps),
+            DemandCurve::Linear(x) => x.horizon(eps),
+        }
+    }
+}
+
+/// Whether an entity is an established incumbent or a new entrant — the
+/// distinction §4.5's churn rates key on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CspKind {
+    Incumbent,
+    Entrant,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LmpKind {
+    Incumbent,
+    Entrant,
+}
+
+/// One content/service provider.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CspSpec {
+    pub name: String,
+    pub demand: DemandCurve,
+    pub kind: CspKind,
+}
+
+/// One last-mile provider.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LmpSpec {
+    pub name: String,
+    /// Mass of customers (the unit mass is split across LMPs).
+    pub n_customers: f64,
+    /// Monthly access charge `c_l`.
+    pub access_price: f64,
+    pub kind: LmpKind,
+}
+
+/// The fee regime under comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Regime {
+    /// Network neutrality: termination fees prohibited.
+    NetworkNeutrality,
+    /// Unregulated, LMPs set fees unilaterally (§4.4).
+    UnilateralFees,
+    /// Unregulated, fees from Nash bargaining (§4.5).
+    BargainedFees,
+}
+
+impl Regime {
+    pub fn label(self) -> &'static str {
+        match self {
+            Regime::NetworkNeutrality => "NN",
+            Regime::UnilateralFees => "UR-unilateral",
+            Regime::BargainedFees => "UR-bargaining",
+        }
+    }
+}
+
+/// Per-CSP outcome under a regime.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CspOutcome {
+    pub csp: String,
+    /// Average termination fee paid per customer (0 under NN).
+    pub fee: f64,
+    /// Posted price `p_s`.
+    pub price: f64,
+    /// Social welfare from this CSP (per unit consumer mass).
+    pub social_welfare: f64,
+    /// Consumer surplus.
+    pub consumer_surplus: f64,
+    /// CSP revenue per customer mass, net of fees: `(p − t)·D(p)`.
+    pub csp_net_revenue: f64,
+    /// LMP fee revenue from this CSP: `t·D(p)`.
+    pub lmp_fee_revenue: f64,
+}
+
+/// A full regime evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegimeReport {
+    pub regime: Regime,
+    pub per_csp: Vec<CspOutcome>,
+}
+
+impl RegimeReport {
+    pub fn total_welfare(&self) -> f64 {
+        self.per_csp.iter().map(|c| c.social_welfare).sum()
+    }
+
+    pub fn total_consumer_surplus(&self) -> f64 {
+        self.per_csp.iter().map(|c| c.consumer_surplus).sum()
+    }
+
+    pub fn total_fees(&self) -> f64 {
+        self.per_csp.iter().map(|c| c.lmp_fee_revenue).sum()
+    }
+
+    /// Share of social welfare retained by consumers (§4.6's social- vs
+    /// consumer-welfare distinction: "vigorous competition ... tends to
+    /// drive most of the value into consumer welfare").
+    pub fn consumer_share(&self) -> f64 {
+        let w = self.total_welfare();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.total_consumer_surplus() / w
+        }
+    }
+}
+
+/// The economy: CSPs, LMPs, and the churn matrix `r[s][l]` — the fraction
+/// of LMP `l`'s customers lost if CSP `s` becomes unavailable there.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Economy {
+    pub csps: Vec<CspSpec>,
+    pub lmps: Vec<LmpSpec>,
+    /// `churn[s][l] = r_l^s ∈ [0, 1]`.
+    pub churn: Vec<Vec<f64>>,
+}
+
+impl Economy {
+    /// Validates dimensions and ranges.
+    pub fn new(csps: Vec<CspSpec>, lmps: Vec<LmpSpec>, churn: Vec<Vec<f64>>) -> Self {
+        assert!(!csps.is_empty() && !lmps.is_empty(), "need at least one CSP and LMP");
+        assert_eq!(churn.len(), csps.len(), "churn rows must match CSPs");
+        for row in &churn {
+            assert_eq!(row.len(), lmps.len(), "churn columns must match LMPs");
+            for &r in row {
+                assert!((0.0..=1.0).contains(&r), "churn rates must be in [0,1]");
+            }
+        }
+        for l in &lmps {
+            assert!(l.n_customers > 0.0 && l.access_price >= 0.0, "invalid LMP {}", l.name);
+        }
+        Self { csps, lmps, churn }
+    }
+
+    /// A representative economy: two incumbent and two entrant CSPs with
+    /// assorted demand curves; one incumbent and two entrant LMPs.
+    /// Churn reflects §4.5's presumptions: `r` is higher for popular
+    /// (incumbent) CSPs and lower at well-established LMPs.
+    pub fn example() -> Self {
+        let csps = vec![
+            CspSpec {
+                name: "VideoCo (incumbent)".into(),
+                demand: DemandCurve::Exponential(Exponential::new(0.06)),
+                kind: CspKind::Incumbent,
+            },
+            CspSpec {
+                name: "SearchCo (incumbent)".into(),
+                demand: DemandCurve::ParetoTail(ParetoTail::new(9.0, 2.4)),
+                kind: CspKind::Incumbent,
+            },
+            CspSpec {
+                name: "NewStream (entrant)".into(),
+                demand: DemandCurve::Exponential(Exponential::new(0.12)),
+                kind: CspKind::Entrant,
+            },
+            CspSpec {
+                name: "NicheApp (entrant)".into(),
+                demand: DemandCurve::Logistic(Logistic::new(12.0, 3.0)),
+                kind: CspKind::Entrant,
+            },
+        ];
+        let lmps = vec![
+            LmpSpec {
+                name: "BigCable (incumbent)".into(),
+                n_customers: 0.6,
+                access_price: 60.0,
+                kind: LmpKind::Incumbent,
+            },
+            LmpSpec {
+                name: "FiberStart (entrant)".into(),
+                n_customers: 0.25,
+                access_price: 50.0,
+                kind: LmpKind::Entrant,
+            },
+            LmpSpec {
+                name: "MuniNet (entrant)".into(),
+                n_customers: 0.15,
+                access_price: 40.0,
+                kind: LmpKind::Entrant,
+            },
+        ];
+        // Churn: popular CSPs trigger more churn; incumbent LMPs suffer
+        // less of it.
+        let churn = vec![
+            vec![0.10, 0.30, 0.35], // VideoCo
+            vec![0.08, 0.25, 0.30], // SearchCo
+            vec![0.02, 0.08, 0.10], // NewStream
+            vec![0.01, 0.05, 0.06], // NicheApp
+        ];
+        Self::new(csps, lmps, churn)
+    }
+
+    /// Evaluate one regime.
+    pub fn evaluate(&self, regime: Regime) -> RegimeReport {
+        let per_csp = self
+            .csps
+            .iter()
+            .enumerate()
+            .map(|(s, csp)| {
+                let d = &csp.demand;
+                let (fee, price) = match regime {
+                    Regime::NetworkNeutrality => (0.0, monopoly_price(d, 0.0)),
+                    Regime::UnilateralFees => unilateral_fee(d),
+                    Regime::BargainedFees => {
+                        let avg = average_rc(
+                            &self
+                                .lmps
+                                .iter()
+                                .enumerate()
+                                .map(|(l, lmp)| {
+                                    (lmp.n_customers, self.churn[s][l], lmp.access_price)
+                                })
+                                .collect::<Vec<_>>(),
+                        );
+                        let out = bargaining_equilibrium(d, avg);
+                        (out.fee, out.price)
+                    }
+                };
+                let dem = d.d(price);
+                CspOutcome {
+                    csp: csp.name.clone(),
+                    fee,
+                    price,
+                    social_welfare: social_welfare(d, price),
+                    consumer_surplus: consumer_surplus(d, price),
+                    csp_net_revenue: (price - fee) * dem,
+                    lmp_fee_revenue: fee * dem,
+                }
+            })
+            .collect();
+        RegimeReport { regime, per_csp }
+    }
+
+    /// Evaluate all three regimes (the E-W1 experiment).
+    pub fn compare_regimes(&self) -> [RegimeReport; 3] {
+        [
+            self.evaluate(Regime::NetworkNeutrality),
+            self.evaluate(Regime::UnilateralFees),
+            self.evaluate(Regime::BargainedFees),
+        ]
+    }
+
+    /// §4.5 incumbent-advantage view (E-B1): for CSP `s`, the per-LMP
+    /// NBS fee `t_l = (p − r_l^s c_l)/2` at the CSP's NN price. Returns
+    /// `(lmp name, churn, fee)` per LMP.
+    pub fn per_lmp_nbs_fees(&self, s: usize) -> Vec<(String, f64, f64)> {
+        assert!(s < self.csps.len(), "CSP index out of range");
+        let p = monopoly_price(&self.csps[s].demand, 0.0);
+        self.lmps
+            .iter()
+            .enumerate()
+            .map(|(l, lmp)| {
+                let r = self.churn[s][l];
+                (lmp.name.clone(), r, nbs_fee(p, r, lmp.access_price))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_economy_validates() {
+        let e = Economy::example();
+        assert_eq!(e.csps.len(), 4);
+        assert_eq!(e.lmps.len(), 3);
+    }
+
+    #[test]
+    fn welfare_ordering_nn_geq_bargaining_geq_unilateral() {
+        // The paper's central welfare claim (E-W1 shape).
+        let e = Economy::example();
+        let [nn, uni, nbs] = e.compare_regimes();
+        assert!(
+            nn.total_welfare() >= nbs.total_welfare() - 1e-9,
+            "NN {} < NBS {}",
+            nn.total_welfare(),
+            nbs.total_welfare()
+        );
+        assert!(
+            nbs.total_welfare() >= uni.total_welfare() - 1e-9,
+            "NBS {} < unilateral {}",
+            nbs.total_welfare(),
+            uni.total_welfare()
+        );
+        // And strictly: fees are positive in this economy.
+        assert!(nn.total_welfare() > uni.total_welfare());
+    }
+
+    #[test]
+    fn fees_zero_under_nn_positive_otherwise() {
+        let e = Economy::example();
+        let [nn, uni, nbs] = e.compare_regimes();
+        assert_eq!(nn.total_fees(), 0.0);
+        assert!(uni.total_fees() > 0.0);
+        assert!(nbs.total_fees() > 0.0);
+    }
+
+    #[test]
+    fn prices_rise_with_fees() {
+        // Lemma 1 manifesting at the economy level.
+        let e = Economy::example();
+        let [nn, uni, nbs] = e.compare_regimes();
+        for ((a, b), c) in nn.per_csp.iter().zip(&uni.per_csp).zip(&nbs.per_csp) {
+            assert!(b.price > a.price - 1e-9, "{}: unilateral {} vs NN {}", a.csp, b.price, a.price);
+            assert!(c.price >= a.price - 1e-9);
+            assert!(b.price >= c.price - 1e-6, "unilateral should not undercut bargained");
+        }
+    }
+
+    #[test]
+    fn incumbent_lmp_extracts_higher_fee() {
+        // r is lowest at the incumbent LMP ⇒ its NBS fee is highest.
+        let e = Economy::example();
+        for s in 0..e.csps.len() {
+            let fees = e.per_lmp_nbs_fees(s);
+            let incumbent_fee = fees[0].2;
+            for f in &fees[1..] {
+                assert!(
+                    incumbent_fee >= f.2 - 1e-9,
+                    "CSP {s}: incumbent fee {incumbent_fee} < {}",
+                    f.2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incumbent_csp_pays_less_per_popularity() {
+        // For the same LMP, the high-churn (incumbent) CSP pays a lower
+        // fee than the low-churn entrant with a comparable price level.
+        let e = Economy::example();
+        // Compare VideoCo (churn 0.30 at FiberStart) vs NewStream (0.08):
+        // fee difference driven by r·c given prices.
+        let video = e.per_lmp_nbs_fees(0);
+        let newcsp = e.per_lmp_nbs_fees(2);
+        // Normalize out the price difference: t = (p − rc)/2 ⇒ p/2 − t =
+        // rc/2 must be larger for the incumbent CSP.
+        let video_rc = video[1].1 * e.lmps[1].access_price;
+        let new_rc = newcsp[1].1 * e.lmps[1].access_price;
+        assert!(video_rc > new_rc, "incumbent CSP must wield a bigger churn threat");
+    }
+
+    #[test]
+    fn consumer_share_highest_under_nn() {
+        // §4.6: NN keeps the largest share of welfare with consumers.
+        let e = Economy::example();
+        let [nn, uni, nbs] = e.compare_regimes();
+        assert!(nn.consumer_share() > uni.consumer_share());
+        assert!(nn.consumer_share() >= nbs.consumer_share() - 1e-9);
+        assert!((0.0..=1.0).contains(&nn.consumer_share()));
+    }
+
+    #[test]
+    fn consumer_surplus_highest_under_nn() {
+        let e = Economy::example();
+        let [nn, uni, nbs] = e.compare_regimes();
+        assert!(nn.total_consumer_surplus() > uni.total_consumer_surplus());
+        assert!(nn.total_consumer_surplus() > nbs.total_consumer_surplus() - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn rows")]
+    fn dimension_mismatch_rejected() {
+        let e = Economy::example();
+        Economy::new(e.csps.clone(), e.lmps.clone(), vec![vec![0.1; 3]; 2]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Quality degradation as an implicit termination fee (§4.1).
+//!
+//! The paper restricts its formal analysis to explicit fees but notes the
+//! conclusions "intuitively (but not quantitatively) apply to traffic
+//! discrimination in that imposing poor QoS on incoming traffic reduces
+//! the value of that traffic to users, so it can be seen as a form of
+//! termination fee". This module makes that mapping quantitative.
+//!
+//! Model: degraded quality `q ∈ (0, 1]` scales every consumer's value:
+//! a consumer with willingness-to-pay `v` gets utility `q·v − p`, so the
+//! demand curve becomes `D_q(p) = D(p/q)`. Consequences (closed form):
+//! the CSP's optimal price scales to `q·p*`, and both its profit and
+//! social welfare scale by exactly `q`. [`equivalent_fee`] then inverts
+//! the §4.4 profit function to find the explicit termination fee that
+//! would hurt the CSP just as much — the "implicit fee" of throttling.
+
+use crate::demand::Demand;
+use crate::fees::monopoly_price;
+
+/// The CSP's optimal posted price when delivered quality is `q`:
+/// `q · p*(0)`.
+pub fn degraded_price(demand: &dyn Demand, q: f64) -> f64 {
+    assert!(q > 0.0 && q <= 1.0, "quality must be in (0,1]");
+    q * monopoly_price(demand, 0.0)
+}
+
+/// The CSP's maximal revenue per unit customer mass at quality `q`:
+/// `q · p*·D(p*)`.
+pub fn degraded_profit(demand: &dyn Demand, q: f64) -> f64 {
+    assert!(q > 0.0 && q <= 1.0, "quality must be in (0,1]");
+    let p = monopoly_price(demand, 0.0);
+    q * p * demand.d(p)
+}
+
+/// Social welfare (total utility) at quality `q`: `q · SW(p*)` — the same
+/// buyers purchase (the price scales with their scaled values), each
+/// deriving `q` of their undegraded utility.
+pub fn degraded_welfare(demand: &dyn Demand, q: f64) -> f64 {
+    assert!(q > 0.0 && q <= 1.0, "quality must be in (0,1]");
+    q * crate::welfare::social_welfare(demand, monopoly_price(demand, 0.0))
+}
+
+/// The explicit termination fee with the same profit impact on the CSP as
+/// delivering quality `q`: solves `(p*(t) − t)·D(p*(t)) = q·Π₀` by
+/// bisection (the fee-profit map is continuous and decreasing). Returns
+/// 0 for `q = 1`.
+pub fn equivalent_fee(demand: &dyn Demand, q: f64) -> f64 {
+    assert!(q > 0.0 && q <= 1.0, "quality must be in (0,1]");
+    let target = degraded_profit(demand, q);
+    let profit_at = |t: f64| {
+        let p = monopoly_price(demand, t);
+        (p - t) * demand.d(p)
+    };
+    if (profit_at(0.0) - target).abs() < 1e-12 {
+        return 0.0;
+    }
+    // Bracket: profit decreases in t and tends to 0.
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while profit_at(hi) > target && hi < 1e9 {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = (lo + hi) / 2.0;
+        if profit_at(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * (1.0 + hi) {
+            break;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{Exponential, ParetoTail};
+    use crate::welfare::social_welfare;
+
+    #[test]
+    fn full_quality_is_no_fee() {
+        let d = Exponential::new(0.1);
+        assert_eq!(equivalent_fee(&d, 1.0), 0.0);
+        assert!((degraded_price(&d, 1.0) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn profit_and_welfare_scale_linearly_in_quality() {
+        let d = Exponential::new(0.1);
+        let p0 = degraded_profit(&d, 1.0);
+        let w0 = degraded_welfare(&d, 1.0);
+        for q in [0.25, 0.5, 0.8] {
+            assert!((degraded_profit(&d, q) - q * p0).abs() < 1e-9);
+            assert!((degraded_welfare(&d, q) - q * w0).abs() < 1e-9);
+        }
+        // Matches the welfare module at q = 1.
+        assert!((w0 - social_welfare(&d, 10.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn equivalent_fee_monotone_decreasing_in_quality() {
+        let d = Exponential::new(0.1);
+        let mut prev = f64::INFINITY;
+        for q in [0.3, 0.5, 0.7, 0.9, 1.0] {
+            let t = equivalent_fee(&d, q);
+            assert!(t < prev, "fee must fall as quality improves");
+            assert!(t >= 0.0);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn equivalent_fee_reproduces_degraded_profit() {
+        let d = ParetoTail::new(6.0, 2.5);
+        for q in [0.4, 0.6, 0.85] {
+            let t = equivalent_fee(&d, q);
+            let p = monopoly_price(&d, t);
+            let profit_with_fee = (p - t) * d.d(p);
+            let target = degraded_profit(&d, q);
+            assert!(
+                (profit_with_fee - target).abs() < 1e-6 * target,
+                "q={q}: fee-profit {profit_with_fee} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_closed_form_fee() {
+        // Π(t) = (1/λ)e^{−λ(t+1/λ)} ⇒ Π(t)/Π(0) = e^{−λt} = q ⇒
+        // t_eq = −ln(q)/λ.
+        let d = Exponential::new(0.2);
+        for q in [0.5f64, 0.8] {
+            let want = -q.ln() / 0.2;
+            let got = equivalent_fee(&d, q);
+            assert!((got - want).abs() < 1e-4, "q={q}: got {got} want {want}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Welfare integrals (§4.3, §4.6).
+//!
+//! Social welfare at posted price `p` (total utility, payments ignored):
+//!
+//! ```text
+//! SW(p) = ∫_p^∞ v dF(v) = p·D(p) + ∫_p^∞ D(v) dv
+//! ```
+//!
+//! Consumer surplus (utility net of payments): `CS(p) = ∫_p^∞ D(v) dv`.
+//! Both are computed by adaptive Simpson quadrature up to the demand
+//! horizon; exponential/Pareto closed forms serve as test oracles.
+
+use crate::demand::Demand;
+
+/// Adaptive Simpson on `[a, b]`.
+fn simpson(f: &dyn Fn(f64) -> f64, a: f64, b: f64, eps: f64, depth: usize) -> f64 {
+    fn quad(f: &dyn Fn(f64) -> f64, a: f64, b: f64) -> f64 {
+        let m = (a + b) / 2.0;
+        (b - a) / 6.0 * (f(a) + 4.0 * f(m) + f(b))
+    }
+    fn rec(
+        f: &dyn Fn(f64) -> f64,
+        a: f64,
+        b: f64,
+        whole: f64,
+        eps: f64,
+        depth: usize,
+    ) -> f64 {
+        let m = (a + b) / 2.0;
+        let left = quad(f, a, m);
+        let right = quad(f, m, b);
+        if depth == 0 || (left + right - whole).abs() <= 15.0 * eps {
+            left + right + (left + right - whole) / 15.0
+        } else {
+            rec(f, a, m, left, eps / 2.0, depth - 1)
+                + rec(f, m, b, right, eps / 2.0, depth - 1)
+        }
+    }
+    rec(f, a, b, quad(f, a, b), eps, depth)
+}
+
+/// Consumer surplus `∫_p^∞ D(v) dv`.
+pub fn consumer_surplus(demand: &dyn Demand, p: f64) -> f64 {
+    assert!(p >= 0.0 && p.is_finite(), "price must be non-negative");
+    let hi = demand.horizon(1e-12).max(p);
+    if hi <= p {
+        return 0.0;
+    }
+    let f = |v: f64| demand.d(v);
+    simpson(&f, p, hi, 1e-10, 40).max(0.0)
+}
+
+/// Social welfare `SW(p) = p·D(p) + ∫_p^∞ D(v) dv` — the total utility
+/// consumers derive from the service at posted price `p`.
+pub fn social_welfare(demand: &dyn Demand, p: f64) -> f64 {
+    p * demand.d(p) + consumer_surplus(demand, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{Exponential, Linear, ParetoTail};
+    use crate::fees::monopoly_price;
+
+    #[test]
+    fn exponential_closed_forms() {
+        // CS(p) = e^{−λp}/λ; SW(p) = (p + 1/λ)e^{−λp}.
+        let d = Exponential::new(0.1);
+        for p in [0.0, 5.0, 12.0] {
+            let cs = consumer_surplus(&d, p);
+            let sw = social_welfare(&d, p);
+            let want_cs = (-0.1 * p).exp() / 0.1;
+            let want_sw = (p + 10.0) * (-0.1 * p).exp();
+            assert!((cs - want_cs).abs() < 1e-6, "p={p}: cs={cs} want {want_cs}");
+            assert!((sw - want_sw).abs() < 1e-6, "p={p}: sw={sw} want {want_sw}");
+        }
+    }
+
+    #[test]
+    fn pareto_closed_form() {
+        // CS(p) = σ/(k−1) · (1+p/σ)^{1−k}.
+        let d = ParetoTail::new(5.0, 3.0);
+        for p in [0.0, 2.0, 10.0] {
+            let cs = consumer_surplus(&d, p);
+            let want = 5.0 / 2.0 * (1.0f64 + p / 5.0).powf(-2.0);
+            assert!((cs - want).abs() < 1e-6, "p={p}: cs={cs} want {want}");
+        }
+    }
+
+    #[test]
+    fn linear_triangle() {
+        // CS(p) = (b − p)²/(2b) for p ≤ b.
+        let d = Linear::new(40.0);
+        let cs = consumer_surplus(&d, 10.0);
+        assert!((cs - 30.0 * 30.0 / 80.0).abs() < 1e-6);
+        assert_eq!(consumer_surplus(&d, 40.0), 0.0);
+    }
+
+    #[test]
+    fn welfare_decreasing_in_price() {
+        // The monotonicity the paper's welfare argument rests on.
+        let curves: Vec<Box<dyn Demand>> = vec![
+            Box::new(Exponential::new(0.08)),
+            Box::new(ParetoTail::new(6.0, 2.2)),
+            Box::new(Linear::new(50.0)),
+        ];
+        for d in &curves {
+            let mut prev = f64::INFINITY;
+            for i in 0..30 {
+                let p = i as f64;
+                let sw = social_welfare(d.as_ref(), p);
+                assert!(sw <= prev + 1e-9, "welfare rose at p={p}");
+                prev = sw;
+            }
+        }
+    }
+
+    #[test]
+    fn welfare_at_monopoly_price_below_free() {
+        let d = Exponential::new(0.1);
+        let p_star = monopoly_price(&d, 0.0);
+        assert!(social_welfare(&d, p_star) < social_welfare(&d, 0.0));
+    }
+}

@@ -1,0 +1,439 @@
+//! Failure-scenario checking for the auction's resilience constraints.
+//!
+//! The paper's Constraint #2 requires the selected links to carry the
+//! traffic matrix "assuming that any single path between a pair of routers
+//! has failed", and Constraint #3 "assuming that a path between each pair
+//! of routers has failed". We make these precise as follows (DESIGN.md §4):
+//!
+//! * A *path failure* for pair `(p, q)` means the pair's **primary path**
+//!   in the base routing becomes unavailable to it.
+//! * **Constraint #2** — for every pair, considered one at a time: with all
+//!   other flows keeping their base-routing placements, the pair's own
+//!   demand can be re-routed while avoiding every link of its primary path.
+//!   Backup capacity may be shared across scenarios (failures are not
+//!   simultaneous).
+//! * **Constraint #3** — every pair can be placed on a backup avoiding its
+//!   own primary path *simultaneously* (backup capacity is not shared).
+//!   This is strictly more demanding than #2.
+//!
+//! A third, link-level analysis — [`absorb_link_failure`] — models a
+//! physical fibre cut: every flow crossing a failed link is displaced and
+//! must be re-routed in the residual capacity. It is used by the failure
+//! drills in the simulator, not by the auction constraints.
+
+use crate::graph::CapacityGraph;
+use crate::linkset::LinkSet;
+use crate::route::{route_tm, route_tm_with_veto, FlowRoute, RouteError, Routing};
+use poc_topology::{LinkId, PocTopology, RouterId};
+use poc_traffic::TrafficMatrix;
+use std::collections::HashSet;
+
+/// Outcome of a resilience check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResilienceResult {
+    /// All checked scenarios survive.
+    Survives,
+    /// The first failing scenario: the pair whose primary-path failure
+    /// cannot be absorbed, and why.
+    Fails { pair: (RouterId, RouterId), reason: String },
+}
+
+impl ResilienceResult {
+    pub fn survives(&self) -> bool {
+        matches!(self, ResilienceResult::Survives)
+    }
+}
+
+/// Maximum paths a re-routed demand may be split across.
+const MAX_REROUTE_SPLITS: usize = 64;
+
+/// Constraint #2 check: for each flow (every `sample_every`-th, stride 1 =
+/// exhaustive), release the flow's own load, then try to re-route its full
+/// demand while avoiding its primary path, in the presence of everyone
+/// else's base loads. Restores state between scenarios.
+pub fn survives_single_path_failures(
+    topo: &PocTopology,
+    active: &LinkSet,
+    tm: &TrafficMatrix,
+    base: &Routing,
+    sample_every: usize,
+) -> ResilienceResult {
+    match failing_single_path_scenarios(topo, active, tm, base, sample_every, 1).pop() {
+        None => ResilienceResult::Survives,
+        Some((pair, reason)) => ResilienceResult::Fails { pair, reason },
+    }
+}
+
+/// As [`survives_single_path_failures`], but collects up to `max_failures`
+/// failing scenarios instead of stopping at the first. Used by the
+/// auction's selector to repair many scenarios per verification round.
+pub fn failing_single_path_scenarios(
+    topo: &PocTopology,
+    active: &LinkSet,
+    _tm: &TrafficMatrix,
+    base: &Routing,
+    sample_every: usize,
+    max_failures: usize,
+) -> Vec<((RouterId, RouterId), String)> {
+    assert!(sample_every >= 1, "sample stride must be >= 1");
+    let mut failures = Vec::new();
+    // One graph with all base loads applied; scenarios edit it locally.
+    let mut g = CapacityGraph::new(topo, active);
+    for flow in &base.flows {
+        for (path, gbps) in &flow.paths {
+            let dirs = g.path_dirs(flow.src, path);
+            for (&l, &d) in path.iter().zip(&dirs) {
+                g.consume(l, d, *gbps);
+            }
+        }
+    }
+    for (i, flow) in base.flows.iter().enumerate() {
+        if i % sample_every != 0 {
+            continue;
+        }
+        let Some(primary) = primary_of(flow) else { continue };
+        let veto: HashSet<LinkId> = primary.iter().copied().collect();
+        // Release this flow's entire load (all its paths fail with the
+        // primary corridor, conservatively none of its placements survive).
+        for (path, gbps) in &flow.paths {
+            let dirs = g.path_dirs(flow.src, path);
+            for (&l, &d) in path.iter().zip(&dirs) {
+                g.release(l, d, *gbps);
+            }
+        }
+        let rerouted = reroute_demand(&mut g, topo, flow.src, flow.dst, flow.demand_gbps, &veto);
+        // Undo scenario edits: release what the reroute consumed, re-apply
+        // the base placement.
+        if let Ok(paths) = &rerouted {
+            for (path, gbps) in paths {
+                let dirs = g.path_dirs(flow.src, path);
+                for (&l, &d) in path.iter().zip(&dirs) {
+                    g.release(l, d, *gbps);
+                }
+            }
+        }
+        for (path, gbps) in &flow.paths {
+            let dirs = g.path_dirs(flow.src, path);
+            for (&l, &d) in path.iter().zip(&dirs) {
+                g.consume(l, d, *gbps);
+            }
+        }
+        if let Err(reason) = rerouted {
+            failures.push(((flow.src, flow.dst), reason));
+            if failures.len() >= max_failures {
+                break;
+            }
+        }
+    }
+    failures
+}
+
+/// Constraint #3 check: route every flow off its own primary path, all at
+/// once.
+pub fn survives_all_pairs_backup(
+    topo: &PocTopology,
+    active: &LinkSet,
+    tm: &TrafficMatrix,
+    base: &Routing,
+) -> ResilienceResult {
+    // Vetoes must be addressed by demand ordering (largest first), the same
+    // ordering route_tm_with_veto uses internally.
+    let mut demands: Vec<(RouterId, RouterId, f64)> = tm.iter_demands().collect();
+    demands.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN demand"));
+    let vetoes: Vec<HashSet<LinkId>> = demands
+        .iter()
+        .map(|&(src, dst, _)| {
+            base.primary_path(src, dst)
+                .map(|p| p.iter().copied().collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    match route_tm_with_veto(topo, active, tm, |fi, l| !vetoes[fi].contains(&l)) {
+        Ok(_) => ResilienceResult::Survives,
+        Err(RouteError::Disconnected { src, dst }) => ResilienceResult::Fails {
+            pair: (src, dst),
+            reason: "no backup connectivity".to_string(),
+        },
+        Err(RouteError::Unroutable { src, dst, remaining_gbps }) => ResilienceResult::Fails {
+            pair: (src, dst),
+            reason: format!("{remaining_gbps:.2} Gbps of backup demand unroutable"),
+        },
+    }
+}
+
+/// Try to place `demand` from `src` to `dst` avoiding `veto` links, over
+/// the residual capacities of `g`. On success returns the consumed paths
+/// (state in `g` is left consumed); on failure `g` is unchanged.
+fn reroute_demand(
+    g: &mut CapacityGraph<'_>,
+    topo: &PocTopology,
+    src: RouterId,
+    dst: RouterId,
+    demand: f64,
+    veto: &HashSet<LinkId>,
+) -> Result<Vec<(Vec<LinkId>, f64)>, String> {
+    let mut remaining = demand;
+    let mut placed: Vec<(Vec<LinkId>, f64)> = Vec::new();
+    let mut splits = 0;
+    while remaining > 1e-9 {
+        let want = remaining;
+        let path = g
+            .shortest_path(
+                src,
+                dst,
+                |l, _| topo.link(l).distance_km,
+                |l, dir| !veto.contains(&l) && g.residual(l, dir) >= want - 1e-9,
+            )
+            .or_else(|| {
+                g.shortest_path(
+                    src,
+                    dst,
+                    |l, _| topo.link(l).distance_km,
+                    |l, dir| !veto.contains(&l) && g.residual(l, dir) > 1e-9,
+                )
+            });
+        let Some(path) = path else {
+            undo(g, src, &placed);
+            return Err(format!("{remaining:.2} Gbps of {src}->{dst} has no backup route"));
+        };
+        let dirs = g.path_dirs(src, &path);
+        let bottleneck = path
+            .iter()
+            .zip(&dirs)
+            .map(|(&l, &d)| g.residual(l, d))
+            .fold(f64::INFINITY, f64::min);
+        let amount = remaining.min(bottleneck);
+        if amount <= 1e-9 {
+            undo(g, src, &placed);
+            return Err(format!("zero backup residual for {src}->{dst}"));
+        }
+        for (&l, &d) in path.iter().zip(&dirs) {
+            g.consume(l, d, amount);
+        }
+        remaining -= amount;
+        placed.push((path, amount));
+        splits += 1;
+        if splits > MAX_REROUTE_SPLITS && remaining > 1e-9 {
+            undo(g, src, &placed);
+            return Err(format!("{src}->{dst} exceeded backup split budget"));
+        }
+    }
+    Ok(placed)
+}
+
+fn undo(g: &mut CapacityGraph<'_>, src: RouterId, placed: &[(Vec<LinkId>, f64)]) {
+    for (path, gbps) in placed {
+        let dirs = g.path_dirs(src, path);
+        for (&l, &d) in path.iter().zip(&dirs) {
+            g.release(l, d, *gbps);
+        }
+    }
+}
+
+/// Physical fibre-cut analysis (used by the simulator's failure drills):
+/// flows of `base` that traverse any link in `failed` are displaced and
+/// re-routed over the residual capacity left by the surviving flows, with
+/// the failed links unusable. `Ok(())` if all displaced traffic fits.
+pub fn absorb_link_failure(
+    topo: &PocTopology,
+    active: &LinkSet,
+    base: &Routing,
+    failed: &HashSet<LinkId>,
+) -> Result<(), String> {
+    let mut surviving = active.clone();
+    for &l in failed {
+        surviving.remove(l);
+    }
+    let mut g = CapacityGraph::new(topo, &surviving);
+    let mut displaced: Vec<(RouterId, RouterId, f64)> = Vec::new();
+    for flow in &base.flows {
+        for (path, gbps) in &flow.paths {
+            if path.iter().any(|l| failed.contains(l)) {
+                displaced.push((flow.src, flow.dst, *gbps));
+            } else {
+                let dirs = g.path_dirs(flow.src, path);
+                for (&l, &d) in path.iter().zip(&dirs) {
+                    g.consume(l, d, *gbps);
+                }
+            }
+        }
+    }
+    displaced.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN demand"));
+    for (src, dst, gbps) in displaced {
+        reroute_demand(&mut g, topo, src, dst, gbps, &HashSet::new())?;
+    }
+    Ok(())
+}
+
+fn primary_of(flow: &FlowRoute) -> Option<&[LinkId]> {
+    flow.paths
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN share"))
+        .map(|(p, _)| p.as_slice())
+}
+
+/// Convenience wrapper running the base routing then the Constraint #2
+/// check.
+pub fn check_resilience_c2(
+    topo: &PocTopology,
+    active: &LinkSet,
+    tm: &TrafficMatrix,
+    sample_every: usize,
+) -> Result<ResilienceResult, RouteError> {
+    let base = route_tm(topo, active, tm)?;
+    Ok(survives_single_path_failures(topo, active, tm, &base, sample_every))
+}
+
+/// Convenience wrapper for Constraint #3.
+pub fn check_resilience_c3(
+    topo: &PocTopology,
+    active: &LinkSet,
+    tm: &TrafficMatrix,
+) -> Result<ResilienceResult, RouteError> {
+    let base = route_tm(topo, active, tm)?;
+    Ok(survives_all_pairs_backup(topo, active, tm, &base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poc_topology::builder::two_bp_square;
+
+    fn r(i: u32) -> RouterId {
+        RouterId(i)
+    }
+
+    #[test]
+    fn redundant_topology_survives_c2() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 20.0);
+        tm.set(r(2), r(3), 10.0);
+        let res = check_resilience_c2(&t, &all, &tm, 1).unwrap();
+        assert!(res.survives(), "{res:?}");
+    }
+
+    #[test]
+    fn spanning_tree_fails_c2() {
+        // Keep only a tree: links 0 (r0-r1), 1 (r1-r2), 5 (r1-r3). No pair
+        // has a backup path.
+        let t = two_bp_square();
+        let tree = LinkSet::from_links(
+            t.n_links(),
+            [poc_topology::LinkId(0), poc_topology::LinkId(1), poc_topology::LinkId(5)],
+        );
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 5.0);
+        let res = check_resilience_c2(&t, &tree, &tm, 1).unwrap();
+        assert!(!res.survives());
+    }
+
+    #[test]
+    fn c2_scenario_state_is_restored_between_pairs() {
+        // Two heavy demands that individually have backups but whose
+        // backups share capacity: C2 must still pass because failures are
+        // considered one at a time.
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        // Both primary paths are direct links; both backups go via r2 and
+        // would not fit simultaneously at 90G each (links are 100G), but
+        // one-at-a-time they fit.
+        tm.set(r(0), r(1), 90.0);
+        let res = check_resilience_c2(&t, &all, &tm, 1).unwrap();
+        assert!(res.survives(), "{res:?}");
+    }
+
+    #[test]
+    fn c3_requires_disjoint_capacity() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 10.0);
+        tm.set(r(0), r(2), 10.0);
+        let res = check_resilience_c3(&t, &all, &tm).unwrap();
+        assert!(res.survives(), "{res:?}");
+    }
+
+    #[test]
+    fn c3_fails_without_backup_paths() {
+        let t = two_bp_square();
+        let tree = LinkSet::from_links(
+            t.n_links(),
+            [poc_topology::LinkId(0), poc_topology::LinkId(1), poc_topology::LinkId(5)],
+        );
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 5.0);
+        let res = check_resilience_c3(&t, &tree, &tm).unwrap();
+        assert!(!res.survives());
+    }
+
+    #[test]
+    fn c2_failure_reports_offending_pair() {
+        let t = two_bp_square();
+        let tree = LinkSet::from_links(
+            t.n_links(),
+            [poc_topology::LinkId(0), poc_topology::LinkId(1), poc_topology::LinkId(5)],
+        );
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 5.0);
+        match check_resilience_c2(&t, &tree, &tm, 1).unwrap() {
+            ResilienceResult::Fails { pair, .. } => assert_eq!(pair, (r(0), r(1))),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn c3_stricter_than_c2_under_shared_backup_capacity() {
+        // Demands r0→r1 and r1→r0 at 60G: primaries are the direct link
+        // (independent directions); backups both need the r0-r2-r1 corridor
+        // in opposite directions — full duplex, so both fit. Raise to a
+        // level where C2 passes but simultaneous backups via splitting are
+        // constrained: use r0→r1 and r2→r1 at 95G. Backup of r0→r1 avoids
+        // link 0 → goes r0-r2-r1 (needs 95 on l2,l1). Backup of r2→r1
+        // avoids l1 → goes r2-r0-r1 (needs 95 on l2 reverse, l0). One at a
+        // time each fits; verify C2 passes (C3 may or may not, depending on
+        // split routing — this test pins the C2 behaviour only).
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 60.0);
+        tm.set(r(2), r(1), 60.0);
+        let res = check_resilience_c2(&t, &all, &tm, 1).unwrap();
+        assert!(res.survives(), "{res:?}");
+    }
+
+    #[test]
+    fn absorb_link_failure_reroutes_displaced_flows() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 50.0);
+        let base = route_tm(&t, &all, &tm).unwrap();
+        let primary: HashSet<LinkId> =
+            base.primary_path(r(0), r(1)).unwrap().iter().copied().collect();
+        assert!(absorb_link_failure(&t, &all, &base, &primary).is_ok());
+        // Failing every link touching r1 strands the flow.
+        let all_r1: HashSet<LinkId> = t
+            .links
+            .iter()
+            .filter(|l| l.a == r(1) || l.b == r(1))
+            .map(|l| l.id)
+            .collect();
+        assert!(absorb_link_failure(&t, &all, &base, &all_r1).is_err());
+    }
+
+    #[test]
+    fn sampling_stride_skips_scenarios() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 10.0);
+        tm.set(r(2), r(3), 10.0);
+        let base = route_tm(&t, &all, &tm).unwrap();
+        // stride 1000 → only the first (largest) flow's failure is checked.
+        let res = survives_single_path_failures(&t, &all, &tm, &base, 1000);
+        assert!(res.survives());
+    }
+}

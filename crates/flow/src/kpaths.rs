@@ -1,0 +1,214 @@
+//! K-shortest loopless paths (Yen's algorithm) and path-diversity
+//! utilities.
+//!
+//! The auction's resilience constraints reason about "a path between a
+//! pair of routers" — these helpers expose the path structure directly:
+//! ranked alternatives between a pair, and the link-disjointness degree
+//! that determines how many independent failures a pair can ride out.
+
+use crate::graph::CapacityGraph;
+use crate::linkset::LinkSet;
+use poc_topology::{LinkId, PocTopology, RouterId};
+use std::collections::HashSet;
+
+/// A ranked path: links in order plus its total metric (km).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedPath {
+    pub links: Vec<LinkId>,
+    pub km: f64,
+}
+
+fn path_km(topo: &PocTopology, links: &[LinkId]) -> f64 {
+    links.iter().map(|&l| topo.link(l).distance_km).sum()
+}
+
+/// The routers visited by `links` starting from `src`, inclusive.
+fn path_nodes(topo: &PocTopology, src: RouterId, links: &[LinkId]) -> Vec<RouterId> {
+    let mut nodes = vec![src];
+    let mut at = src;
+    for &l in links {
+        at = topo.link(l).other_end(at).expect("path not incident");
+        nodes.push(at);
+    }
+    nodes
+}
+
+/// Yen's algorithm: up to `k` loopless shortest paths (by km) from `src`
+/// to `dst` over `active`. Paths are returned in non-decreasing km order;
+/// fewer than `k` are returned when the graph runs out of alternatives.
+pub fn k_shortest_paths(
+    topo: &PocTopology,
+    active: &LinkSet,
+    src: RouterId,
+    dst: RouterId,
+    k: usize,
+) -> Vec<RankedPath> {
+    assert!(k >= 1, "need k >= 1");
+    assert!(src != dst, "k-shortest paths need distinct endpoints");
+    let g = CapacityGraph::new(topo, active);
+    let shortest =
+        g.shortest_path(src, dst, |l, _| topo.link(l).distance_km, |_, _| true);
+    let Some(first) = shortest else { return Vec::new() };
+    let mut found = vec![RankedPath { km: path_km(topo, &first), links: first }];
+    let mut candidates: Vec<RankedPath> = Vec::new();
+
+    while found.len() < k {
+        let prev = found.last().expect("non-empty").links.clone();
+        let prev_nodes = path_nodes(topo, src, &prev);
+        // Spur from every node of the previous path.
+        for i in 0..prev.len() {
+            let spur_node = prev_nodes[i];
+            let root = &prev[..i];
+            // Links banned at the spur: the (i+1)-prefix-sharing paths'
+            // next links.
+            let mut banned_links: HashSet<LinkId> = HashSet::new();
+            for p in found.iter().map(|p| &p.links).chain(candidates.iter().map(|c| &c.links))
+            {
+                if p.len() > i && p[..i] == *root {
+                    banned_links.insert(p[i]);
+                }
+            }
+            // Nodes of the root (except the spur node) are banned to keep
+            // paths loopless.
+            let banned_nodes: HashSet<RouterId> =
+                prev_nodes[..i].iter().copied().collect();
+            let spur = g.shortest_path(
+                spur_node,
+                dst,
+                |l, _| topo.link(l).distance_km,
+                |l, dir| {
+                    if banned_links.contains(&l) {
+                        return false;
+                    }
+                    // Entering a banned node would close a loop with the
+                    // root. Determine the node this traversal enters.
+                    let link = topo.link(l);
+                    let entering = match dir {
+                        crate::graph::Dir::Fwd => link.b,
+                        crate::graph::Dir::Rev => link.a,
+                    };
+                    !banned_nodes.contains(&entering)
+                },
+            );
+            if let Some(spur_links) = spur {
+                let mut total = root.to_vec();
+                total.extend(spur_links);
+                let candidate = RankedPath { km: path_km(topo, &total), links: total };
+                if !found.iter().any(|p| p.links == candidate.links)
+                    && !candidates.iter().any(|p| p.links == candidate.links)
+                {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the cheapest candidate (ties: lexicographic links for
+        // determinism).
+        candidates.sort_by(|a, b| {
+            a.km.partial_cmp(&b.km).expect("NaN km").then(a.links.cmp(&b.links))
+        });
+        found.push(candidates.remove(0));
+    }
+    found
+}
+
+/// Number of pairwise link-disjoint paths among the `k` shortest — a
+/// pair's failure-independence degree. Greedy: take paths in rank order,
+/// keep those sharing no link with already-kept ones.
+pub fn disjoint_degree(paths: &[RankedPath]) -> usize {
+    let mut used: HashSet<LinkId> = HashSet::new();
+    let mut kept = 0;
+    for p in paths {
+        if p.links.iter().all(|l| !used.contains(l)) {
+            used.extend(p.links.iter().copied());
+            kept += 1;
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poc_topology::builder::two_bp_square;
+
+    fn r(i: u32) -> RouterId {
+        RouterId(i)
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let paths = k_shortest_paths(&t, &all, r(0), r(1), 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].links.len(), 1, "direct link is shortest");
+        assert!((paths[0].km - 1300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paths_ranked_and_loopless() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let paths = k_shortest_paths(&t, &all, r(0), r(1), 5);
+        assert!(paths.len() >= 3, "square offers several r0→r1 routes: {paths:?}");
+        for w in paths.windows(2) {
+            assert!(w[0].km <= w[1].km + 1e-9, "not ranked: {paths:?}");
+        }
+        for p in &paths {
+            // Looplessness: no repeated node.
+            let nodes = path_nodes(&t, r(0), &p.links);
+            let mut sorted = nodes.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), nodes.len(), "loop in {p:?}");
+            // Distinct paths.
+        }
+        let mut link_seqs: Vec<_> = paths.iter().map(|p| p.links.clone()).collect();
+        link_seqs.dedup();
+        assert_eq!(link_seqs.len(), paths.len(), "duplicate paths");
+    }
+
+    #[test]
+    fn second_path_avoids_first() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let paths = k_shortest_paths(&t, &all, r(0), r(3), 2);
+        assert_eq!(paths.len(), 2);
+        // Second path must differ from the direct link.
+        assert_ne!(paths[0].links, paths[1].links);
+        assert!(paths[1].km >= paths[0].km);
+    }
+
+    #[test]
+    fn k_larger_than_path_count_returns_all() {
+        let t = two_bp_square();
+        // Restrict to a tree: exactly one path per pair.
+        let tree = LinkSet::from_links(t.n_links(), [LinkId(0), LinkId(1), LinkId(5)]);
+        let paths = k_shortest_paths(&t, &tree, r(0), r(2), 10);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let t = two_bp_square();
+        let none = LinkSet::empty(t.n_links());
+        assert!(k_shortest_paths(&t, &none, r(0), r(1), 3).is_empty());
+    }
+
+    #[test]
+    fn disjoint_degree_counts_independent_routes() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let paths = k_shortest_paths(&t, &all, r(0), r(1), 6);
+        let deg = disjoint_degree(&paths);
+        // r0→r1: direct, via r2, via r3 — three link-disjoint routes.
+        assert_eq!(deg, 3, "{paths:?}");
+        // Tree topology: degree 1.
+        let tree = LinkSet::from_links(t.n_links(), [LinkId(0), LinkId(1), LinkId(5)]);
+        let tp = k_shortest_paths(&t, &tree, r(0), r(2), 6);
+        assert_eq!(disjoint_degree(&tp), 1);
+    }
+}

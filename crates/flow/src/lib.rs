@@ -1,0 +1,33 @@
+//! Routing and feasibility substrate for the POC.
+//!
+//! The bandwidth auction (paper §3.3) needs an *acceptability oracle*: given
+//! a set of offered links `OL`, decide whether a candidate subset can
+//! (i) carry the POC's upper-bound traffic matrix and (ii) meet additional
+//! constraints such as surviving path failures. The paper evaluates three
+//! constraint levels (Figure 2):
+//!
+//! * **Constraint #1** — the links handle the offered load;
+//! * **Constraint #2** — they still do assuming any single path between a
+//!   pair of routers has failed;
+//! * **Constraint #3** — they do assuming a path between *each* pair of
+//!   routers has failed.
+//!
+//! This crate implements the machinery: a bitset [`LinkSet`] over offered
+//! links, a capacity-aware [`graph::CapacityGraph`], a greedy
+//! multi-commodity router with flow splitting ([`route`]), Dinic max-flow
+//! ([`maxflow`]) as an exact single-commodity oracle, failure-scenario
+//! checking ([`failure`]), and the top-level [`oracle::FeasibilityOracle`].
+
+pub mod failure;
+pub mod graph;
+pub mod kpaths;
+pub mod linkset;
+pub mod maxflow;
+pub mod oracle;
+pub mod route;
+
+pub use graph::CapacityGraph;
+pub use kpaths::{disjoint_degree, k_shortest_paths, RankedPath};
+pub use linkset::LinkSet;
+pub use oracle::{Constraint, FeasibilityOracle, Rejection};
+pub use route::{route_tm, RouteError, Routing};

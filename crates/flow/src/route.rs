@@ -1,0 +1,355 @@
+//! Greedy multi-commodity routing with flow splitting.
+//!
+//! The feasibility question "can this link set carry the traffic matrix?"
+//! is a multi-commodity flow problem. Exact MCF is an LP; at auction scale
+//! (thousands of candidate-set evaluations) we instead use the standard
+//! greedy heuristic: route demands largest-first along the shortest
+//! residual-feasible path, splitting a demand across several paths when no
+//! single path has enough headroom. The heuristic is *conservative* — a
+//! `Routing` it returns is always genuinely feasible (capacities respected);
+//! it may only fail on instances an LP could still pack.
+
+use crate::graph::{CapacityGraph, Dir};
+use crate::linkset::LinkSet;
+use poc_topology::{LinkId, PocTopology, RouterId};
+use poc_traffic::TrafficMatrix;
+
+/// One routed demand: possibly split over several paths.
+#[derive(Clone, Debug)]
+pub struct FlowRoute {
+    pub src: RouterId,
+    pub dst: RouterId,
+    pub demand_gbps: f64,
+    /// (links in order, Gbit/s carried on that path).
+    pub paths: Vec<(Vec<LinkId>, f64)>,
+}
+
+/// A complete feasible routing of a traffic matrix over an active link set.
+#[derive(Clone, Debug, Default)]
+pub struct Routing {
+    pub flows: Vec<FlowRoute>,
+    /// Directed load per link (indexed by link id): a→b and b→a.
+    pub load_fwd: Vec<f64>,
+    pub load_rev: Vec<f64>,
+}
+
+impl Routing {
+    /// The *primary* path (largest share) of the flow `src → dst`, if the
+    /// flow exists and was routed.
+    pub fn primary_path(&self, src: RouterId, dst: RouterId) -> Option<&[LinkId]> {
+        self.flows
+            .iter()
+            .find(|f| f.src == src && f.dst == dst)?
+            .paths
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN path share"))
+            .map(|(p, _)| p.as_slice())
+    }
+
+    /// All links carrying non-zero load.
+    pub fn used_links(&self, universe: usize) -> LinkSet {
+        let mut s = LinkSet::empty(universe);
+        for (i, (&f, &r)) in self.load_fwd.iter().zip(&self.load_rev).enumerate() {
+            if f > 0.0 || r > 0.0 {
+                s.insert(LinkId::from_index(i));
+            }
+        }
+        s
+    }
+
+    /// Maximum directional utilization over links in `active`, given their
+    /// capacities in `topo` (1.0 = some link full).
+    pub fn max_utilization(&self, topo: &PocTopology) -> f64 {
+        let mut max = 0.0f64;
+        for (i, (&f, &r)) in self.load_fwd.iter().zip(&self.load_rev).enumerate() {
+            let cap = topo.links[i].capacity_gbps;
+            if cap > 0.0 {
+                max = max.max(f / cap).max(r / cap);
+            }
+        }
+        max
+    }
+
+    /// Fraction of flows that needed more than one path.
+    pub fn split_fraction(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        self.flows.iter().filter(|f| f.paths.len() > 1).count() as f64 / self.flows.len() as f64
+    }
+}
+
+/// Why a matrix could not be routed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouteError {
+    /// No residual-feasible path (even split) for this demand.
+    Unroutable { src: RouterId, dst: RouterId, remaining_gbps: f64 },
+    /// The active set does not even connect the endpoints.
+    Disconnected { src: RouterId, dst: RouterId },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unroutable { src, dst, remaining_gbps } => write!(
+                f,
+                "no residual capacity for {remaining_gbps:.2} Gbps of {src}->{dst}"
+            ),
+            RouteError::Disconnected { src, dst } => {
+                write!(f, "{src} and {dst} are disconnected in the active set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Maximum number of splits for one demand before giving up.
+pub const MAX_SPLITS: usize = 32;
+
+/// Distance multiplier applied to external-ISP virtual links on the
+/// retry pass: plain distance-shortest routing can be lured onto the
+/// (few, shared) virtual links and saturate them, failing instances that
+/// are feasible when the virtual fallback is used sparingly. The greedy
+/// router therefore tries plain distances first and, on failure, retries
+/// with virtual links de-preferred.
+pub const VIRTUAL_RETRY_PENALTY: f64 = 8.0;
+
+/// Route `tm` over `active ⊆ links(topo)`. Demands are processed
+/// largest-first; each is placed on the distance-shortest path whose
+/// residual fits it, or split across up to [`MAX_SPLITS`] such paths.
+/// On failure, one retry de-prefers virtual links (see
+/// [`VIRTUAL_RETRY_PENALTY`]); the first error is reported if both fail.
+pub fn route_tm(
+    topo: &PocTopology,
+    active: &LinkSet,
+    tm: &TrafficMatrix,
+) -> Result<Routing, RouteError> {
+    let mut g = CapacityGraph::new(topo, active);
+    match route_tm_on(&mut g, tm, |_, _| true, 1.0) {
+        Ok(r) => Ok(r),
+        Err(first) => {
+            let mut g = CapacityGraph::new(topo, active);
+            route_tm_on(&mut g, tm, |_, _| true, VIRTUAL_RETRY_PENALTY).map_err(|_| first)
+        }
+    }
+}
+
+/// As [`route_tm`], but with a per-flow link veto: `allowed(flow_index,
+/// link)` returning false excludes a link for that flow (used by the
+/// all-pairs-backup constraint to keep each flow off its primary path).
+/// `flow_index` is the index into the demand ordering (largest first).
+pub fn route_tm_with_veto(
+    topo: &PocTopology,
+    active: &LinkSet,
+    tm: &TrafficMatrix,
+    allowed: impl Fn(usize, LinkId) -> bool,
+) -> Result<Routing, RouteError> {
+    let mut g = CapacityGraph::new(topo, active);
+    match route_tm_on(&mut g, tm, &allowed, 1.0) {
+        Ok(r) => Ok(r),
+        Err(first) => {
+            let mut g = CapacityGraph::new(topo, active);
+            route_tm_on(&mut g, tm, &allowed, VIRTUAL_RETRY_PENALTY).map_err(|_| first)
+        }
+    }
+}
+
+fn route_tm_on(
+    g: &mut CapacityGraph<'_>,
+    tm: &TrafficMatrix,
+    allowed: impl Fn(usize, LinkId) -> bool,
+    virtual_penalty: f64,
+) -> Result<Routing, RouteError> {
+    let topo = g.topo();
+    // Largest-first ordering: big demands are hardest to place.
+    let mut demands: Vec<(RouterId, RouterId, f64)> = tm.iter_demands().collect();
+    demands.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN demand"));
+
+    let mut routing = Routing {
+        flows: Vec::with_capacity(demands.len()),
+        load_fwd: vec![0.0; topo.n_links()],
+        load_rev: vec![0.0; topo.n_links()],
+    };
+
+    let metric = |l: LinkId| {
+        let link = topo.link(l);
+        link.distance_km * if link.owner.is_virtual() { virtual_penalty } else { 1.0 }
+    };
+    for (fi, (src, dst, demand)) in demands.into_iter().enumerate() {
+        let mut remaining = demand;
+        let mut paths: Vec<(Vec<LinkId>, f64)> = Vec::new();
+        let mut splits = 0;
+        while remaining > 1e-9 {
+            // Shortest path with residual >= remaining; if none, accept the
+            // best path with any residual and split.
+            let want = remaining;
+            let path = g.shortest_path(
+                src,
+                dst,
+                |l, _| metric(l),
+                |l, dir| allowed(fi, l) && g.residual(l, dir) >= want - 1e-9,
+            );
+            let (path, amount) = match path {
+                Some(p) => (p, remaining),
+                None => {
+                    // Split: find the max-residual (widest) usable path.
+                    let p = g.shortest_path(
+                        src,
+                        dst,
+                        |l, _| metric(l),
+                        |l, dir| allowed(fi, l) && g.residual(l, dir) > 1e-9,
+                    );
+                    let Some(p) = p else {
+                        return Err(if paths.is_empty() && !has_any_path(g, src, dst) {
+                            RouteError::Disconnected { src, dst }
+                        } else {
+                            RouteError::Unroutable { src, dst, remaining_gbps: remaining }
+                        });
+                    };
+                    let dirs = g.path_dirs(src, &p);
+                    let bottleneck = p
+                        .iter()
+                        .zip(&dirs)
+                        .map(|(&l, &d)| g.residual(l, d))
+                        .fold(f64::INFINITY, f64::min);
+                    (p, remaining.min(bottleneck))
+                }
+            };
+            if amount <= 1e-9 {
+                return Err(RouteError::Unroutable { src, dst, remaining_gbps: remaining });
+            }
+            let dirs = g.path_dirs(src, &path);
+            for (&l, &d) in path.iter().zip(&dirs) {
+                g.consume(l, d, amount);
+                match d {
+                    Dir::Fwd => routing.load_fwd[l.index()] += amount,
+                    Dir::Rev => routing.load_rev[l.index()] += amount,
+                }
+            }
+            remaining -= amount;
+            paths.push((path, amount));
+            splits += 1;
+            if splits > MAX_SPLITS && remaining > 1e-9 {
+                return Err(RouteError::Unroutable { src, dst, remaining_gbps: remaining });
+            }
+        }
+        routing.flows.push(FlowRoute { src, dst, demand_gbps: demand, paths });
+    }
+    Ok(routing)
+}
+
+fn has_any_path(g: &CapacityGraph<'_>, src: RouterId, dst: RouterId) -> bool {
+    g.shortest_path(src, dst, |_, _| 1.0, |_, _| true).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poc_topology::builder::two_bp_square;
+
+    fn r(i: u32) -> RouterId {
+        RouterId(i)
+    }
+
+    #[test]
+    fn routes_simple_demand_on_shortest_path() {
+        let t = two_bp_square();
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 10.0);
+        let routing = route_tm(&t, &LinkSet::full(t.n_links()), &tm).unwrap();
+        assert_eq!(routing.flows.len(), 1);
+        let p = routing.primary_path(r(0), r(1)).unwrap();
+        assert_eq!(p.len(), 1, "direct r0-r1 link is shortest");
+        assert!(t.link(p[0]).connects(r(0), r(1)));
+    }
+
+    #[test]
+    fn splits_when_no_single_path_fits() {
+        // r0-r1 direct capacity 100; demand 150 forces a split onto the
+        // r0-r2-r1 detour.
+        let t = two_bp_square();
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 150.0);
+        let routing = route_tm(&t, &LinkSet::full(t.n_links()), &tm).unwrap();
+        let flow = &routing.flows[0];
+        assert!(flow.paths.len() >= 2, "expected a split, got {:?}", flow.paths);
+        let total: f64 = flow.paths.iter().map(|(_, g)| g).sum();
+        assert!((total - 150.0).abs() < 1e-6);
+        assert!(routing.split_fraction() > 0.0);
+    }
+
+    #[test]
+    fn respects_capacity_no_overcommit() {
+        let t = two_bp_square();
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 80.0);
+        tm.set(r(0), r(2), 80.0);
+        tm.set(r(1), r(2), 80.0);
+        let routing = route_tm(&t, &LinkSet::full(t.n_links()), &tm).unwrap();
+        for (i, l) in t.links.iter().enumerate() {
+            assert!(routing.load_fwd[i] <= l.capacity_gbps + 1e-6);
+            assert!(routing.load_rev[i] <= l.capacity_gbps + 1e-6);
+        }
+    }
+
+    #[test]
+    fn fails_on_infeasible_load() {
+        // Total capacity toward r3 is 40+40+40 = 120 (BP1 links); ask 200.
+        let t = two_bp_square();
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(3), 200.0);
+        let err = route_tm(&t, &LinkSet::full(t.n_links()), &tm).unwrap_err();
+        assert!(matches!(err, RouteError::Unroutable { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fails_disconnected() {
+        let t = two_bp_square();
+        // Only BP0 links: r3 unreachable.
+        let bp0 = LinkSet::from_links(t.n_links(), t.links_of_bp(poc_topology::BpId(0)));
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(3), 1.0);
+        let err = route_tm(&t, &bp0, &tm).unwrap_err();
+        assert_eq!(err, RouteError::Disconnected { src: r(0), dst: r(3) });
+    }
+
+    #[test]
+    fn veto_forces_detour() {
+        let t = two_bp_square();
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 10.0);
+        let all = LinkSet::full(t.n_links());
+        let direct = route_tm(&t, &all, &tm).unwrap().primary_path(r(0), r(1)).unwrap()[0];
+        let routing =
+            route_tm_with_veto(&t, &all, &tm, move |_, l| l != direct).unwrap();
+        let p = routing.primary_path(r(0), r(1)).unwrap();
+        assert!(!p.contains(&direct));
+        assert!(p.len() >= 2);
+    }
+
+    #[test]
+    fn full_duplex_directions_independent() {
+        // Symmetric demands should both fit on the same direct link.
+        let t = two_bp_square();
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 90.0);
+        tm.set(r(1), r(0), 90.0);
+        let routing = route_tm(&t, &LinkSet::full(t.n_links()), &tm).unwrap();
+        assert_eq!(routing.flows.len(), 2);
+        for f in &routing.flows {
+            assert_eq!(f.paths.len(), 1, "no split needed full-duplex");
+        }
+    }
+
+    #[test]
+    fn used_links_and_utilization() {
+        let t = two_bp_square();
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 50.0);
+        let routing = route_tm(&t, &LinkSet::full(t.n_links()), &tm).unwrap();
+        let used = routing.used_links(t.n_links());
+        assert_eq!(used.len(), 1);
+        assert!((routing.max_utilization(&t) - 0.5).abs() < 1e-9);
+    }
+}

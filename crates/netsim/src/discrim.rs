@@ -1,0 +1,109 @@
+//! Observable discrimination: the data-plane half of experiment E-N1.
+//!
+//! The ToS engine (`poc-core::tos`) rules on *declared* policies; a
+//! cheating LMP would not declare. This module shows what cheating looks
+//! like on the wire — a tagged traffic class throttled at ingress — and
+//! provides a detector comparing normalized goodput between a suspect
+//! class and a control class, the way an auditor (or the POC, §3.4's
+//! "if widespread cheating is anticipated" discussion) would measure it.
+
+use crate::sim::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// A suspected throttle to probe for.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThrottleSpec {
+    /// Traffic class suspected of being throttled.
+    pub suspect_tag: String,
+    /// Reference class expected to receive normal service.
+    pub control_tag: String,
+    /// Flag when suspect availability falls below `threshold` × control.
+    pub threshold: f64,
+}
+
+impl Default for ThrottleSpec {
+    fn default() -> Self {
+        Self { suspect_tag: "suspect".into(), control_tag: "control".into(), threshold: 0.8 }
+    }
+}
+
+/// Detector verdict.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleFinding {
+    pub suspect_availability: f64,
+    pub control_availability: f64,
+    /// suspect / control.
+    pub ratio: f64,
+    pub throttled: bool,
+}
+
+/// Compare goodput of the suspect class against the control class.
+/// Returns `None` when either class has no flows in the report.
+pub fn detect_throttling(report: &SimReport, spec: &ThrottleSpec) -> Option<ThrottleFinding> {
+    assert!((0.0..=1.0).contains(&spec.threshold), "threshold must be in [0,1]");
+    let suspect = report.availability_by_tag(&spec.suspect_tag)?;
+    let control = report.availability_by_tag(&spec.control_tag)?;
+    let ratio = if control > 0.0 { suspect / control } else { 1.0 };
+    Some(ThrottleFinding {
+        suspect_availability: suspect,
+        control_availability: control,
+        ratio,
+        throttled: ratio < spec.threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{FlowSpec, IngressThrottle, SimConfig, Simulator};
+    use poc_flow::LinkSet;
+    use poc_topology::builder::two_bp_square;
+    use poc_topology::RouterId;
+
+    fn r(i: u32) -> RouterId {
+        RouterId(i)
+    }
+
+    fn run(throttles: Vec<IngressThrottle>) -> SimReport {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let mut sim = Simulator::new(&t, &all, SimConfig {
+            horizon: 1.0,
+            outages: vec![],
+            throttles,
+        });
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 30.0, 1.0, "suspect"));
+        sim.add_flow(FlowSpec::persistent(r(2), r(1), 30.0, 1.0, "control"));
+        sim.run()
+    }
+
+    #[test]
+    fn clean_lmp_not_flagged() {
+        let rep = run(vec![]);
+        let finding = detect_throttling(&rep, &ThrottleSpec::default()).unwrap();
+        assert!(!finding.throttled, "{finding:?}");
+        assert!((finding.ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheating_lmp_flagged() {
+        let rep = run(vec![IngressThrottle { tag: "suspect".into(), factor: 0.5 }]);
+        let finding = detect_throttling(&rep, &ThrottleSpec::default()).unwrap();
+        assert!(finding.throttled, "{finding:?}");
+        assert!((finding.ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mild_degradation_below_threshold_tolerated() {
+        let rep = run(vec![IngressThrottle { tag: "suspect".into(), factor: 0.9 }]);
+        let finding = detect_throttling(&rep, &ThrottleSpec::default()).unwrap();
+        assert!(!finding.throttled, "0.9 >= 0.8 threshold: {finding:?}");
+    }
+
+    #[test]
+    fn missing_class_returns_none() {
+        let rep = run(vec![]);
+        let spec = ThrottleSpec { suspect_tag: "ghost".into(), ..Default::default() };
+        assert!(detect_throttling(&rep, &spec).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! Flow-level discrete-event simulation of the POC fabric.
+//!
+//! The paper's POC is "a transparent fabric" between attachment points
+//! (§1.2); this crate simulates it at flow granularity: persistent and
+//! on/off flows between routers, max-min fair bandwidth sharing on the
+//! leased links, link failures with rerouting, per-member usage accounting
+//! that feeds the settlement ledger, and observable-throughput evidence
+//! for the neutrality-enforcement experiments.
+//!
+//! * [`fairness`] — progressive-filling max-min fair rate allocation;
+//! * [`sim`] — the event loop: flow arrivals/departures, link down/up,
+//!   rerouting, usage metering;
+//! * [`drill`] — failure drills measuring delivered-traffic availability
+//!   (experiment E-R1);
+//! * [`discrim`] — throttling injection and its observable goodput
+//!   signature (experiment E-N1's data-plane half).
+
+pub mod discrim;
+pub mod drill;
+pub mod fairness;
+pub mod sim;
+pub mod workload;
+
+pub use discrim::{detect_throttling, ThrottleSpec};
+pub use drill::{run_drill, DrillReport, DrillSpec};
+pub use fairness::max_min_rates;
+pub use sim::{FlowSpec, SimConfig, SimReport, Simulator};
+pub use workload::{diurnal_factor, generate_onoff, WorkloadConfig};

@@ -1,0 +1,153 @@
+//! Hand-construction of topologies for tests, examples, and small demos.
+//!
+//! The builder mints ids in insertion order, keeps the `a < b` link-endpoint
+//! invariant, and lets callers skip the synthetic generator entirely.
+
+use crate::geo::Point;
+use crate::ids::{BpId, LinkId, PopId, RouterId};
+use crate::model::{BpNetwork, City, LinkOwner, LogicalLink, PocRouter, PocTopology};
+
+/// Incremental topology builder. See crate docs for the data model.
+#[derive(Default)]
+pub struct TopologyBuilder {
+    cities: Vec<City>,
+    bps: Vec<BpNetwork>,
+    routers: Vec<PocRouter>,
+    links: Vec<LogicalLink>,
+}
+
+impl TopologyBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a city at `pos` with gravity weight `weight`; returns its id.
+    pub fn city(&mut self, name: &str, pos: Point, weight: f64) -> PopId {
+        let id = PopId::from_index(self.cities.len());
+        self.cities.push(City { id, name: name.to_string(), pos, weight });
+        id
+    }
+
+    /// Add a bandwidth provider present in `cities` with internal `edges`.
+    pub fn bp(&mut self, name: &str, cities: Vec<PopId>, edges: Vec<(PopId, PopId)>) -> BpId {
+        let id = BpId::from_index(self.bps.len());
+        self.bps.push(BpNetwork { id, name: name.to_string(), cities, edges });
+        id
+    }
+
+    /// Place a POC router at `city`; `colocated` lists the BPs present.
+    pub fn router(&mut self, city: PopId, colocated: Vec<BpId>) -> RouterId {
+        let id = RouterId::from_index(self.routers.len());
+        self.routers.push(PocRouter { id, city, colocated_bps: colocated });
+        id
+    }
+
+    /// Offer a logical link. Endpoint order is normalized.
+    #[allow(clippy::too_many_arguments)]
+    pub fn link(
+        &mut self,
+        owner: LinkOwner,
+        x: RouterId,
+        y: RouterId,
+        capacity_gbps: f64,
+        distance_km: f64,
+        hop_count: u32,
+        true_monthly_cost: f64,
+    ) -> LinkId {
+        assert!(x != y, "logical links must connect distinct routers");
+        let (a, b) = if x < y { (x, y) } else { (y, x) };
+        let id = LinkId::from_index(self.links.len());
+        self.links.push(LogicalLink {
+            id,
+            owner,
+            a,
+            b,
+            capacity_gbps,
+            distance_km,
+            hop_count,
+            true_monthly_cost,
+        });
+        id
+    }
+
+    /// Finish, validating the instance.
+    pub fn build(self) -> PocTopology {
+        let topo = PocTopology {
+            cities: self.cities,
+            bps: self.bps,
+            routers: self.routers,
+            links: self.links,
+        };
+        topo.validate().expect("builder produced an invalid topology");
+        topo
+    }
+}
+
+/// A canonical 4-router / 2-BP fixture used across the workspace's tests:
+///
+/// ```text
+///   r0 --- r1        BP0 offers r0-r1, r1-r2, r0-r2 (cheap, 100G)
+///    \    / |        BP1 offers r0-r3, r2-r3, r1-r3 (dearer, 40G)
+///     \  /  |
+///      r2 - r3
+/// ```
+pub fn two_bp_square() -> PocTopology {
+    let mut b = TopologyBuilder::new();
+    let c0 = b.city("west", Point::new(0.0, 0.0), 2.0);
+    let c1 = b.city("north", Point::new(1000.0, 800.0), 1.0);
+    let c2 = b.city("mid", Point::new(900.0, 0.0), 3.0);
+    let c3 = b.city("east", Point::new(1800.0, 300.0), 1.5);
+    let bp0 = b.bp("BP-A", vec![c0, c1, c2], vec![(c0, c1), (c1, c2), (c0, c2)]);
+    let bp1 = b.bp("BP-B", vec![c0, c1, c2, c3], vec![(c0, c3), (c2, c3), (c1, c3)]);
+    let r0 = b.router(c0, vec![bp0, bp1]);
+    let r1 = b.router(c1, vec![bp0, bp1]);
+    let r2 = b.router(c2, vec![bp0, bp1]);
+    let r3 = b.router(c3, vec![bp1]);
+    b.link(LinkOwner::Bp(bp0), r0, r1, 100.0, 1300.0, 1, 4000.0);
+    b.link(LinkOwner::Bp(bp0), r1, r2, 100.0, 810.0, 1, 2600.0);
+    b.link(LinkOwner::Bp(bp0), r0, r2, 100.0, 910.0, 1, 2900.0);
+    b.link(LinkOwner::Bp(bp1), r0, r3, 40.0, 1830.0, 2, 5200.0);
+    b.link(LinkOwner::Bp(bp1), r2, r3, 40.0, 950.0, 1, 3100.0);
+    b.link(LinkOwner::Bp(bp1), r1, r3, 40.0, 950.0, 1, 3050.0);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_fixture_validates() {
+        let t = two_bp_square();
+        t.validate().unwrap();
+        assert_eq!(t.n_routers(), 4);
+        assert_eq!(t.n_links(), 6);
+        assert_eq!(t.links_of_bp(BpId(0)).len(), 3);
+        assert_eq!(t.links_of_bp(BpId(1)).len(), 3);
+    }
+
+    #[test]
+    fn builder_normalizes_endpoint_order() {
+        let mut b = TopologyBuilder::new();
+        let c0 = b.city("x", Point::new(0.0, 0.0), 1.0);
+        let c1 = b.city("y", Point::new(1.0, 0.0), 1.0);
+        let bp = b.bp("bp", vec![c0, c1], vec![(c0, c1)]);
+        let r0 = b.router(c0, vec![bp]);
+        let r1 = b.router(c1, vec![bp]);
+        // Pass endpoints in reverse order.
+        b.link(LinkOwner::Bp(bp), r1, r0, 10.0, 1.0, 1, 1.0);
+        let t = b.build();
+        assert_eq!(t.links[0].a, r0);
+        assert_eq!(t.links[0].b, r1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct routers")]
+    fn self_links_rejected() {
+        let mut b = TopologyBuilder::new();
+        let c0 = b.city("x", Point::new(0.0, 0.0), 1.0);
+        let bp = b.bp("bp", vec![c0], vec![]);
+        let r0 = b.router(c0, vec![bp]);
+        b.link(LinkOwner::Bp(bp), r0, r0, 10.0, 1.0, 1, 1.0);
+    }
+}

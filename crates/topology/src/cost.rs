@@ -1,0 +1,84 @@
+//! Lease-cost model for logical links.
+//!
+//! The paper does not publish BP cost curves; what matters to the auction is
+//! that costs (i) grow with distance and capacity, (ii) differ across BPs
+//! (operational efficiency), and (iii) have enough idiosyncratic noise that
+//! the cheapest acceptable set is not trivially the same BP everywhere.
+//! This model captures exactly that: a fixed port cost plus a
+//! distance×capacity term, scaled per BP and per link.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the monthly-cost model, dollars.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed per-link monthly cost (ports, cross-connects), $.
+    pub fixed: f64,
+    /// $ per (Gbit/s × km) per month. TeleGeography-style long-haul lease
+    /// pricing is on the order of cents per Gbps-km-month.
+    pub per_gbps_km: f64,
+    /// Capacity is priced with economies of scale: effective capacity is
+    /// `capacity^capacity_exponent` (exponent in (0, 1]).
+    pub capacity_exponent: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { fixed: 350.0, per_gbps_km: 0.04, capacity_exponent: 0.75 }
+    }
+}
+
+impl CostModel {
+    /// Monthly cost of a link with the given geometry for a BP with
+    /// `efficiency` (1.0 = nominal, <1 cheaper, >1 dearer) and a
+    /// link-idiosyncratic `noise` factor around 1.0.
+    pub fn monthly_cost(
+        &self,
+        capacity_gbps: f64,
+        distance_km: f64,
+        efficiency: f64,
+        noise: f64,
+    ) -> f64 {
+        assert!(capacity_gbps > 0.0 && distance_km >= 0.0, "invalid link geometry");
+        assert!(efficiency > 0.0 && noise > 0.0, "invalid cost multipliers");
+        let eff_capacity = capacity_gbps.powf(self.capacity_exponent);
+        (self.fixed + self.per_gbps_km * eff_capacity * distance_km) * efficiency * noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_increases_with_distance_and_capacity() {
+        let m = CostModel::default();
+        let base = m.monthly_cost(10.0, 1000.0, 1.0, 1.0);
+        assert!(m.monthly_cost(10.0, 2000.0, 1.0, 1.0) > base);
+        assert!(m.monthly_cost(100.0, 1000.0, 1.0, 1.0) > base);
+    }
+
+    #[test]
+    fn capacity_has_economies_of_scale() {
+        let m = CostModel::default();
+        // 10x the capacity should cost less than 10x (net of the fixed part).
+        let c10 = m.monthly_cost(10.0, 1000.0, 1.0, 1.0) - m.fixed;
+        let c100 = m.monthly_cost(100.0, 1000.0, 1.0, 1.0) - m.fixed;
+        assert!(c100 < 10.0 * c10);
+        assert!(c100 > c10);
+    }
+
+    #[test]
+    fn efficiency_scales_cost_linearly() {
+        let m = CostModel::default();
+        let nominal = m.monthly_cost(40.0, 500.0, 1.0, 1.0);
+        let cheap = m.monthly_cost(40.0, 500.0, 0.8, 1.0);
+        assert!((cheap / nominal - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid link geometry")]
+    fn rejects_zero_capacity() {
+        CostModel::default().monthly_cost(0.0, 10.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal planar geometry used by the synthetic topology generator.
+//!
+//! Cities are placed on a 2D plane whose unit is kilometres; link lease
+//! costs and propagation delays are derived from Euclidean distances. A
+//! plane (rather than a sphere) keeps the generator simple while preserving
+//! the only property the system cares about: a metric on PoP locations.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the synthetic plane, in kilometres.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in kilometres.
+    pub fn distance(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx.hypot(dy)
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+/// One-way propagation delay in milliseconds for a straight fibre run of
+/// `distance_km`, using the usual 2/3-of-c speed of light in glass.
+pub fn propagation_delay_ms(distance_km: f64) -> f64 {
+    const KM_PER_MS: f64 = 200.0; // ~2e8 m/s
+    distance_km / KM_PER_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_bisects() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -6.0);
+        let m = a.midpoint(b);
+        assert_eq!(m.x, 5.0);
+        assert_eq!(m.y, -3.0);
+        assert!((a.distance(m) - b.distance(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_scales_linearly() {
+        assert!((propagation_delay_ms(200.0) - 1.0).abs() < 1e-12);
+        assert!((propagation_delay_ms(4000.0) - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Strongly-typed identifiers for topology entities.
+//!
+//! Every entity in the topology (cities/PoPs, POC routers, bandwidth
+//! providers, logical links) is referred to by a small copyable newtype over
+//! `u32`. Using distinct types prevents the classic off-by-one-index-space
+//! bug where, say, a router index is used to look up a link.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index, usable directly into the owning `Vec`.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a raw `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("id index overflows u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A city / point-of-presence location in the physical plane.
+    PopId,
+    "pop"
+);
+id_type!(
+    /// A POC router. Routers live at a subset of cities where enough BPs
+    /// are colocated (paper: four or more).
+    RouterId,
+    "r"
+);
+id_type!(
+    /// A bandwidth provider — an entity leasing logical links to the POC.
+    BpId,
+    "bp"
+);
+id_type!(
+    /// A logical link between two POC routers, offered for lease.
+    LinkId,
+    "l"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(PopId(3).to_string(), "pop3");
+        assert_eq!(RouterId(0).to_string(), "r0");
+        assert_eq!(BpId(19).to_string(), "bp19");
+        assert_eq!(LinkId(4673).to_string(), "l4673");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 57, 4674] {
+            assert_eq!(LinkId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(RouterId(1) < RouterId(2));
+        assert_eq!(BpId(7), BpId::from(7u32));
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic traffic-matrix substrate.
+//!
+//! The paper's auction (§3.3) assumes "some upper-bound estimate of its
+//! traffic matrix (how much traffic flows between each pair of attachment
+//! points)" and evaluates on "a synthetic traffic matrix between all POC
+//! routers". This crate generates such matrices — gravity-model (the
+//! standard synthetic WAN workload), uniform, and hotspot variants — and
+//! provides the [`TrafficMatrix`] container consumed by the feasibility
+//! oracle and by the flow-level simulator.
+
+pub mod matrix;
+pub mod models;
+
+pub use matrix::TrafficMatrix;
+pub use models::{TrafficModel, TrafficScenario};

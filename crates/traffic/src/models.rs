@@ -1,0 +1,240 @@
+//! Traffic-matrix generators.
+//!
+//! Three synthetic workload families, all seeded and deterministic:
+//!
+//! * **Gravity** — the classic WAN model: demand(a→b) ∝ w(a)·w(b), where
+//!   `w` is the city weight of the router's location. This is the default
+//!   used by the Figure-2 reproduction.
+//! * **Uniform** — equal demand between every ordered pair; stresses the
+//!   auction's feasibility oracle uniformly.
+//! * **Hotspot** — gravity plus `k` content-heavy sources (modelling large
+//!   CSPs attached directly to the POC, §1.2) whose egress is multiplied.
+
+use crate::matrix::TrafficMatrix;
+use poc_topology::{PocTopology, RouterId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which demand structure to generate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Gravity model with multiplicative lognormal-ish jitter (sigma as
+    /// given; 0 disables jitter).
+    Gravity { jitter_sigma: f64 },
+    /// Same demand between every ordered pair.
+    Uniform,
+    /// Gravity plus `hotspots` sources whose egress demand is scaled by
+    /// `multiplier` (models directly-attached content providers).
+    Hotspot { hotspots: usize, multiplier: f64, jitter_sigma: f64 },
+}
+
+/// A complete workload description: model, seed, and target total load.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficScenario {
+    pub model: TrafficModel,
+    pub seed: u64,
+    /// Total offered load across all pairs, Gbit/s.
+    pub total_gbps: f64,
+    /// Optional per-pair demand ceiling, Gbit/s, applied after scaling
+    /// (the realized total may fall below `total_gbps` when it binds).
+    /// Gravity matrices produce elephant pairs; a cap around the largest
+    /// link capacity keeps single demands routable without extreme
+    /// splitting.
+    #[serde(default)]
+    pub cap_gbps: Option<f64>,
+}
+
+impl TrafficScenario {
+    /// The workload used by the Figure-2 reproduction: gravity with mild
+    /// jitter, sized so the paper-scale topology runs at moderate load,
+    /// with per-pair demands capped at 1.5× the largest (100G) link.
+    pub fn paper_default() -> Self {
+        Self {
+            model: TrafficModel::Gravity { jitter_sigma: 0.3 },
+            seed: 42,
+            total_gbps: 24000.0,
+            cap_gbps: Some(150.0),
+        }
+    }
+
+    /// Generate the matrix for `topo`.
+    pub fn generate(&self, topo: &PocTopology) -> TrafficMatrix {
+        let n = topo.n_routers();
+        let mut tm = TrafficMatrix::zero(n);
+        if n < 2 {
+            return tm;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let weights: Vec<f64> =
+            topo.routers.iter().map(|r| topo.city(r.city).weight).collect();
+        match &self.model {
+            TrafficModel::Uniform => {
+                for a in 0..n {
+                    for b in 0..n {
+                        if a != b {
+                            tm.set(RouterId::from_index(a), RouterId::from_index(b), 1.0);
+                        }
+                    }
+                }
+            }
+            TrafficModel::Gravity { jitter_sigma } => {
+                fill_gravity(&mut tm, &weights, *jitter_sigma, &mut rng);
+            }
+            TrafficModel::Hotspot { hotspots, multiplier, jitter_sigma } => {
+                assert!(*multiplier >= 1.0, "hotspot multiplier must be >= 1");
+                fill_gravity(&mut tm, &weights, *jitter_sigma, &mut rng);
+                // The k highest-weight routers are the content hotspots.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&x, &y| weights[y].partial_cmp(&weights[x]).unwrap());
+                for &h in order.iter().take(*hotspots) {
+                    let src = RouterId::from_index(h);
+                    for b in 0..n {
+                        if b != h {
+                            let dst = RouterId::from_index(b);
+                            let d = tm.demand(src, dst);
+                            tm.set(src, dst, d * multiplier);
+                        }
+                    }
+                }
+            }
+        }
+        tm.scale_to_total(self.total_gbps);
+        if let Some(cap) = self.cap_gbps {
+            assert!(cap > 0.0, "demand cap must be positive");
+            tm.cap_demands(cap);
+        }
+        tm
+    }
+}
+
+fn fill_gravity(tm: &mut TrafficMatrix, weights: &[f64], sigma: f64, rng: &mut ChaCha8Rng) {
+    let n = weights.len();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let jitter = if sigma > 0.0 {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (sigma * z).exp()
+            } else {
+                1.0
+            };
+            tm.set(
+                RouterId::from_index(a),
+                RouterId::from_index(b),
+                weights[a] * weights[b] * jitter,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poc_topology::{ZooConfig, ZooGenerator};
+
+    fn topo() -> PocTopology {
+        ZooGenerator::new(ZooConfig::small()).generate()
+    }
+
+    #[test]
+    fn gravity_total_matches_target() {
+        let t = topo();
+        let s = TrafficScenario { cap_gbps: None, ..TrafficScenario::paper_default() };
+        let tm = s.generate(&t);
+        assert!((tm.total() - s.total_gbps).abs() < 1e-6);
+        assert_eq!(tm.n_routers(), t.n_routers());
+    }
+
+    #[test]
+    fn demand_cap_binds() {
+        let t = topo();
+        let capped = TrafficScenario::paper_default();
+        let tm = capped.generate(&t);
+        assert!(tm.max_demand() <= capped.cap_gbps.unwrap() + 1e-9);
+        assert!(tm.total() <= capped.total_gbps + 1e-6);
+    }
+
+    #[test]
+    fn gravity_is_deterministic_per_seed() {
+        let t = topo();
+        let s = TrafficScenario::paper_default();
+        assert_eq!(s.generate(&t), s.generate(&t));
+        let s2 = TrafficScenario { seed: 43, ..s.clone() };
+        assert_ne!(s.generate(&t), s2.generate(&t));
+    }
+
+    #[test]
+    fn uniform_has_equal_demands() {
+        let t = topo();
+        let s = TrafficScenario { model: TrafficModel::Uniform, seed: 0, total_gbps: 100.0, cap_gbps: None };
+        let tm = s.generate(&t);
+        let n = tm.n_routers();
+        let expect = 100.0 / (n * (n - 1)) as f64;
+        for (_, _, d) in tm.iter_demands() {
+            assert!((d - expect).abs() < 1e-9);
+        }
+        assert_eq!(tm.n_flows(), n * (n - 1));
+    }
+
+    #[test]
+    fn hotspot_sources_dominate_egress() {
+        let t = topo();
+        let base = TrafficScenario {
+            model: TrafficModel::Gravity { jitter_sigma: 0.0 },
+            seed: 7,
+            total_gbps: 1000.0,
+            cap_gbps: None,
+        };
+        let hot = TrafficScenario {
+            model: TrafficModel::Hotspot { hotspots: 1, multiplier: 10.0, jitter_sigma: 0.0 },
+            seed: 7,
+            total_gbps: 1000.0,
+            cap_gbps: None,
+        };
+        let tm_base = base.generate(&t);
+        let tm_hot = hot.generate(&t);
+        // Identify the hotspot (highest-weight router).
+        let weights: Vec<f64> = t.routers.iter().map(|r| t.city(r.city).weight).collect();
+        let h = (0..weights.len())
+            .max_by(|&x, &y| weights[x].partial_cmp(&weights[y]).unwrap())
+            .unwrap();
+        let egress = |tm: &TrafficMatrix, src: usize| -> f64 {
+            (0..tm.n_routers())
+                .filter(|&b| b != src)
+                .map(|b| tm.demand(RouterId::from_index(src), RouterId::from_index(b)))
+                .sum()
+        };
+        // Hotspot egress share must strictly grow vs the gravity baseline.
+        let share_base = egress(&tm_base, h) / tm_base.total();
+        let share_hot = egress(&tm_hot, h) / tm_hot.total();
+        assert!(
+            share_hot > share_base * 2.0,
+            "hotspot share {share_hot:.3} vs base {share_base:.3}"
+        );
+    }
+
+    #[test]
+    fn gravity_favors_heavy_pairs() {
+        let t = topo();
+        let s = TrafficScenario {
+            model: TrafficModel::Gravity { jitter_sigma: 0.0 },
+            seed: 1,
+            total_gbps: 100.0,
+            cap_gbps: None,
+        };
+        let tm = s.generate(&t);
+        let weights: Vec<f64> = t.routers.iter().map(|r| t.city(r.city).weight).collect();
+        // demand(a,b)/demand(c,b) == w(a)/w(c) exactly when jitter is off.
+        let n = weights.len();
+        assert!(n >= 3);
+        let (a, b, c) = (0, 1, 2);
+        let ratio = tm.demand(RouterId::from_index(a), RouterId::from_index(b))
+            / tm.demand(RouterId::from_index(c), RouterId::from_index(b));
+        assert!((ratio - weights[a] / weights[c]).abs() < 1e-9);
+    }
+}

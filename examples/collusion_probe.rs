@@ -1,0 +1,113 @@
+//! Collusion probe (experiment E-C1): the §3.3 link-withholding analysis.
+//!
+//! "If the BPs can guess in advance what the set SL is, they can decide to
+//! not offer any links not in this set ... they could potentially all
+//! gain" — but the external-ISP virtual links bound the damage. This
+//! example runs the auction honestly, lets the full coalition withhold
+//! every non-selected link, re-runs, and reports who gained what.
+//!
+//! Run with: `cargo run --release --example collusion_probe`
+
+use public_option_core::auction::collusion::withholding_experiment;
+use public_option_core::auction::{GreedySelector, Market, Selector};
+use public_option_core::flow::{Constraint, FeasibilityOracle, LinkSet};
+use public_option_core::topology::zoo::{attach_external_isps, ExternalIspConfig};
+use public_option_core::topology::{CostModel, ZooConfig, ZooGenerator};
+use public_option_core::traffic::{TrafficModel, TrafficScenario};
+
+fn main() {
+    let mut topo = ZooGenerator::new(ZooConfig::small()).generate();
+    // Full virtual coverage: the external ISPs attach at every router, so
+    // the contract fallback bounds every pivot run even under maximal
+    // withholding (the paper's assumption that A(OL − L_α) stays nonempty).
+    let isp_cfg = ExternalIspConfig { n_isps: 2, attach_points: 64, ..Default::default() };
+    attach_external_isps(&mut topo, &isp_cfg, &CostModel::default());
+    let tm = TrafficScenario {
+        model: TrafficModel::Gravity { jitter_sigma: 0.2 },
+        seed: 3,
+        total_gbps: 2500.0,
+        cap_gbps: Some(150.0),
+    }
+    .generate(&topo);
+
+    let mut market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(24);
+    let report =
+        withholding_experiment(&mut market, &tm, Constraint::BaseLoad, &selector)
+            .expect("auction feasible with and without withholding");
+
+    println!(
+        "baseline:  |SL| = {}, C(SL) = ${:.0}",
+        report.baseline.selected.len(),
+        report.baseline.total_cost
+    );
+    println!(
+        "colluded:  |SL| = {}, C(SL) = ${:.0}   (selected set unchanged: {})",
+        report.colluded.selected.len(),
+        report.colluded.total_cost,
+        report.baseline.selected == report.colluded.selected
+    );
+
+    println!("\n{:<8}{:>16}{:>16}{:>12}", "BP", "payment before", "payment after", "gain");
+    let mut total_before = 0.0;
+    for d in &report.deltas {
+        if d.payment_before > 0.0 || d.payment_after > 0.0 {
+            println!(
+                "{:<8}{:>16.0}{:>16.0}{:>12.0}",
+                d.bp.to_string(),
+                d.payment_before,
+                d.payment_after,
+                d.gain()
+            );
+        }
+        total_before += d.payment_before;
+    }
+    let gain = report.total_gain();
+    println!(
+        "\ncoalition gain: ${:.0} ({:+.1}% of baseline payments)",
+        gain,
+        100.0 * gain / total_before.max(1.0)
+    );
+
+    // The paper's bound (§3.3): with every BP withholding, pivot
+    // alternatives are the contract-priced virtual links, so no payment can
+    // exceed what an all-virtual solution would cost the POC.
+    let oracle = FeasibilityOracle::new(market.topo(), &tm, Constraint::BaseLoad);
+    let virtual_only = LinkSet::from_links(
+        market.topo().n_links(),
+        market.topo().virtual_links(),
+    );
+    match GreedySelector::with_prune_budget(24).select(&market, &oracle, &virtual_only) {
+        Some(fallback) => {
+            // Per-BP Clarke bound: P_α = C_α(SL_α) + C(SL_−α) − C(SL) and
+            // C(SL_−α) ≤ C(virtual-only), so every payment is capped at
+            // bid + (virtual fallback − C(SL)).
+            let mut worst_slack: f64 = f64::INFINITY;
+            let mut all_hold = true;
+            for s in &report.colluded.settlements {
+                if s.payment <= 0.0 {
+                    continue;
+                }
+                let cap = s.bid_cost + (fallback.cost - report.colluded.total_cost);
+                worst_slack = worst_slack.min(cap - s.payment);
+                // Small tolerance: the heuristic pivot can wobble slightly.
+                if s.payment > cap * 1.02 {
+                    all_hold = false;
+                }
+            }
+            println!(
+                "per-BP Clarke bound P_α ≤ C_α + (C_virt − C(SL)) with C_virt = ${:.0}: {} \
+                 (tightest slack ${:.0})",
+                fallback.cost,
+                if all_hold { "holds for every BP" } else { "VIOLATED" },
+                worst_slack
+            );
+        }
+        None => println!("(virtual-only fallback infeasible on this instance)"),
+    }
+    println!(
+        "the gain is finite because withdrawn alternatives are replaced in the \
+         pivot runs by contract-priced virtual links — the paper's bound on \
+         collusion damage (§3.3)."
+    );
+}

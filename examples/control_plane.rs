@@ -1,0 +1,95 @@
+//! Control-plane demo: the POC controller serving real TCP clients.
+//!
+//! Spins up the async controller on an ephemeral port, then drives it from
+//! three concurrent clients: two LMPs attaching and reporting usage and an
+//! operator running the auction round and billing cycle.
+//!
+//! Run with: `cargo run --release --example control_plane`
+
+use public_option_core::core::poc::{Poc, PocConfig};
+use public_option_core::ctrlplane::{AttachRole, PocClient, PocServer};
+use public_option_core::topology::zoo::{attach_external_isps, ExternalIspConfig};
+use public_option_core::topology::{CostModel, RouterId, ZooConfig, ZooGenerator};
+use public_option_core::traffic::{TrafficModel, TrafficScenario};
+
+#[tokio::main(flavor = "multi_thread", worker_threads = 2)]
+async fn main() {
+    // Controller state: a small synthetic POC.
+    let mut topo = ZooGenerator::new(ZooConfig::small()).generate();
+    attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
+    let tm = TrafficScenario {
+        model: TrafficModel::Gravity { jitter_sigma: 0.2 },
+        seed: 5,
+        total_gbps: 1500.0,
+        cap_gbps: Some(150.0),
+    }
+    .generate(&topo);
+    let n_routers = topo.n_routers();
+    let poc = Poc::new(topo, PocConfig::default());
+
+    let (server, handle) = PocServer::bind("127.0.0.1:0", poc, tm)
+        .await
+        .expect("bind controller");
+    let addr = handle.local_addr;
+    println!("POC controller listening on {addr}");
+    let server_task = tokio::spawn(server.run());
+
+    // Two LMPs attach concurrently.
+    let lmp_task_a = tokio::spawn(async move {
+        let mut c = PocClient::connect(addr).await.expect("connect");
+        c.ping().await.expect("ping");
+        let id = c
+            .attach("lmp-alpha", AttachRole::Lmp { router: RouterId(0) })
+            .await
+            .expect("attach");
+        println!("lmp-alpha attached as {id}");
+        (c, id)
+    });
+    let lmp_task_b = tokio::spawn(async move {
+        let mut c = PocClient::connect(addr).await.expect("connect");
+        let id = c
+            .attach(
+                "lmp-beta",
+                AttachRole::Lmp { router: RouterId::from_index(n_routers - 1) },
+            )
+            .await
+            .expect("attach");
+        println!("lmp-beta attached as {id}");
+        (c, id)
+    });
+    let (mut client_a, lmp_a) = lmp_task_a.await.expect("task");
+    let (mut client_b, lmp_b) = lmp_task_b.await.expect("task");
+
+    // Operator runs the auction round.
+    let mut operator = PocClient::connect(addr).await.expect("connect");
+    let outcome = operator.run_auction().await.expect("auction");
+    println!(
+        "auction done: {} links leased, C(SL) = ${:.0}, VCG payments ${:.0}",
+        outcome.n_selected_links, outcome.total_cost, outcome.total_payments
+    );
+
+    // Members see the installed fabric.
+    let path = client_a.path(lmp_a, lmp_b).await.expect("query");
+    println!(
+        "fabric path lmp-alpha → lmp-beta: {} hops",
+        path.map(|p| p.len()).unwrap_or(0)
+    );
+
+    // Usage reports, then billing.
+    client_a.report_usage(lmp_a, 120.0).await.expect("usage");
+    client_b.report_usage(lmp_b, 80.0).await.expect("usage");
+    let bill = operator.run_billing().await.expect("billing");
+    println!(
+        "billing period {}: outlay ${:.0}, unit price ${:.2}/Gbps, POC net ${:+.4}",
+        bill.period, bill.total_outlay, bill.unit_price, bill.poc_net
+    );
+    for (entity, charge) in &bill.charges {
+        println!("  {entity} owes ${charge:.0}");
+    }
+    let bal = client_a.balance(lmp_a).await.expect("balance");
+    println!("lmp-alpha ledger balance: ${bal:.0}");
+
+    handle.shutdown();
+    let _ = server_task.await;
+    println!("controller stopped cleanly.");
+}

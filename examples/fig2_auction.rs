@@ -1,0 +1,101 @@
+//! Figure 2 reproduction (experiment E-F2): payment-over-bid margins of
+//! the five largest BPs under the three feasibility constraints.
+//!
+//! Paper setup (§3.3): TopologyZoo-derived network merged into 20 BPs,
+//! POC routers at ≥4-BP colocation points, 4674 logical links, synthetic
+//! traffic matrix; Constraint #1 = handle the load, #2 = under any single
+//! path failure, #3 = with a path down between each pair.
+//!
+//! Run with: `cargo run --release --example fig2_auction`
+//! (`--quick` on the small instance for a fast sanity pass.)
+
+use public_option_core::auction::{run_auction, GreedySelector, Market};
+use public_option_core::flow::Constraint;
+use public_option_core::topology::zoo::{attach_external_isps, ExternalIspConfig};
+use public_option_core::topology::{CostModel, TopologyStats, ZooConfig, ZooGenerator};
+use public_option_core::traffic::TrafficScenario;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (zoo_cfg, total_gbps, stride) = if quick {
+        (ZooConfig::small(), 2000.0, 8)
+    } else {
+        (ZooConfig::paper(), 24000.0, 32)
+    };
+
+    let mut topo = ZooGenerator::new(zoo_cfg).generate();
+    attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
+    let stats = TopologyStats::compute(&topo);
+    let (min_share, max_share) = stats.share_range();
+    println!(
+        "instance: {} BPs, {} logical links (paper: 20 / 4674), shares {:.1}%–{:.1}% (paper: ~2%–12%)",
+        stats.n_bps,
+        stats.n_bp_links,
+        min_share * 100.0,
+        max_share * 100.0
+    );
+
+    let tm = TrafficScenario { total_gbps, ..TrafficScenario::paper_default() }.generate(&topo);
+    println!("traffic: {} flows, {:.0} Gbps offered\n", tm.n_flows(), tm.total());
+
+    let market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(16);
+    let constraints = [
+        Constraint::BaseLoad,
+        Constraint::SinglePathFailure { sample_every: stride },
+        Constraint::AllPairsBackup,
+    ];
+
+    // Collect PoB per (constraint, BP) for the five largest BPs — the
+    // series Figure 2 plots.
+    let mut table: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for c in constraints {
+        let t0 = Instant::now();
+        match run_auction(&market, &tm, c, &selector) {
+            Ok(out) => {
+                println!(
+                    "constraint {}: |SL| = {}, C(SL) = ${:.0}/mo  ({:.1?})",
+                    c.label(),
+                    out.selected.len(),
+                    out.total_cost,
+                    t0.elapsed()
+                );
+                let series = out
+                    .top_pob(5)
+                    .into_iter()
+                    .map(|(bp, pob)| (bp.to_string(), pob))
+                    .collect();
+                table.push((c.label().to_string(), series));
+            }
+            Err(e) => {
+                println!("constraint {} infeasible: {e}", c.label());
+            }
+        }
+    }
+
+    // Figure 2: grouped bars, one group per BP, one bar per constraint.
+    println!("\n=== Figure 2: payment-over-bid margins, five largest BPs ===");
+    print!("{:<10}", "BP");
+    for (label, _) in &table {
+        print!("{label:>12}");
+    }
+    println!();
+    if let Some((_, first)) = table.first() {
+        for (i, (bp, _)) in first.iter().enumerate() {
+            print!("{bp:<10}");
+            for (_, series) in &table {
+                match series.get(i) {
+                    Some((_, pob)) => print!("{pob:>12.4}"),
+                    None => print!("{:>12}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "\npaper shape: margins in a low band (0–0.2) with high cross-BP and \
+         cross-constraint variation — \"a good reason for the POC to use an \
+         open algorithm\" (§3.3)."
+    );
+}

@@ -1,0 +1,197 @@
+//! `poc` — command-line front end for the Public Option for the Core.
+//!
+//! ```console
+//! poc topo-stats [--paper]            instance statistics (E-T1)
+//! poc auction [--paper] [--constraint 1|2|3]
+//!                                     one VCG round + PoB table (E-F2)
+//! poc welfare                         §4 regime comparison (E-W1)
+//! poc drill [--failures N]            failure drill (E-R1)
+//! poc serve [--addr HOST:PORT]        run the control-plane server
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (std only).
+
+use public_option_core::auction::{run_auction, GreedySelector, Market};
+use public_option_core::auction::Selector;
+use public_option_core::core::poc::{Poc, PocConfig};
+use public_option_core::econ::Economy;
+use public_option_core::flow::{Constraint, FeasibilityOracle};
+use public_option_core::netsim::drill::{run_drill, DrillSpec};
+use public_option_core::topology::zoo::{attach_external_isps, ExternalIspConfig};
+use public_option_core::topology::{
+    CostModel, PocTopology, TopologyStats, ZooConfig, ZooGenerator,
+};
+use public_option_core::traffic::{TrafficMatrix, TrafficScenario};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "topo-stats" => cmd_topo_stats(rest),
+        "auction" => cmd_auction(rest),
+        "welfare" => cmd_welfare(),
+        "drill" => cmd_drill(rest),
+        "serve" => cmd_serve(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: poc <command> [options]
+
+commands:
+  topo-stats [--paper]                 synthetic instance statistics (E-T1)
+  auction [--paper] [--constraint N]   run one VCG round, print PoB (E-F2)
+  welfare                              §4 regime comparison (E-W1)
+  drill [--failures N]                 failure drill on the leased fabric (E-R1)
+  serve [--addr HOST:PORT]             run the async control-plane server
+  help                                 this message";
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn build_instance(paper: bool) -> (PocTopology, TrafficMatrix) {
+    let zoo = if paper { ZooConfig::paper() } else { ZooConfig::small() };
+    let mut topo = ZooGenerator::new(zoo).generate();
+    attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
+    let total = if paper { 24000.0 } else { 2500.0 };
+    let tm = TrafficScenario { total_gbps: total, ..TrafficScenario::paper_default() }
+        .generate(&topo);
+    (topo, tm)
+}
+
+fn cmd_topo_stats(rest: &[String]) -> Result<(), String> {
+    let (topo, _) = build_instance(flag(rest, "--paper"));
+    let stats = TopologyStats::compute(&topo);
+    println!("{}", stats.render_table());
+    let (min, max) = stats.share_range();
+    println!("share range {:.1}%–{:.1}%", min * 100.0, max * 100.0);
+    Ok(())
+}
+
+fn cmd_auction(rest: &[String]) -> Result<(), String> {
+    let paper = flag(rest, "--paper");
+    let constraint = match opt(rest, "--constraint").unwrap_or("1") {
+        "1" => Constraint::BaseLoad,
+        "2" => Constraint::SinglePathFailure { sample_every: if paper { 32 } else { 4 } },
+        "3" => Constraint::AllPairsBackup,
+        other => return Err(format!("unknown constraint {other:?} (use 1, 2 or 3)")),
+    };
+    let (topo, tm) = build_instance(paper);
+    let market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(16);
+    let out = run_auction(&market, &tm, constraint, &selector)
+        .map_err(|e| format!("auction failed: {e}"))?;
+    println!(
+        "constraint {}: |SL| = {}, C(SL) = ${:.0}/mo",
+        constraint.label(),
+        out.selected.len(),
+        out.total_cost
+    );
+    println!("{:<10}{:>12}{:>12}{:>10}", "BP", "bid $", "payment $", "PoB");
+    for s in &out.settlements {
+        if s.bid_cost > 0.0 {
+            println!(
+                "{:<10}{:>12.0}{:>12.0}{:>10.4}",
+                s.bp.to_string(),
+                s.bid_cost,
+                s.payment,
+                s.pob().unwrap_or(0.0)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_welfare() -> Result<(), String> {
+    let economy = Economy::example();
+    let reports = economy.compare_regimes();
+    println!("{:<16}{:>10}{:>12}{:>10}", "regime", "welfare", "consumer", "fees");
+    for r in &reports {
+        println!(
+            "{:<16}{:>10.2}{:>12.2}{:>10.2}",
+            r.regime.label(),
+            r.total_welfare(),
+            r.total_consumer_surplus(),
+            r.total_fees()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_drill(rest: &[String]) -> Result<(), String> {
+    let n_failures: usize = opt(rest, "--failures")
+        .unwrap_or("6")
+        .parse()
+        .map_err(|_| "--failures wants a number".to_string())?;
+    let (topo, tm) = build_instance(false);
+    let market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(16);
+    let spec = DrillSpec { n_failures, outage_hours: 1.0, gap_hours: 0.5 };
+    for c in Constraint::paper_suite(4) {
+        let oracle = FeasibilityOracle::new(&topo, &tm, c);
+        let Some(sel) = selector.select(&market, &oracle, market.offered()) else {
+            println!("{}: infeasible", c.label());
+            continue;
+        };
+        let drill = run_drill(&topo, &sel.links, &tm, &spec)
+            .map_err(|e| format!("drill unroutable: {e}"))?;
+        println!(
+            "{}: |SL| = {}, cost ${:.0}, availability {:.2}%, reroutes {}",
+            c.label(),
+            sel.links.len(),
+            sel.cost,
+            drill.availability * 100.0,
+            drill.total_reroutes
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7700").to_string();
+    let (topo, tm) = build_instance(flag(rest, "--paper"));
+    let poc = Poc::new(topo, PocConfig::default());
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .map_err(|e| e.to_string())?;
+    runtime.block_on(async move {
+        let (server, handle) = public_option_core::ctrlplane::PocServer::bind(&addr, poc, tm)
+            .await
+            .map_err(|e| format!("bind {addr}: {e}"))?;
+        println!("POC control plane listening on {}", handle.local_addr);
+        println!("press Ctrl-C to stop");
+        let run = tokio::spawn(server.run());
+        tokio::signal::ctrl_c().await.map_err(|e| e.to_string())?;
+        handle.shutdown();
+        let _ = run.await;
+        println!("stopped.");
+        Ok(())
+    })
+}

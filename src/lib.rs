@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the Public Option for the Core workspace.
+pub use poc_auction as auction;
+pub use poc_core as core;
+pub use poc_ctrlplane as ctrlplane;
+pub use poc_econ as econ;
+pub use poc_flow as flow;
+pub use poc_netsim as netsim;
+pub use poc_topology as topology;
+pub use poc_traffic as traffic;

@@ -1,0 +1,221 @@
+//! Cross-crate integration: the full POC lifecycle on a generated
+//! instance — topology → traffic → auction → leases → fabric → simulation
+//! → settlement — with the system-level invariants the paper's design
+//! rests on.
+
+use public_option_core::core::entity::EntityId;
+use public_option_core::core::poc::{Poc, PocConfig};
+use public_option_core::core::settlement::Account;
+use public_option_core::flow::Constraint;
+use public_option_core::netsim::sim::{SimConfig, Simulator};
+use public_option_core::topology::zoo::{attach_external_isps, ExternalIspConfig};
+use public_option_core::topology::{CostModel, RouterId, ZooConfig, ZooGenerator};
+use public_option_core::traffic::{TrafficModel, TrafficScenario};
+
+fn build_poc(constraint: Constraint) -> (Poc, public_option_core::traffic::TrafficMatrix) {
+    let mut topo = ZooGenerator::new(ZooConfig::small()).generate();
+    attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
+    let tm = TrafficScenario {
+        model: TrafficModel::Gravity { jitter_sigma: 0.2 },
+        seed: 99,
+        total_gbps: 2000.0,
+        cap_gbps: Some(150.0),
+    }
+    .generate(&topo);
+    let config = PocConfig { constraint, ..PocConfig::default() };
+    (Poc::new(topo, config), tm)
+}
+
+#[test]
+fn full_lifecycle_invariants() {
+    let (mut poc, tm) = build_poc(Constraint::BaseLoad);
+
+    // Auction round.
+    let outcome = poc.run_auction_round(&tm).expect("feasible");
+    let n_links = outcome.selected.len();
+    assert!(n_links > 0);
+    for s in &outcome.settlements {
+        assert!(s.payment >= s.bid_cost - 1e-9, "VCG never pays below bid: {s:?}");
+    }
+    let selected = outcome.selected.clone();
+
+    // Leases cover exactly the selected BP links; payments due equal VCG.
+    let leased = poc.leases().active_links(poc.topo().n_links(), 0);
+    let virtual_selected: usize = poc
+        .topo()
+        .virtual_links()
+        .iter()
+        .filter(|&&l| selected.contains(l))
+        .count();
+    assert_eq!(leased.len() + virtual_selected, n_links);
+    let due: f64 = poc.leases().payments_due(0).iter().map(|(_, p)| p).sum();
+    let vcg: f64 = poc
+        .last_outcome()
+        .unwrap()
+        .settlements
+        .iter()
+        .map(|s| s.payment)
+        .sum();
+    assert!((due - vcg).abs() < 1e-6);
+
+    // Fabric reaches every router pair.
+    assert!(poc.fabric().unwrap().fully_connected(), "selected set must connect all routers");
+
+    // Members, simulation, settlement.
+    let lmp_a = poc.attach_lmp("it-a", RouterId(0)).unwrap();
+    let lmp_b = poc
+        .attach_lmp("it-b", RouterId::from_index(poc.topo().n_routers() - 1))
+        .unwrap();
+    let mut sim = Simulator::new(poc.topo(), &selected, SimConfig {
+        horizon: 6.0,
+        ..Default::default()
+    });
+    sim.add_traffic_matrix_routed(&tm, |r| {
+        Some(if r.index() % 2 == 0 { lmp_a } else { lmp_b })
+    })
+    .expect("selected fabric carries the matrix");
+    let report = sim.run();
+    assert!(
+        report.overall_availability() > 0.999,
+        "TE placement on the auction-sized fabric must deliver: {}",
+        report.overall_availability()
+    );
+
+    let bill = poc.billing_cycle(&report.usage_by_owner).expect("billing");
+    assert!(bill.total_outlay > 0.0);
+    assert!(bill.poc_net.abs() < 1e-6, "nonprofit break-even");
+    assert!(poc.ledger().conservation_error().abs() < 1e-9, "double-entry conservation");
+
+    // Every BP with selected links got paid through the ledger.
+    for s in poc.last_outcome().unwrap().settlements.clone() {
+        if s.payment > 0.0 {
+            let name = format!("bp:{}", poc.topo().bps[s.bp.index()].name);
+            let entity = poc.registry().by_name(&name).unwrap().id;
+            let balance = poc.ledger().balance(Account::Entity(entity));
+            assert!(
+                (balance - s.payment).abs() < 1e-6,
+                "{name} balance {balance} vs payment {}",
+                s.payment
+            );
+        }
+    }
+}
+
+#[test]
+fn lease_recall_triggers_reauction_flag_and_reround() {
+    let (mut poc, tm) = build_poc(Constraint::BaseLoad);
+    poc.run_auction_round(&tm).expect("feasible");
+    let lease = poc.leases().leases()[0].clone();
+    // The paper's overbuy-then-recall story: the BP pulls a link back.
+    assert!(!poc.leases().reauction_needed());
+    let mut leases = poc.leases().clone();
+    leases.recall(lease.bp, lease.link, 0, 1);
+    assert!(leases.reauction_needed());
+    // A fresh round clears the flag and reinstalls a working fabric.
+    poc.run_auction_round(&tm).expect("re-auction feasible");
+    assert!(poc.fabric().unwrap().fully_connected());
+}
+
+#[test]
+fn stricter_constraints_never_cheaper() {
+    let (mut poc1, tm) = build_poc(Constraint::BaseLoad);
+    let c1_cost = poc1.run_auction_round(&tm).expect("feasible").total_cost;
+    let (mut poc2, _) = build_poc(Constraint::SinglePathFailure { sample_every: 2 });
+    let c2_cost = poc2.run_auction_round(&tm).expect("feasible").total_cost;
+    let (mut poc3, _) = build_poc(Constraint::AllPairsBackup);
+    let c3_cost = poc3.run_auction_round(&tm).expect("feasible").total_cost;
+    assert!(
+        c2_cost >= c1_cost * 0.98,
+        "resilience must not be materially cheaper: C2 {c2_cost} vs C1 {c1_cost}"
+    );
+    assert!(
+        c3_cost >= c1_cost * 0.98,
+        "resilience must not be materially cheaper: C3 {c3_cost} vs C1 {c1_cost}"
+    );
+}
+
+#[test]
+fn multi_period_billing_accumulates() {
+    let (mut poc, tm) = build_poc(Constraint::BaseLoad);
+    poc.run_auction_round(&tm).expect("feasible");
+    let lmp = poc.attach_lmp("solo", RouterId(0)).unwrap();
+    let mut total_charged = 0.0;
+    for period in 0..3u32 {
+        let bill = poc.billing_cycle(&[(lmp, 10.0 + period as f64)]).unwrap();
+        assert_eq!(bill.period, period);
+        total_charged += bill.charges[0].1;
+    }
+    assert_eq!(poc.period(), 3);
+    let balance = poc.ledger().balance(Account::Entity(lmp));
+    assert!((balance + total_charged).abs() < 1e-6, "LMP owes the sum of its bills");
+}
+
+#[test]
+fn usage_attribution_to_entity_kind() {
+    // Hosted CSP usage rides its LMP's authorization.
+    let (mut poc, tm) = build_poc(Constraint::BaseLoad);
+    poc.run_auction_round(&tm).expect("feasible");
+    let lmp = poc.attach_lmp("host", RouterId(0)).unwrap();
+    let csp = poc.attach_hosted_csp("tenant", lmp).unwrap();
+    let bill = poc.billing_cycle(&[(lmp, 5.0), (csp, 15.0)]).unwrap();
+    assert_eq!(bill.charges.len(), 2);
+    let csp_charge = bill.charges.iter().find(|(e, _)| *e == csp).unwrap().1;
+    let lmp_charge = bill.charges.iter().find(|(e, _)| *e == lmp).unwrap().1;
+    assert!((csp_charge / lmp_charge - 3.0).abs() < 1e-9, "usage-proportional");
+}
+
+#[test]
+fn unknown_usage_entity_rejected_without_state_change() {
+    let (mut poc, tm) = build_poc(Constraint::BaseLoad);
+    poc.run_auction_round(&tm).expect("feasible");
+    let before = poc.period();
+    assert!(poc.billing_cycle(&[(EntityId(4242), 1.0)]).is_err());
+    assert_eq!(poc.period(), before, "failed billing must not advance the period");
+}
+
+#[test]
+fn diurnal_workload_revenue_cycle() {
+    use public_option_core::netsim::workload::{generate_onoff, WorkloadConfig};
+
+    let (mut poc, tm) = build_poc(Constraint::BaseLoad);
+    poc.run_auction_round(&tm).expect("feasible");
+    let selected = poc.last_outcome().unwrap().selected.clone();
+    let lmp = poc.attach_lmp("metro", RouterId(0)).unwrap();
+
+    // A day of on/off flows, all attributed to the one LMP.
+    let cfg = WorkloadConfig { n_flows: 150, ..Default::default() };
+    let flows = generate_onoff(poc.topo(), &cfg);
+    let mut sim = Simulator::new(poc.topo(), &selected, SimConfig {
+        horizon: cfg.horizon,
+        ..Default::default()
+    });
+    for mut f in flows {
+        f.owner = Some(lmp);
+        sim.add_flow(f);
+    }
+    let report = sim.run();
+    assert!(report.overall_availability() > 0.5, "most bursty traffic delivered");
+    assert_eq!(report.usage_by_owner.len(), 1);
+
+    // Hot links exist and utilization is sane.
+    let hottest = report.hottest_links(3);
+    assert_eq!(hottest.len(), 3);
+    assert!(hottest[0].1 >= hottest[2].1);
+    for (l, _) in &hottest {
+        let u = report.mean_utilization(poc.topo(), *l);
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+    }
+
+    // Settlement from the simulated usage; the break-even invariant holds
+    // for bursty workloads exactly as for static matrices.
+    let bill = poc.billing_cycle(&report.usage_by_owner).expect("billing");
+    assert!(bill.poc_net.abs() < 1e-6);
+    assert!(bill.charges[0].1 > 0.0);
+
+    // The member's statement shows the charge.
+    let statement = poc
+        .ledger()
+        .statement(public_option_core::core::settlement::Account::Entity(lmp));
+    assert!(statement.contains("transit"), "{statement}");
+    assert!(statement.contains("debit"), "{statement}");
+}

@@ -1,0 +1,422 @@
+//! Property-based tests over the core data structures and mechanisms.
+//!
+//! The headline property is VCG strategy-proofness (§3.3): with an exact
+//! optimizer, no BP can profit by misreporting its costs. The rest pin the
+//! substrate invariants everything is built on: set algebra, capacity
+//! respect in routing, max-min feasibility, and the econ model's
+//! monotonicities.
+
+use proptest::prelude::*;
+use public_option_core::auction::{run_auction, BpBid, ExhaustiveSelector, Market};
+use public_option_core::econ::demand::{Exponential, ParetoTail};
+use public_option_core::econ::fees::{monopoly_price, nbs_fee};
+use public_option_core::econ::welfare::{consumer_surplus, social_welfare};
+use public_option_core::flow::{route_tm, Constraint, LinkSet};
+use public_option_core::topology::builder::two_bp_square;
+use public_option_core::topology::{BpId, LinkId, RouterId};
+use public_option_core::traffic::TrafficMatrix;
+
+// ---------- LinkSet algebra ------------------------------------------------
+
+fn arb_linkset(universe: usize) -> impl Strategy<Value = LinkSet> {
+    prop::collection::vec(0..universe, 0..universe)
+        .prop_map(move |ids| {
+            LinkSet::from_links(universe, ids.into_iter().map(LinkId::from_index))
+        })
+}
+
+proptest! {
+    #[test]
+    fn linkset_union_is_commutative_and_idempotent(
+        a in arb_linkset(100),
+        b in arb_linkset(100),
+    ) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn linkset_difference_disjoint_from_subtrahend(
+        a in arb_linkset(100),
+        b in arb_linkset(100),
+    ) {
+        let d = a.difference(&b);
+        prop_assert!(d.intersection(&b).is_empty());
+        prop_assert!(d.is_subset_of(&a));
+        // |A| = |A\B| + |A∩B|.
+        prop_assert_eq!(d.len() + a.intersection(&b).len(), a.len());
+    }
+
+    #[test]
+    fn linkset_demorgan_via_universe(
+        a in arb_linkset(64),
+        b in arb_linkset(64),
+    ) {
+        let full = LinkSet::full(64);
+        let not = |s: &LinkSet| full.difference(s);
+        // ¬(A ∪ B) = ¬A ∩ ¬B.
+        prop_assert_eq!(not(&a.union(&b)), not(&a).intersection(&not(&b)));
+    }
+
+    #[test]
+    fn linkset_iter_matches_contains(a in arb_linkset(100)) {
+        let members: Vec<LinkId> = a.iter().collect();
+        prop_assert_eq!(members.len(), a.len());
+        for l in &members {
+            prop_assert!(a.contains(*l));
+        }
+        // Ascending order.
+        for w in members.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}
+
+// ---------- Traffic matrices ------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tm_scale_to_total_is_exact(
+        demands in prop::collection::vec((0u32..5, 0u32..5, 0.1f64..100.0), 1..20),
+        target in 1.0f64..10_000.0,
+    ) {
+        let mut tm = TrafficMatrix::zero(5);
+        let mut any = false;
+        for (a, b, d) in demands {
+            if a != b {
+                tm.set(RouterId(a), RouterId(b), d);
+                any = true;
+            }
+        }
+        prop_assume!(any);
+        tm.scale_to_total(target);
+        prop_assert!((tm.total() - target).abs() < 1e-6 * target.max(1.0));
+    }
+
+    #[test]
+    fn tm_cap_bounds_every_demand(
+        demands in prop::collection::vec((0u32..4, 0u32..4, 0.1f64..500.0), 1..12),
+        cap in 1.0f64..100.0,
+    ) {
+        let mut tm = TrafficMatrix::zero(4);
+        for (a, b, d) in demands {
+            if a != b {
+                tm.set(RouterId(a), RouterId(b), d);
+            }
+        }
+        tm.cap_demands(cap);
+        prop_assert!(tm.max_demand() <= cap + 1e-12);
+    }
+}
+
+// ---------- Routing respects capacity ----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn routing_never_overcommits(
+        demands in prop::collection::vec((0u32..4, 0u32..4, 1.0f64..60.0), 1..8),
+    ) {
+        let topo = two_bp_square();
+        let mut tm = TrafficMatrix::zero(topo.n_routers());
+        for (a, b, d) in demands {
+            if a != b {
+                let cur = tm.demand(RouterId(a), RouterId(b));
+                tm.set(RouterId(a), RouterId(b), cur + d);
+            }
+        }
+        let all = LinkSet::full(topo.n_links());
+        if let Ok(routing) = route_tm(&topo, &all, &tm) {
+            for (i, link) in topo.links.iter().enumerate() {
+                prop_assert!(routing.load_fwd[i] <= link.capacity_gbps + 1e-6);
+                prop_assert!(routing.load_rev[i] <= link.capacity_gbps + 1e-6);
+            }
+            // Every demand fully placed.
+            for flow in &routing.flows {
+                let placed: f64 = flow.paths.iter().map(|(_, g)| g).sum();
+                prop_assert!((placed - flow.demand_gbps).abs() < 1e-6);
+            }
+        }
+    }
+}
+
+// ---------- VCG: payments and strategy-proofness -----------------------------
+
+/// Build the fixture market with the given true costs declared at a
+/// per-BP misreport factor (1.0 = truthful).
+fn fixture_market(
+    topo: &public_option_core::topology::PocTopology,
+    true_costs: &[f64; 6],
+    factors: [f64; 2],
+) -> Market<'static> {
+    // Leak the topology: proptest closures need 'static and the fixture is
+    // tiny. (Test-only; bounded by the number of proptest cases.)
+    let topo: &'static _ = Box::leak(Box::new(topo.clone()));
+    let bids = (0..2u32)
+        .map(|bp| {
+            BpBid::truthful_additive(
+                BpId(bp),
+                topo.links_of_bp(BpId(bp))
+                    .into_iter()
+                    .map(|l| (l, true_costs[l.index()] * factors[bp as usize])),
+            )
+        })
+        .collect();
+    Market::new(topo, bids, 3.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn vcg_payment_at_least_declared_bid(
+        costs in prop::array::uniform6(100.0f64..5000.0),
+        d1 in 1.0f64..40.0,
+        d2 in 1.0f64..40.0,
+    ) {
+        let topo = two_bp_square();
+        let market = fixture_market(&topo, &costs, [1.0, 1.0]);
+        let mut tm = TrafficMatrix::zero(topo.n_routers());
+        tm.set(RouterId(0), RouterId(1), d1);
+        tm.set(RouterId(1), RouterId(2), d2);
+        if let Ok(out) = run_auction(&market, &tm, Constraint::BaseLoad, &ExhaustiveSelector) {
+            for s in &out.settlements {
+                prop_assert!(s.payment >= s.bid_cost - 1e-9, "{:?}", s);
+                prop_assert!(s.raw_pivot >= -1e-9, "exact optimizer ⇒ pivot ≥ 0: {:?}", s);
+            }
+        }
+    }
+
+    /// Strategy-proofness: truthful declaration maximizes a BP's utility
+    /// (payment − true cost of its selected links) against any uniform
+    /// misreport, holding the other BP truthful. Exact optimizer required.
+    #[test]
+    fn vcg_truthful_dominates_misreports(
+        costs in prop::array::uniform6(100.0f64..5000.0),
+        factor in prop::sample::select(vec![0.5f64, 0.8, 1.25, 2.0, 4.0]),
+        d1 in 1.0f64..40.0,
+        d2 in 1.0f64..40.0,
+        liar in 0u32..2,
+    ) {
+        let topo = two_bp_square();
+        let mut tm = TrafficMatrix::zero(topo.n_routers());
+        tm.set(RouterId(0), RouterId(1), d1);
+        tm.set(RouterId(1), RouterId(2), d2);
+
+        let utility = |factors: [f64; 2]| -> Option<f64> {
+            let market = fixture_market(&topo, &costs, factors);
+            let out = run_auction(&market, &tm, Constraint::BaseLoad, &ExhaustiveSelector).ok()?;
+            let s = out.settlement(BpId(liar))?;
+            // True cost of the links actually selected from the liar.
+            let true_cost: f64 = out
+                .selected
+                .iter()
+                .filter(|l| topo.link(*l).owner == public_option_core::topology::LinkOwner::Bp(BpId(liar)))
+                .map(|l| costs[l.index()])
+                .sum();
+            Some(s.payment - true_cost)
+        };
+
+        let mut truthful = [1.0, 1.0];
+        let mut misreport = [1.0, 1.0];
+        misreport[liar as usize] = factor;
+        truthful[liar as usize] = 1.0;
+        if let (Some(u_truth), Some(u_lie)) = (utility(truthful), utility(misreport)) {
+            prop_assert!(
+                u_truth >= u_lie - 1e-6,
+                "misreport ×{} profits BP{}: {} vs truthful {}",
+                factor, liar, u_lie, u_truth
+            );
+        }
+    }
+}
+
+// ---------- Econ monotonicities ----------------------------------------------
+
+proptest! {
+    #[test]
+    fn monopoly_price_above_fee_and_increasing(
+        lambda in 0.02f64..1.0,
+        t1 in 0.0f64..20.0,
+        dt in 0.1f64..10.0,
+    ) {
+        let d = Exponential::new(lambda);
+        let p1 = monopoly_price(&d, t1);
+        let p2 = monopoly_price(&d, t1 + dt);
+        prop_assert!(p1 >= t1 - 1e-9);
+        prop_assert!(p2 > p1 - 1e-6, "p*({}) = {p2} < p*({t1}) = {p1}", t1 + dt);
+    }
+
+    #[test]
+    fn welfare_monotone_decreasing_in_price(
+        sigma in 1.0f64..20.0,
+        k in 1.5f64..5.0,
+        p in 0.0f64..30.0,
+        dp in 0.1f64..10.0,
+    ) {
+        let d = ParetoTail::new(sigma, k);
+        prop_assert!(social_welfare(&d, p + dp) <= social_welfare(&d, p) + 1e-9);
+        prop_assert!(consumer_surplus(&d, p + dp) <= consumer_surplus(&d, p) + 1e-9);
+    }
+
+    #[test]
+    fn nbs_fee_monotone_in_inputs(
+        p in 0.0f64..100.0,
+        r in 0.0f64..1.0,
+        c in 0.0f64..100.0,
+        dr in 0.0f64..0.5,
+    ) {
+        let r2 = (r + dr).min(1.0);
+        prop_assert!(nbs_fee(p, r2, c) <= nbs_fee(p, r, c) + 1e-12);
+        // And exactly the closed form.
+        prop_assert!((nbs_fee(p, r, c) - (p - r * c) / 2.0).abs() < 1e-12);
+    }
+}
+
+// ---------- K-shortest paths -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn kpaths_ranked_distinct_loopless(
+        seed in 0u64..1000,
+        k in 1usize..6,
+    ) {
+        use public_option_core::flow::k_shortest_paths;
+        use public_option_core::topology::{ZooConfig, ZooGenerator};
+        let topo = ZooGenerator::new(ZooConfig::small().with_seed(seed)).generate();
+        prop_assume!(topo.n_routers() >= 2);
+        let all = LinkSet::full(topo.n_links());
+        let src = RouterId(0);
+        let dst = RouterId::from_index(topo.n_routers() - 1);
+        let paths = k_shortest_paths(&topo, &all, src, dst, k);
+        prop_assert!(paths.len() <= k);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].km <= w[1].km + 1e-9, "not ranked");
+            prop_assert_ne!(&w[0].links, &w[1].links, "duplicate path");
+        }
+        for p in &paths {
+            // Consistent metric.
+            let km: f64 = p.links.iter().map(|&l| topo.link(l).distance_km).sum();
+            prop_assert!((km - p.km).abs() < 1e-9);
+            // Walkable from src and loopless.
+            let mut at = src;
+            let mut visited = vec![at];
+            for &l in &p.links {
+                at = topo.link(l).other_end(at).expect("path incident");
+                prop_assert!(!visited.contains(&at), "loop at {at}");
+                visited.push(at);
+            }
+            prop_assert_eq!(at, dst);
+        }
+    }
+}
+
+// ---------- Max-min fairness ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn max_min_rates_feasible_and_demand_bounded(
+        demands in prop::collection::vec((0u32..4, 0u32..4, 1.0f64..120.0), 1..10),
+    ) {
+        use public_option_core::netsim::fairness::{max_min_rates, AllocFlow};
+        use public_option_core::flow::CapacityGraph;
+        let topo = two_bp_square();
+        let all = LinkSet::full(topo.n_links());
+        let g = CapacityGraph::new(&topo, &all);
+        // Route each demand on its shortest path; build alloc flows.
+        let mut flows = Vec::new();
+        for (a, b, d) in demands {
+            if a == b {
+                continue;
+            }
+            let (src, dst) = (RouterId(a), RouterId(b));
+            let Some(path) = g.shortest_path(
+                src,
+                dst,
+                |l, _| topo.link(l).distance_km,
+                |_, _| true,
+            ) else { continue };
+            let dirs = g.path_dirs(src, &path);
+            flows.push(AllocFlow {
+                hops: path.into_iter().zip(dirs).collect(),
+                demand_gbps: d,
+            });
+        }
+        prop_assume!(!flows.is_empty());
+        let rates = max_min_rates(&topo, &flows, None);
+        prop_assert_eq!(rates.len(), flows.len());
+        // Rates bounded by demand.
+        for (r, f) in rates.iter().zip(&flows) {
+            prop_assert!(*r >= -1e-9 && *r <= f.demand_gbps + 1e-6);
+        }
+        // Per-(link, dir) totals bounded by capacity.
+        let mut load_fwd = vec![0.0f64; topo.n_links()];
+        let mut load_rev = vec![0.0f64; topo.n_links()];
+        for (r, f) in rates.iter().zip(&flows) {
+            for &(l, d) in &f.hops {
+                match d {
+                    public_option_core::flow::graph::Dir::Fwd => load_fwd[l.index()] += r,
+                    public_option_core::flow::graph::Dir::Rev => load_rev[l.index()] += r,
+                }
+            }
+        }
+        for (i, link) in topo.links.iter().enumerate() {
+            prop_assert!(load_fwd[i] <= link.capacity_gbps + 1e-6);
+            prop_assert!(load_rev[i] <= link.capacity_gbps + 1e-6);
+        }
+        // Pareto efficiency light: every unsatisfied flow crosses some
+        // saturated (link, dir).
+        for (r, f) in rates.iter().zip(&flows) {
+            if *r < f.demand_gbps - 1e-6 {
+                let bottlenecked = f.hops.iter().any(|&(l, d)| {
+                    let cap = topo.link(l).capacity_gbps;
+                    match d {
+                        public_option_core::flow::graph::Dir::Fwd => {
+                            load_fwd[l.index()] >= cap - 1e-6
+                        }
+                        public_option_core::flow::graph::Dir::Rev => {
+                            load_rev[l.index()] >= cap - 1e-6
+                        }
+                    }
+                });
+                prop_assert!(bottlenecked, "unsatisfied flow with headroom everywhere");
+            }
+        }
+    }
+}
+
+// ---------- Serde round trips ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn topology_survives_json_round_trip(seed in 0u64..200) {
+        use public_option_core::topology::{PocTopology, ZooConfig, ZooGenerator};
+        let topo = ZooGenerator::new(ZooConfig::small().with_seed(seed)).generate();
+        let json = serde_json::to_string(&topo).expect("serialize");
+        let back: PocTopology = serde_json::from_str(&json).expect("deserialize");
+        back.validate().expect("valid after round trip");
+        prop_assert_eq!(back.n_links(), topo.n_links());
+        prop_assert_eq!(back.n_routers(), topo.n_routers());
+        for (a, b) in topo.links.iter().zip(&back.links) {
+            prop_assert_eq!(a.owner, b.owner);
+            prop_assert!((a.true_monthly_cost - b.true_monthly_cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn traffic_matrix_survives_json_round_trip(
+        demands in prop::collection::vec((0u32..5, 0u32..5, 0.1f64..50.0), 0..12),
+    ) {
+        let mut tm = TrafficMatrix::zero(5);
+        for (a, b, d) in demands {
+            if a != b {
+                tm.set(RouterId(a), RouterId(b), d);
+            }
+        }
+        let json = serde_json::to_string(&tm).expect("serialize");
+        let back: TrafficMatrix = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, tm);
+    }
+}
