@@ -10,8 +10,8 @@ use poc_traffic::TrafficScenario;
 fn main() {
     let mut topo = ZooGenerator::new(ZooConfig::small()).generate();
     attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
-    let tm = TrafficScenario { total_gbps: 2500.0, ..TrafficScenario::paper_default() }
-        .generate(&topo);
+    let tm =
+        TrafficScenario { total_gbps: 2500.0, ..TrafficScenario::paper_default() }.generate(&topo);
     let market = Market::truthful(&topo, 3.0);
     let arms: Vec<(&str, Box<dyn Selector>)> = vec![
         ("routing-greedy", Box::new(GreedySelector::with_prune_budget(16))),

@@ -2,7 +2,7 @@
 //! (Development tool; the polished reproduction is `examples/fig2_auction.rs`
 //! at the workspace root.)
 
-use poc_auction::{GreedySelector, Market, run_auction};
+use poc_auction::{run_auction, GreedySelector, Market};
 use poc_flow::Constraint;
 use poc_topology::zoo::{attach_external_isps, ExternalIspConfig};
 use poc_topology::{CostModel, ZooConfig, ZooGenerator};
@@ -14,15 +14,31 @@ fn main() {
     let mut topo = ZooGenerator::new(ZooConfig::paper()).generate();
     attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
     let tm = TrafficScenario::paper_default().generate(&topo);
-    println!("gen: {:?} links={} routers={} tm_total={}", t0.elapsed(), topo.n_links(), topo.n_routers(), tm.total());
+    println!(
+        "gen: {:?} links={} routers={} tm_total={}",
+        t0.elapsed(),
+        topo.n_links(),
+        topo.n_routers(),
+        tm.total()
+    );
 
     let market = Market::truthful(&topo, 3.0);
     let sel = GreedySelector::with_prune_budget(16);
-    for c in [Constraint::BaseLoad, Constraint::SinglePathFailure { sample_every: 32 }, Constraint::AllPairsBackup] {
+    for c in [
+        Constraint::BaseLoad,
+        Constraint::SinglePathFailure { sample_every: 32 },
+        Constraint::AllPairsBackup,
+    ] {
         let t1 = Instant::now();
         match run_auction(&market, &tm, c, &sel) {
             Ok(out) => {
-                println!("{} done in {:?}: |SL|={} C(SL)={:.0}", c.label(), t1.elapsed(), out.selected.len(), out.total_cost);
+                println!(
+                    "{} done in {:?}: |SL|={} C(SL)={:.0}",
+                    c.label(),
+                    t1.elapsed(),
+                    out.selected.len(),
+                    out.total_cost
+                );
                 for (bp, pob) in out.top_pob(5) {
                     println!("  {bp} PoB={pob:.4}");
                 }

@@ -67,9 +67,7 @@ impl SubsetPricing {
     pub fn covered_links(&self) -> Vec<LinkId> {
         match self {
             SubsetPricing::Additive { per_link }
-            | SubsetPricing::VolumeDiscount { per_link, .. } => {
-                per_link.keys().copied().collect()
-            }
+            | SubsetPricing::VolumeDiscount { per_link, .. } => per_link.keys().copied().collect(),
             SubsetPricing::Explicit { subsets } => {
                 let mut all: Vec<LinkId> =
                     subsets.iter().flat_map(|(ls, _)| ls.iter().copied()).collect();
@@ -138,11 +136,7 @@ fn sum_prices(per_link: &BTreeMap<LinkId, f64>, subset: &LinkSet) -> f64 {
 }
 
 fn multiplier_for(schedule: &[(usize, f64)], n: usize) -> f64 {
-    schedule
-        .iter()
-        .filter(|&&(thresh, _)| n >= thresh)
-        .map(|&(_, m)| m)
-        .fold(1.0, f64::min)
+    schedule.iter().filter(|&&(thresh, _)| n >= thresh).map(|&(_, m)| m).fold(1.0, f64::min)
 }
 
 /// One BP's complete bid: its identity, its offered links, and its pricing.
@@ -154,10 +148,7 @@ pub struct BpBid {
 
 impl BpBid {
     /// Truthful bid: additive pricing at the links' true monthly costs.
-    pub fn truthful_additive(
-        bp: BpId,
-        links: impl IntoIterator<Item = (LinkId, f64)>,
-    ) -> Self {
+    pub fn truthful_additive(bp: BpId, links: impl IntoIterator<Item = (LinkId, f64)>) -> Self {
         Self { bp, pricing: SubsetPricing::Additive { per_link: links.into_iter().collect() } }
     }
 
@@ -184,18 +175,25 @@ impl BpBid {
             SubsetPricing::Additive { per_link } => SubsetPricing::Additive {
                 per_link: per_link.iter().map(|(&l, &p)| (l, p * factor)).collect(),
             },
-            SubsetPricing::VolumeDiscount { per_link, schedule } => {
-                SubsetPricing::VolumeDiscount {
-                    per_link: per_link.iter().map(|(&l, &p)| (l, p * factor)).collect(),
-                    schedule: schedule.clone(),
-                }
-            }
+            SubsetPricing::VolumeDiscount { per_link, schedule } => SubsetPricing::VolumeDiscount {
+                per_link: per_link.iter().map(|(&l, &p)| (l, p * factor)).collect(),
+                schedule: schedule.clone(),
+            },
             SubsetPricing::Explicit { subsets } => SubsetPricing::Explicit {
                 subsets: subsets.iter().map(|(ls, p)| (ls.clone(), p * factor)).collect(),
             },
         };
         Self { bp: self.bp, pricing }
     }
+}
+
+fn validate_prices(per_link: &BTreeMap<LinkId, f64>) -> Result<(), String> {
+    for (l, p) in per_link {
+        if !(p.is_finite() && *p >= 0.0) {
+            return Err(format!("link {l} has invalid price {p}"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -212,9 +210,8 @@ mod tests {
 
     #[test]
     fn additive_prices_sum() {
-        let p = SubsetPricing::Additive {
-            per_link: [(l(0), 10.0), (l(1), 20.0), (l(2), 30.0)].into(),
-        };
+        let p =
+            SubsetPricing::Additive { per_link: [(l(0), 10.0), (l(1), 20.0), (l(2), 30.0)].into() };
         assert_eq!(p.price(&set(3, &[0, 2])), 40.0);
         assert_eq!(p.price(&set(3, &[])), 0.0);
         assert_eq!(p.unit_price(l(1)), 20.0);
@@ -246,9 +243,8 @@ mod tests {
 
     #[test]
     fn explicit_table_unlisted_is_infinite() {
-        let p = SubsetPricing::Explicit {
-            subsets: vec![(vec![l(0)], 5.0), (vec![l(0), l(1)], 8.0)],
-        };
+        let p =
+            SubsetPricing::Explicit { subsets: vec![(vec![l(0)], 5.0), (vec![l(0), l(1)], 8.0)] };
         assert_eq!(p.price(&set(2, &[0])), 5.0);
         assert_eq!(p.price(&set(2, &[0, 1])), 8.0);
         assert_eq!(p.price(&set(2, &[1])), f64::INFINITY);
@@ -279,18 +275,8 @@ mod tests {
 
     #[test]
     fn covered_links_sorted_unique() {
-        let p = SubsetPricing::Explicit {
-            subsets: vec![(vec![l(2), l(0)], 1.0), (vec![l(0)], 0.5)],
-        };
+        let p =
+            SubsetPricing::Explicit { subsets: vec![(vec![l(2), l(0)], 1.0), (vec![l(0)], 0.5)] };
         assert_eq!(p.covered_links(), vec![l(0), l(2)]);
     }
-}
-
-fn validate_prices(per_link: &BTreeMap<LinkId, f64>) -> Result<(), String> {
-    for (l, p) in per_link {
-        if !(p.is_finite() && *p >= 0.0) {
-            return Err(format!("link {l} has invalid price {p}"));
-        }
-    }
-    Ok(())
 }

@@ -77,15 +77,8 @@ pub fn withholding_experiment(
         .settlements
         .iter()
         .map(|before| {
-            let after = colluded
-                .settlement(before.bp)
-                .map(|s| s.payment)
-                .unwrap_or(0.0);
-            WithholdingDelta {
-                bp: before.bp,
-                payment_before: before.payment,
-                payment_after: after,
-            }
+            let after = colluded.settlement(before.bp).map(|s| s.payment).unwrap_or(0.0);
+            WithholdingDelta { bp: before.bp, payment_before: before.payment, payment_after: after }
         })
         .collect();
 
@@ -117,20 +110,12 @@ mod tests {
         let mut tm = TrafficMatrix::zero(t.n_routers());
         tm.set(RouterId(0), RouterId(1), 10.0);
         tm.set(RouterId(0), RouterId(3), 5.0);
-        let report = withholding_experiment(
-            &mut m,
-            &tm,
-            Constraint::BaseLoad,
-            &GreedySelector::default(),
-        )
-        .unwrap();
+        let report =
+            withholding_experiment(&mut m, &tm, Constraint::BaseLoad, &GreedySelector::default())
+                .unwrap();
         // The paper's claim is weak monotonicity of the coalition's gain;
         // the heuristic can wobble slightly, so allow epsilon.
-        assert!(
-            report.total_gain() >= -1e-6,
-            "coalition lost money: {}",
-            report.total_gain()
-        );
+        assert!(report.total_gain() >= -1e-6, "coalition lost money: {}", report.total_gain());
         // Selected set itself should be unchanged: withheld links were not
         // in SL.
         assert_eq!(report.baseline.selected, report.colluded.selected);
@@ -142,13 +127,9 @@ mod tests {
         let mut m = Market::truthful(&t, 3.0);
         let mut tm = TrafficMatrix::zero(t.n_routers());
         tm.set(RouterId(0), RouterId(1), 10.0);
-        let report = withholding_experiment(
-            &mut m,
-            &tm,
-            Constraint::BaseLoad,
-            &GreedySelector::default(),
-        )
-        .unwrap();
+        let report =
+            withholding_experiment(&mut m, &tm, Constraint::BaseLoad, &GreedySelector::default())
+                .unwrap();
         // Payments after collusion stay finite and below the cost of an
         // all-virtual solution (the contract fallback bounds the damage).
         let virtual_everything: f64 = {

@@ -33,9 +33,9 @@ pub mod select;
 pub mod vcg;
 
 pub use bids::{BpBid, SubsetPricing};
-pub use market::Market;
+pub use market::{Market, MarketError};
 pub use select::{
-    CompositeSelector, ExhaustiveSelector, ForwardGreedySelector, GreedySelector,
-    SelectionResult, Selector,
+    CompositeSelector, ExhaustiveSelector, ForwardGreedySelector, GreedySelector, SelectionResult,
+    Selector,
 };
-pub use vcg::{run_auction, AuctionOutcome, BpSettlement};
+pub use vcg::{run_auction, run_auction_with, AuctionOutcome, BpSettlement, PivotMode};

@@ -10,6 +10,33 @@ use poc_flow::LinkSet;
 use poc_topology::{BpId, LinkId, LinkOwner, PocTopology};
 use std::collections::BTreeMap;
 
+/// Errors assembling or mutating a market from bids.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MarketError {
+    /// A bid's pricing failed its internal sanity checks.
+    InvalidPricing { bp: BpId, reason: String },
+    /// A bid came from a BP that owns no links in the topology.
+    UnknownBp(BpId),
+    /// A bid covers more or fewer links than the BP actually offers.
+    CoverageMismatch { bp: BpId },
+}
+
+impl std::fmt::Display for MarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketError::InvalidPricing { bp, reason } => {
+                write!(f, "invalid pricing in bid of {bp}: {reason}")
+            }
+            MarketError::UnknownBp(bp) => write!(f, "bid from {bp} which owns no links"),
+            MarketError::CoverageMismatch { bp } => {
+                write!(f, "bid of {bp} must cover exactly its offered links")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
 /// The auction market over a topology.
 pub struct Market<'t> {
     topo: &'t PocTopology,
@@ -29,10 +56,13 @@ impl<'t> Market<'t> {
     /// at `premium × true_monthly_cost` — their contract price is fixed
     /// outside the auction (paper: "dictated by the long-term contract").
     ///
-    /// # Panics
-    /// Panics if a bid references a link its BP does not own, or covers
-    /// only part of the BP's offered links.
-    pub fn new(topo: &'t PocTopology, bids: Vec<BpBid>, virtual_price_factor: f64) -> Self {
+    /// Rejects bids with invalid pricing, bids from BPs that own no
+    /// links, and bids covering only part of the BP's offered links.
+    pub fn new(
+        topo: &'t PocTopology,
+        bids: Vec<BpBid>,
+        virtual_price_factor: f64,
+    ) -> Result<Self, MarketError> {
         assert!(virtual_price_factor > 0.0, "virtual price factor must be positive");
         let n = topo.n_links();
         let mut bp_links: BTreeMap<BpId, LinkSet> = BTreeMap::new();
@@ -45,23 +75,20 @@ impl<'t> Market<'t> {
                 }
                 LinkOwner::Virtual(_) => {
                     virtual_links.insert(link.id);
-                    virtual_prices
-                        .insert(link.id, link.true_monthly_cost * virtual_price_factor);
+                    virtual_prices.insert(link.id, link.true_monthly_cost * virtual_price_factor);
                 }
             }
         }
         let mut bid_map = BTreeMap::new();
         for bid in bids {
-            bid.pricing.validate().expect("invalid bid pricing");
-            let owned = bp_links
-                .get(&bid.bp)
-                .unwrap_or_else(|| panic!("bid from {} which owns no links", bid.bp));
+            bid.pricing
+                .validate()
+                .map_err(|reason| MarketError::InvalidPricing { bp: bid.bp, reason })?;
+            let owned = bp_links.get(&bid.bp).ok_or(MarketError::UnknownBp(bid.bp))?;
             let covered = LinkSet::from_links(n, bid.pricing.covered_links());
-            assert!(
-                covered == *owned,
-                "bid of {} must cover exactly its offered links",
-                bid.bp
-            );
+            if covered != *owned {
+                return Err(MarketError::CoverageMismatch { bp: bid.bp });
+            }
             bid_map.insert(bid.bp, bid);
         }
         // BPs without a bid do not participate: their links are withdrawn.
@@ -72,14 +99,7 @@ impl<'t> Market<'t> {
             }
         }
         bp_links.retain(|bp, _| bid_map.contains_key(bp));
-        Self {
-            topo,
-            bids: bid_map,
-            bp_links,
-            virtual_links,
-            virtual_prices,
-            offered,
-        }
+        Ok(Self { topo, bids: bid_map, bp_links, virtual_links, virtual_prices, offered })
     }
 
     /// Market where every BP bids truthfully (additive at true cost) —
@@ -100,7 +120,10 @@ impl<'t> Market<'t> {
                 ))
             })
             .collect();
+        // Truthful bids cover exactly the owned links at finite true
+        // costs, so assembly cannot fail.
         Self::new(topo, bids, virtual_price_factor)
+            .expect("truthful bids are valid by construction")
     }
 
     pub fn topo(&self) -> &'t PocTopology {
@@ -140,11 +163,7 @@ impl<'t> Market<'t> {
 
     /// Contract cost of the virtual links within `links`.
     pub fn virtual_cost(&self, links: &LinkSet) -> f64 {
-        links
-            .intersection(&self.virtual_links)
-            .iter()
-            .map(|l| self.virtual_prices[&l])
-            .sum()
+        links.intersection(&self.virtual_links).iter().map(|l| self.virtual_prices[&l]).sum()
     }
 
     /// Total declared cost `C(L)`.
@@ -168,10 +187,14 @@ impl<'t> Market<'t> {
 
     /// Replace one BP's bid, returning the previous one. Used by the
     /// strategy-proofness and collusion experiments.
-    pub fn swap_bid(&mut self, bid: BpBid) -> Option<BpBid> {
-        assert!(self.bp_links.contains_key(&bid.bp), "unknown participant {}", bid.bp);
-        bid.pricing.validate().expect("invalid bid pricing");
-        self.bids.insert(bid.bp, bid)
+    pub fn swap_bid(&mut self, bid: BpBid) -> Result<Option<BpBid>, MarketError> {
+        if !self.bp_links.contains_key(&bid.bp) {
+            return Err(MarketError::UnknownBp(bid.bp));
+        }
+        bid.pricing
+            .validate()
+            .map_err(|reason| MarketError::InvalidPricing { bp: bid.bp, reason })?;
+        Ok(self.bids.insert(bid.bp, bid))
     }
 
     /// Restrict a BP's offer to `keep ⊆ L_α` (link withholding, §3.3's
@@ -221,8 +244,7 @@ mod tests {
         let t = two_bp_square();
         let m = Market::truthful(&t, 3.0);
         let all = LinkSet::full(t.n_links());
-        let bp0: f64 =
-            t.links_of_bp(BpId(0)).iter().map(|&l| t.link(l).true_monthly_cost).sum();
+        let bp0: f64 = t.links_of_bp(BpId(0)).iter().map(|&l| t.link(l).true_monthly_cost).sum();
         assert!((m.bp_cost(BpId(0), &all) - bp0).abs() < 1e-9);
         assert_eq!(m.bp_cost(BpId(7), &all), 0.0, "unknown BP costs nothing");
     }
@@ -235,7 +257,7 @@ mod tests {
             BpId(1),
             t.links_of_bp(BpId(1)).into_iter().map(|l| (l, t.link(l).true_monthly_cost)),
         )];
-        let m = Market::new(&t, bids, 3.0);
+        let m = Market::new(&t, bids, 3.0).unwrap();
         assert_eq!(m.offered().len(), 3);
         assert!(m.links_of(BpId(0)).is_none());
     }
@@ -251,7 +273,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cover exactly")]
     fn partial_bid_coverage_rejected() {
         let t = two_bp_square();
         let links = t.links_of_bp(BpId(0));
@@ -259,7 +280,39 @@ mod tests {
             bp: BpId(0),
             pricing: SubsetPricing::Additive { per_link: [(links[0], 1.0)].into() },
         }];
-        let _ = Market::new(&t, bids, 3.0);
+        assert_eq!(
+            Market::new(&t, bids, 3.0).err().unwrap(),
+            MarketError::CoverageMismatch { bp: BpId(0) }
+        );
+    }
+
+    #[test]
+    fn bid_from_unknown_bp_rejected() {
+        let t = two_bp_square();
+        let bids = vec![BpBid {
+            bp: BpId(9),
+            pricing: SubsetPricing::Additive { per_link: [(LinkId(0), 1.0)].into() },
+        }];
+        assert_eq!(Market::new(&t, bids, 3.0).err().unwrap(), MarketError::UnknownBp(BpId(9)));
+    }
+
+    #[test]
+    fn invalid_pricing_rejected() {
+        let t = two_bp_square();
+        let bids = vec![BpBid::truthful_additive(
+            BpId(0),
+            t.links_of_bp(BpId(0)).into_iter().map(|l| (l, -1.0)),
+        )];
+        match Market::new(&t, bids, 3.0).err().unwrap() {
+            MarketError::InvalidPricing { bp, .. } => assert_eq!(bp, BpId(0)),
+            other => panic!("expected InvalidPricing, got {other:?}"),
+        }
+        // Same guard on the swap path, plus the unknown-participant case.
+        let mut m = Market::truthful(&t, 3.0);
+        let bad = BpBid::truthful_additive(BpId(0), [(LinkId(0), f64::NAN)]);
+        assert!(matches!(m.swap_bid(bad), Err(MarketError::InvalidPricing { .. })));
+        let stranger = BpBid::truthful_additive(BpId(9), [(LinkId(0), 1.0)]);
+        assert_eq!(m.swap_bid(stranger).unwrap_err(), MarketError::UnknownBp(BpId(9)));
     }
 
     #[test]
@@ -270,11 +323,9 @@ mod tests {
         let before = m.total_cost(&all);
         let inflated = BpBid::truthful_additive(
             BpId(0),
-            t.links_of_bp(BpId(0))
-                .into_iter()
-                .map(|l| (l, t.link(l).true_monthly_cost * 2.0)),
+            t.links_of_bp(BpId(0)).into_iter().map(|l| (l, t.link(l).true_monthly_cost * 2.0)),
         );
-        m.swap_bid(inflated);
+        m.swap_bid(inflated).unwrap();
         let after = m.total_cost(&all);
         assert!(after > before);
     }

@@ -19,10 +19,27 @@
 
 use crate::market::Market;
 use crate::select::{SelectionResult, Selector};
-use poc_flow::{Constraint, FeasibilityOracle, LinkSet};
+use poc_flow::{Constraint, FeasibilityCache, FeasibilityOracle, LinkSet};
 use poc_topology::BpId;
 use poc_traffic::TrafficMatrix;
 use serde::{Deserialize, Serialize};
+
+/// How the per-BP Clarke-pivot re-selections are scheduled.
+///
+/// The pivot runs are independent of each other (each re-selects over
+/// `OL − L_α` with fixed inputs), so they parallelize without changing
+/// results: both modes produce bit-identical settlements, asserted by the
+/// `vcg_pivot_modes_agree` property test. Feasibility verdicts are
+/// memoized in a [`FeasibilityCache`] shared across the pivot runs in
+/// either mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum PivotMode {
+    /// One pivot at a time, ascending BP id.
+    Sequential,
+    /// One thread per participating BP (scoped threads).
+    #[default]
+    Parallel,
+}
 
 /// One BP's auction settlement.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -106,19 +123,36 @@ impl std::fmt::Display for AuctionError {
 impl std::error::Error for AuctionError {}
 
 /// Run one auction round: select `SL`, then compute every BP's Clarke
-/// payment by re-selecting with that BP withdrawn.
+/// payment by re-selecting with that BP withdrawn. Pivot runs execute in
+/// parallel (see [`PivotMode`]); use [`run_auction_with`] to pick the
+/// scheduling explicitly.
 pub fn run_auction(
     market: &Market<'_>,
     tm: &TrafficMatrix,
     constraint: Constraint,
     selector: &dyn Selector,
 ) -> Result<AuctionOutcome, AuctionError> {
-    let oracle = FeasibilityOracle::new(market.topo(), tm, constraint);
-    let sl: SelectionResult = selector
-        .select(market, &oracle, market.offered())
-        .ok_or(AuctionError::Infeasible)?;
+    run_auction_with(market, tm, constraint, selector, PivotMode::default())
+}
 
-    let mut settlements = Vec::new();
+/// As [`run_auction`], with explicit pivot scheduling.
+pub fn run_auction_with(
+    market: &Market<'_>,
+    tm: &TrafficMatrix,
+    constraint: Constraint,
+    selector: &dyn Selector,
+    mode: PivotMode,
+) -> Result<AuctionOutcome, AuctionError> {
+    // One feasibility cache for the whole round: the initial selection and
+    // every pivot re-selection probe heavily overlapping link sets.
+    let cache = FeasibilityCache::new();
+    let oracle = FeasibilityOracle::with_cache(market.topo(), tm, constraint, &cache);
+    let sl: SelectionResult =
+        selector.select(market, &oracle, market.offered()).ok_or(AuctionError::Infeasible)?;
+
+    // Settle trivial BPs inline; queue a pivot job per BP with links in SL.
+    let mut settlements: Vec<Option<BpSettlement>> = Vec::new();
+    let mut jobs: Vec<(usize, BpId, usize, f64)> = Vec::new();
     for bp in market.participants() {
         let owned = market.links_of(bp).expect("participant owns links");
         let sl_alpha = sl.links.intersection(owned);
@@ -127,36 +161,59 @@ pub fn run_auction(
         // A BP with no links in SL has marginal value 0 and is paid 0 —
         // skip the expensive pivot run.
         if sl_alpha.is_empty() {
-            settlements.push(BpSettlement {
+            settlements.push(Some(BpSettlement {
                 bp,
                 n_selected_links: 0,
                 bid_cost: 0.0,
                 raw_pivot: 0.0,
                 payment: 0.0,
-            });
-            continue;
+            }));
+        } else {
+            jobs.push((settlements.len(), bp, sl_alpha.len(), bid_cost));
+            settlements.push(None);
         }
+    }
 
+    let run_pivot = |bp: BpId, n_selected_links: usize, bid_cost: f64| {
         let without = market.offered_without(bp);
-        let sl_minus = selector
-            .select(market, &oracle, &without)
-            .ok_or(AuctionError::PivotInfeasible(bp))?;
+        let sl_minus =
+            selector.select(market, &oracle, &without).ok_or(AuctionError::PivotInfeasible(bp))?;
         let raw_pivot = sl_minus.cost - sl.cost;
         let payment = bid_cost + raw_pivot.max(0.0);
-        settlements.push(BpSettlement {
-            bp,
-            n_selected_links: sl_alpha.len(),
-            bid_cost,
-            raw_pivot,
-            payment,
-        });
+        Ok(BpSettlement { bp, n_selected_links, bid_cost, raw_pivot, payment })
+    };
+
+    let results: Vec<(usize, Result<BpSettlement, AuctionError>)> = match mode {
+        PivotMode::Sequential => {
+            jobs.iter().map(|&(slot, bp, n, cost)| (slot, run_pivot(bp, n, cost))).collect()
+        }
+        PivotMode::Parallel => std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|&(slot, bp, n, cost)| {
+                    let run_pivot = &run_pivot;
+                    (slot, scope.spawn(move || run_pivot(bp, n, cost)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(slot, h)| (slot, h.join().expect("pivot thread panicked")))
+                .collect()
+        }),
+    };
+
+    // Surface errors in ascending BP order so both modes report the same
+    // failure (parallel runs all pivots; sequential stops at the first —
+    // the first is what both agree on).
+    for (slot, result) in results {
+        settlements[slot] = Some(result?);
     }
 
     Ok(AuctionOutcome {
         constraint,
         selected: sl.links,
         total_cost: sl.cost,
-        settlements,
+        settlements: settlements.into_iter().map(|s| s.expect("every slot settled")).collect(),
     })
 }
 
@@ -186,8 +243,7 @@ mod tests {
         let t = two_bp_square();
         let m = Market::truthful(&t, 3.0);
         let tm = tm(&t);
-        let out =
-            run_auction(&m, &tm, Constraint::BaseLoad, &ExhaustiveSelector).unwrap();
+        let out = run_auction(&m, &tm, Constraint::BaseLoad, &ExhaustiveSelector).unwrap();
         for s in &out.settlements {
             assert!(s.payment >= s.bid_cost - 1e-9, "{s:?}");
             if let Some(pob) = s.pob() {
@@ -201,8 +257,7 @@ mod tests {
         let t = two_bp_square();
         let m = Market::truthful(&t, 3.0);
         let tm = tm(&t);
-        let out =
-            run_auction(&m, &tm, Constraint::BaseLoad, &ExhaustiveSelector).unwrap();
+        let out = run_auction(&m, &tm, Constraint::BaseLoad, &ExhaustiveSelector).unwrap();
         for s in &out.settlements {
             assert!(s.raw_pivot >= -1e-9, "exact optimizer: pivot >= 0, got {s:?}");
         }
@@ -217,8 +272,7 @@ mod tests {
         let m = Market::truthful(&t, 3.0);
         let mut demand = TrafficMatrix::zero(t.n_routers());
         demand.set(r(0), r(3), 5.0); // only BP1 reaches r3
-        let err = run_auction(&m, &demand, Constraint::BaseLoad, &ExhaustiveSelector)
-            .unwrap_err();
+        let err = run_auction(&m, &demand, Constraint::BaseLoad, &ExhaustiveSelector).unwrap_err();
         assert_eq!(err, AuctionError::PivotInfeasible(poc_topology::BpId(1)));
     }
 
@@ -236,8 +290,7 @@ mod tests {
         let mut demand = tm(&t);
         demand.set(r(0), r(3), 5.0); // r3 reachable only via BP1 or virtual
         let out =
-            run_auction(&m, &demand, Constraint::BaseLoad, &GreedySelector::default())
-                .unwrap();
+            run_auction(&m, &demand, Constraint::BaseLoad, &GreedySelector::default()).unwrap();
         // Now the pivot exists for both BPs; BP1's margin is bounded by the
         // (expensive) virtual alternative rather than infinite.
         let s1 = out.settlement(poc_topology::BpId(1)).unwrap();
@@ -255,8 +308,7 @@ mod tests {
         // exhaustive selection will not lease BP1.
         let mut demand = TrafficMatrix::zero(t.n_routers());
         demand.set(r(0), r(1), 10.0);
-        let out =
-            run_auction(&m, &demand, Constraint::BaseLoad, &ExhaustiveSelector).unwrap();
+        let out = run_auction(&m, &demand, Constraint::BaseLoad, &ExhaustiveSelector).unwrap();
         let s1 = out.settlement(poc_topology::BpId(1)).unwrap();
         assert_eq!(s1.n_selected_links, 0);
         assert_eq!(s1.payment, 0.0);
@@ -278,9 +330,7 @@ mod tests {
             &CostModel::default(),
         );
         let m2 = Market::truthful(&t2, 3.0);
-        let out =
-            run_auction(&m2, &tm, Constraint::BaseLoad, &GreedySelector::default())
-                .unwrap();
+        let out = run_auction(&m2, &tm, Constraint::BaseLoad, &GreedySelector::default()).unwrap();
         let top = out.top_pob(5);
         assert!(!top.is_empty());
         drop(m);
@@ -292,8 +342,7 @@ mod tests {
         let m = Market::truthful(&t, 3.0);
         let mut demand = TrafficMatrix::zero(t.n_routers());
         demand.set(r(0), r(3), 10_000.0);
-        let err =
-            run_auction(&m, &demand, Constraint::BaseLoad, &ExhaustiveSelector).unwrap_err();
+        let err = run_auction(&m, &demand, Constraint::BaseLoad, &ExhaustiveSelector).unwrap_err();
         assert_eq!(err, AuctionError::Infeasible);
     }
 }

@@ -15,15 +15,13 @@ fn discounted_market(topo: &poc_topology::PocTopology) -> Market<'_> {
         .map(|bp| {
             BpBid::truthful_discounted(
                 bp.id,
-                topo.links_of_bp(bp.id)
-                    .into_iter()
-                    .map(|l| (l, topo.link(l).true_monthly_cost)),
+                topo.links_of_bp(bp.id).into_iter().map(|l| (l, topo.link(l).true_monthly_cost)),
                 // 5% off from 10 links, 12% off from 40.
                 vec![(10, 0.95), (40, 0.88)],
             )
         })
         .collect();
-    Market::new(topo, bids, 3.0)
+    Market::new(topo, bids, 3.0).expect("discounted truthful bids are valid")
 }
 
 fn print_ablation() {
@@ -31,15 +29,13 @@ fn print_ablation() {
     let selector = GreedySelector::with_prune_budget(16);
     println!("\n=== Ablation: bid language (additive vs volume discount) ===");
     println!("{:<22}{:>8}{:>14}{:>14}{:>12}", "pricing", "|SL|", "C(SL)", "payments", "mean PoB");
-    for (label, market) in [
-        ("additive", Market::truthful(&topo, 3.0)),
-        ("volume discount", discounted_market(&topo)),
-    ] {
+    for (label, market) in
+        [("additive", Market::truthful(&topo, 3.0)), ("volume discount", discounted_market(&topo))]
+    {
         match run_auction(&market, &tm, Constraint::BaseLoad, &selector) {
             Ok(out) => {
                 let payments: f64 = out.settlements.iter().map(|s| s.payment).sum();
-                let pobs: Vec<f64> =
-                    out.settlements.iter().filter_map(|s| s.pob()).collect();
+                let pobs: Vec<f64> = out.settlements.iter().filter_map(|s| s.pob()).collect();
                 let mean_pob = if pobs.is_empty() {
                     0.0
                 } else {

@@ -49,9 +49,7 @@ fn print_ablation() {
     ftm.set(RouterId(2), RouterId(3), 5.0);
     let foracle = FeasibilityOracle::new(&fixture, &ftm, Constraint::BaseLoad);
     let exact = ExhaustiveSelector.select(&fm, &foracle, fm.offered()).expect("feasible");
-    let greedy = GreedySelector::default()
-        .select(&fm, &foracle, fm.offered())
-        .expect("feasible");
+    let greedy = GreedySelector::default().select(&fm, &foracle, fm.offered()).expect("feasible");
     println!(
         "\nfixture optimality gap: exact ${:.0} vs greedy ${:.0} ({:+.1}%)",
         exact.cost,

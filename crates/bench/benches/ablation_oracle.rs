@@ -34,15 +34,12 @@ fn print_gap() {
     println!("\nper-pair max-flow bound spot checks:");
     let pairs = [(0u32, 1u32), (0, topo.n_routers() as u32 - 1)];
     for (a, b) in pairs {
-        let (ra, rb) =
-            (poc_topology::RouterId(a), poc_topology::RouterId(b));
+        let (ra, rb) = (poc_topology::RouterId(a), poc_topology::RouterId(b));
         let mf = max_flow_between(&topo, &all, ra, rb);
         let mut tm = TrafficMatrix::zero(topo.n_routers());
         tm.set(ra, rb, mf * 0.95);
         let routable = route_tm(&topo, &all, &tm).is_ok();
-        println!(
-            "  {ra}→{rb}: maxflow {mf:.0} Gbps, 95% of it greedy-routable: {routable}"
-        );
+        println!("  {ra}→{rb}: maxflow {mf:.0} Gbps, 95% of it greedy-routable: {routable}");
     }
 }
 
@@ -52,10 +49,7 @@ fn bench_oracles(c: &mut Criterion) {
     c.bench_function("route_tm_full_offer", |b| {
         b.iter(|| route_tm(&topo, &all, &tm).expect("feasible"))
     });
-    let (ra, rb) = (
-        poc_topology::RouterId(0),
-        poc_topology::RouterId(topo.n_routers() as u32 - 1),
-    );
+    let (ra, rb) = (poc_topology::RouterId(0), poc_topology::RouterId(topo.n_routers() as u32 - 1));
     c.bench_function("dinic_max_flow_one_pair", |b| {
         b.iter(|| max_flow_between(&topo, &all, ra, rb))
     });

@@ -30,7 +30,12 @@ fn print_ablation() {
         let tm = TrafficScenario { total_gbps: 2000.0, ..TrafficScenario::paper_default() }
             .generate(&topo);
         let market = Market::truthful(&topo, 3.0);
-        match run_auction(&market, &tm, Constraint::BaseLoad, &GreedySelector::with_prune_budget(12)) {
+        match run_auction(
+            &market,
+            &tm,
+            Constraint::BaseLoad,
+            &GreedySelector::with_prune_budget(12),
+        ) {
             Ok(out) => {
                 let pobs: Vec<f64> = out.settlements.iter().filter_map(|s| s.pob()).collect();
                 let spread = pobs.iter().copied().fold(f64::MIN, f64::max)

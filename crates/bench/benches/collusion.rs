@@ -16,8 +16,8 @@ fn instance() -> (PocTopology, TrafficMatrix) {
     let mut topo = ZooGenerator::new(ZooConfig::small()).generate();
     let isp = ExternalIspConfig { attach_points: 64, ..Default::default() };
     attach_external_isps(&mut topo, &isp, &CostModel::default());
-    let tm = TrafficScenario { total_gbps: 2500.0, ..TrafficScenario::paper_default() }
-        .generate(&topo);
+    let tm =
+        TrafficScenario { total_gbps: 2500.0, ..TrafficScenario::paper_default() }.generate(&topo);
     (topo, tm)
 }
 
@@ -28,10 +28,7 @@ fn print_collusion() {
     println!("\n=== E-C1 / §3.3 link-withholding collusion ===");
     match withholding_experiment(&mut market, &tm, Constraint::BaseLoad, &selector) {
         Ok(report) => {
-            println!(
-                "{:<8}{:>16}{:>16}{:>12}",
-                "BP", "payment before", "payment after", "gain"
-            );
+            println!("{:<8}{:>16}{:>16}{:>12}", "BP", "payment before", "payment after", "gain");
             for d in &report.deltas {
                 if d.payment_before > 0.0 || d.payment_after > 0.0 {
                     println!(
@@ -43,7 +40,10 @@ fn print_collusion() {
                     );
                 }
             }
-            println!("coalition gain: ${:.0} (finite — bounded by virtual links)", report.total_gain());
+            println!(
+                "coalition gain: ${:.0} (finite — bounded by virtual links)",
+                report.total_gain()
+            );
         }
         Err(e) => println!("experiment infeasible: {e}"),
     }

@@ -44,8 +44,8 @@ fn print_figure2() {
     }
     println!();
     if let Some((_, first)) = rows.first() {
-        for i in 0..first.len() {
-            print!("{:<10}", first[i].0);
+        for (i, (bp_label, _)) in first.iter().enumerate() {
+            print!("{bp_label:<10}");
             for (_, series) in &rows {
                 match series.get(i) {
                     Some((_, pob)) => print!("{pob:>12.4}"),
@@ -62,8 +62,7 @@ fn bench_auction_round(c: &mut Criterion) {
         // Timing always on the small instance — a paper-scale VCG round is
         // minutes long and belongs in the printed experiment, not the
         // statistical timer.
-        let mut topo = poc_topology::ZooGenerator::new(poc_topology::ZooConfig::small())
-            .generate();
+        let mut topo = poc_topology::ZooGenerator::new(poc_topology::ZooConfig::small()).generate();
         poc_topology::zoo::attach_external_isps(
             &mut topo,
             &poc_topology::zoo::ExternalIspConfig::default(),
@@ -79,9 +78,7 @@ fn bench_auction_round(c: &mut Criterion) {
     let market = Market::truthful(&topo, 3.0);
     let selector = GreedySelector::with_prune_budget(8);
     c.bench_function("vcg_round_baseload_small", |b| {
-        b.iter(|| {
-            run_auction(&market, &tm, Constraint::BaseLoad, &selector).expect("feasible")
-        })
+        b.iter(|| run_auction(&market, &tm, Constraint::BaseLoad, &selector).expect("feasible"))
     });
 }
 

@@ -27,11 +27,7 @@ fn print_fee_sweep() {
 fn bench_fees(c: &mut Criterion) {
     let economy = Economy::example();
     c.bench_function("per_lmp_nbs_fees_all_csps", |b| {
-        b.iter(|| {
-            (0..economy.csps.len())
-                .map(|s| economy.per_lmp_nbs_fees(s))
-                .collect::<Vec<_>>()
-        })
+        b.iter(|| (0..economy.csps.len()).map(|s| economy.per_lmp_nbs_fees(s)).collect::<Vec<_>>())
     });
 }
 

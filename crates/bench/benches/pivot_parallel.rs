@@ -1,0 +1,104 @@
+//! E-PP — Pivot parallelism: sequential vs. threaded Clarke-pivot phase.
+//!
+//! A VCG round runs one full re-selection per participating BP (the
+//! `C(SL_−α)` term of the pivot rule). Those re-selections are independent,
+//! so [`PivotMode::Parallel`] fans them out over `std::thread::scope` while
+//! sharing one memoized feasibility cache. This bench times the identical
+//! round under both modes and prints the speedup plus cache hit rates —
+//! the settlements themselves are asserted bit-identical by the
+//! `vcg_pivot_modes_agree` property test.
+//!
+//! `POC_PAPER_SCALE=1 cargo bench -p poc-bench --bench pivot_parallel`
+//! prints the comparison on the full §3.3 instance (slow); the default
+//! prints the same comparison on the laptop-scale instance and then runs
+//! the statistical timer on it.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use poc_auction::{run_auction_with, GreedySelector, Market, PivotMode};
+use poc_bench::{instance, paper_scale};
+use poc_flow::Constraint;
+use std::time::{Duration, Instant};
+
+fn print_mode_comparison() {
+    let (topo, tm) = instance();
+    let market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(if paper_scale() { 16 } else { 8 });
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "\n=== E-PP / pivot parallelism: sequential vs parallel Clarke pivots ({} scale, {} core{}) ===",
+        if paper_scale() { "paper" } else { "small" },
+        cores,
+        if cores == 1 { "" } else { "s" }
+    );
+    if cores == 1 {
+        println!("(single-core host: parallel mode can only match sequential, not beat it)");
+    }
+    println!("{:<12}{:>14}{:>14}{:>10}", "constraint", "sequential", "parallel", "speedup");
+    let stride = if paper_scale() { 32 } else { 4 };
+    for c in [Constraint::BaseLoad, Constraint::SinglePathFailure { sample_every: stride }] {
+        let t0 = Instant::now();
+        let seq = run_auction_with(&market, &tm, c, &selector, PivotMode::Sequential);
+        let t_seq = t0.elapsed();
+        let t1 = Instant::now();
+        let par = run_auction_with(&market, &tm, c, &selector, PivotMode::Parallel);
+        let t_par = t1.elapsed();
+        match (seq, par) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(
+                    s.total_cost.to_bits(),
+                    p.total_cost.to_bits(),
+                    "modes must agree on C(SL)"
+                );
+                println!(
+                    "{:<12}{:>12.1}ms{:>12.1}ms{:>9.2}x   (|SL| = {}, {} settlements)",
+                    c.label(),
+                    t_seq.as_secs_f64() * 1e3,
+                    t_par.as_secs_f64() * 1e3,
+                    t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+                    s.selected.len(),
+                    s.settlements.len(),
+                );
+            }
+            (Err(e), _) | (_, Err(e)) => println!("{:<12}infeasible: {e}", c.label()),
+        }
+    }
+}
+
+fn bench_pivot_modes(c: &mut Criterion) {
+    // Timing always on the small instance — paper-scale rounds are minutes
+    // long and belong in the printed experiment above, not the timer.
+    let mut topo = poc_topology::ZooGenerator::new(poc_topology::ZooConfig::small()).generate();
+    poc_topology::zoo::attach_external_isps(
+        &mut topo,
+        &poc_topology::zoo::ExternalIspConfig::default(),
+        &poc_topology::CostModel::default(),
+    );
+    let tm = poc_traffic::TrafficScenario {
+        total_gbps: 2500.0,
+        ..poc_traffic::TrafficScenario::paper_default()
+    }
+    .generate(&topo);
+    let market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(8);
+    for (label, mode) in [("sequential", PivotMode::Sequential), ("parallel", PivotMode::Parallel)]
+    {
+        c.bench_with_input(BenchmarkId::new("vcg_round_baseload", label), &mode, |b, &mode| {
+            b.iter(|| {
+                run_auction_with(&market, &tm, Constraint::BaseLoad, &selector, mode)
+                    .expect("feasible")
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(20));
+    targets = bench_pivot_modes
+}
+
+fn main() {
+    print_mode_comparison();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -14,10 +14,8 @@ fn bench_linkset(c: &mut Criterion) {
     let (topo, _) = paper_instance();
     let n = topo.n_links();
     let full = LinkSet::full(n);
-    let odd = LinkSet::from_links(
-        n,
-        (0..n).filter(|i| i % 2 == 1).map(poc_topology::LinkId::from_index),
-    );
+    let odd =
+        LinkSet::from_links(n, (0..n).filter(|i| i % 2 == 1).map(poc_topology::LinkId::from_index));
     c.bench_function("linkset_union_4700", |b| b.iter(|| full.union(&odd)));
     c.bench_function("linkset_difference_4700", |b| b.iter(|| full.difference(&odd)));
     c.bench_function("linkset_iter_count_4700", |b| b.iter(|| odd.iter().count()));
@@ -47,11 +45,9 @@ fn bench_route_tm(c: &mut Criterion) {
 fn bench_forwarding_install(c: &mut Criterion) {
     for (label, (topo, _)) in [("small", instance()), ("paper", paper_instance())] {
         let all = LinkSet::full(topo.n_links());
-        c.bench_with_input(
-            BenchmarkId::new("forwarding_install", label),
-            &topo,
-            |b, topo| b.iter(|| ForwardingState::install(topo, &all)),
-        );
+        c.bench_with_input(BenchmarkId::new("forwarding_install", label), &topo, |b, topo| {
+            b.iter(|| ForwardingState::install(topo, &all))
+        });
     }
 }
 
@@ -66,10 +62,7 @@ fn bench_fairness(c: &mut Criterion) {
         .flat_map(|f| {
             f.paths.iter().map(|(path, gbps)| {
                 let dirs = g.path_dirs(f.src, path);
-                AllocFlow {
-                    hops: path.iter().copied().zip(dirs).collect(),
-                    demand_gbps: *gbps,
-                }
+                AllocFlow { hops: path.iter().copied().zip(dirs).collect(), demand_gbps: *gbps }
             })
         })
         .collect();

@@ -9,10 +9,7 @@ fn print_regimes() {
     let economy = Economy::example();
     let reports = economy.compare_regimes();
     println!("\n=== E-W1 / §4 welfare by regime ===");
-    println!(
-        "{:<16}{:>10}{:>12}{:>10}",
-        "regime", "welfare", "consumer CS", "fees"
-    );
+    println!("{:<16}{:>10}{:>12}{:>10}", "regime", "welfare", "consumer CS", "fees");
     for r in &reports {
         println!(
             "{:<16}{:>10.2}{:>12.2}{:>10.2}",
@@ -33,19 +30,14 @@ fn print_regimes() {
     for i in 0..economy.csps.len() {
         println!(
             "{:<26}{:>8.2}{:>10.2}{:>10.2}",
-            economy.csps[i].name,
-            nn.per_csp[i].price,
-            uni.per_csp[i].price,
-            nbs.per_csp[i].price
+            economy.csps[i].name, nn.per_csp[i].price, uni.per_csp[i].price, nbs.per_csp[i].price
         );
     }
 }
 
 fn bench_regimes(c: &mut Criterion) {
     let economy = Economy::example();
-    c.bench_function("compare_regimes_example_economy", |b| {
-        b.iter(|| economy.compare_regimes())
-    });
+    c.bench_function("compare_regimes_example_economy", |b| b.iter(|| economy.compare_regimes()));
 }
 
 criterion_group! {

@@ -16,15 +16,12 @@ pub fn paper_scale() -> bool {
 
 /// The benchmark instance: small by default, paper-scale on request.
 pub fn instance() -> (PocTopology, TrafficMatrix) {
-    let (zoo, total) = if paper_scale() {
-        (ZooConfig::paper(), 24000.0)
-    } else {
-        (ZooConfig::small(), 2500.0)
-    };
+    let (zoo, total) =
+        if paper_scale() { (ZooConfig::paper(), 24000.0) } else { (ZooConfig::small(), 2500.0) };
     let mut topo = ZooGenerator::new(zoo).generate();
     attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
-    let tm = TrafficScenario { total_gbps: total, ..TrafficScenario::paper_default() }
-        .generate(&topo);
+    let tm =
+        TrafficScenario { total_gbps: total, ..TrafficScenario::paper_default() }.generate(&topo);
     (topo, tm)
 }
 

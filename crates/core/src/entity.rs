@@ -192,9 +192,7 @@ mod tests {
         let mut r = Registry::new();
         let lmp = r.register("lmp", EntityKind::Lmp { router: RouterId(0) }).unwrap();
         let hosted = r.register("csp", EntityKind::HostedCsp { via_lmp: lmp }).unwrap();
-        let bp = r
-            .register("bp", EntityKind::BandwidthProvider { bp: BpId(0) })
-            .unwrap();
+        let bp = r.register("bp", EntityKind::BandwidthProvider { bp: BpId(0) }).unwrap();
         assert!(!r.may_send_traffic(lmp));
         assert!(!r.may_send_traffic(hosted), "hosted CSP rides its LMP's signature");
         r.sign_tos(lmp).unwrap();

@@ -8,6 +8,27 @@
 use poc_flow::{CapacityGraph, LinkSet};
 use poc_topology::{LinkId, PocTopology, RouterId};
 
+/// Errors from walking the installed forwarding tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricError {
+    /// The next-hop tables cycle without reaching the destination. The
+    /// tables `install()` computes are loop-free by construction, so this
+    /// indicates corrupted or hand-built state.
+    RoutingLoop { src: RouterId, dst: RouterId },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::RoutingLoop { src, dst } => {
+                write!(f, "forwarding loop from {src} to {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
 /// Next-hop forwarding tables over an active link set.
 #[derive(Clone, Debug)]
 pub struct ForwardingState {
@@ -25,12 +46,12 @@ impl ForwardingState {
         let g = CapacityGraph::new(topo, active);
         let mut next = vec![vec![None; n]; n];
         // One Dijkstra per source, extracting first hops.
-        for src_i in 0..n {
+        for (src_i, row) in next.iter_mut().enumerate() {
             let src = RouterId::from_index(src_i);
             // Dijkstra with predecessor tracking via repeated shortest_path
             // would be O(n^2 E); do a single-source pass instead.
             let (dist, prev) = single_source(&g, topo, src);
-            for dst_i in 0..n {
+            for (dst_i, slot) in row.iter_mut().enumerate() {
                 if dst_i == src_i || dist[dst_i].is_infinite() {
                     continue;
                 }
@@ -44,7 +65,7 @@ impl ForwardingState {
                     }
                     cur = parent.index();
                 }
-                next[src_i][dst_i] = hop;
+                *slot = hop;
             }
         }
         Self { n_routers: n, next, active: active.clone() }
@@ -60,31 +81,32 @@ impl ForwardingState {
         self.next.get(at.index())?.get(dst.index()).copied().flatten()
     }
 
-    /// Full path from `src` to `dst` (links in order), or None if
-    /// unreachable. Panics if tables are inconsistent (a routing loop),
-    /// which install() cannot produce.
-    pub fn path(&self, src: RouterId, dst: RouterId) -> Option<Vec<LinkId>> {
+    /// Full path from `src` to `dst` (links in order), `Ok(None)` if
+    /// unreachable, or [`FabricError::RoutingLoop`] if the tables are
+    /// inconsistent (which `install()` cannot produce).
+    pub fn path(&self, src: RouterId, dst: RouterId) -> Result<Option<Vec<LinkId>>, FabricError> {
         if src == dst {
-            return Some(Vec::new());
+            return Ok(Some(Vec::new()));
         }
         let mut path = Vec::new();
         let mut at = src;
         for _ in 0..=self.n_routers {
-            let (link, nxt) = self.next_hop(at, dst)?;
+            let Some((link, nxt)) = self.next_hop(at, dst) else {
+                return Ok(None);
+            };
             path.push(link);
             if nxt == dst {
-                return Some(path);
+                return Ok(Some(path));
             }
             at = nxt;
         }
-        panic!("forwarding loop from {src} to {dst}");
+        Err(FabricError::RoutingLoop { src, dst })
     }
 
     /// Whether every router can reach every other.
     pub fn fully_connected(&self) -> bool {
-        (0..self.n_routers).all(|s| {
-            (0..self.n_routers).all(|d| s == d || self.next[s][d].is_some())
-        })
+        (0..self.n_routers)
+            .all(|s| (0..self.n_routers).all(|d| s == d || self.next[s][d].is_some()))
     }
 }
 
@@ -158,7 +180,7 @@ mod tests {
         let mut active = LinkSet::full(t.n_links());
         active.remove(LinkId(3));
         let fs = ForwardingState::install(&t, &active);
-        let path = fs.path(r(0), r(3)).unwrap();
+        let path = fs.path(r(0), r(3)).unwrap().unwrap();
         assert!(path.len() >= 2);
         assert!(!path.contains(&LinkId(3)));
     }
@@ -169,7 +191,7 @@ mod tests {
         let bp0 = LinkSet::from_links(t.n_links(), t.links_of_bp(poc_topology::BpId(0)));
         let fs = ForwardingState::install(&t, &bp0);
         assert!(!fs.fully_connected());
-        assert!(fs.path(r(0), r(3)).is_none());
+        assert!(fs.path(r(0), r(3)).unwrap().is_none());
         assert!(fs.next_hop(r(0), r(3)).is_none());
     }
 
@@ -177,7 +199,7 @@ mod tests {
     fn self_path_is_empty() {
         let t = two_bp_square();
         let fs = ForwardingState::install(&t, &LinkSet::full(t.n_links()));
-        assert_eq!(fs.path(r(2), r(2)).unwrap(), Vec::<LinkId>::new());
+        assert_eq!(fs.path(r(2), r(2)).unwrap().unwrap(), Vec::<LinkId>::new());
     }
 
     #[test]
@@ -185,7 +207,22 @@ mod tests {
         let t = two_bp_square();
         let fs = ForwardingState::install(&t, &LinkSet::full(t.n_links()));
         // r0→r3 direct (1830) beats r0-r2-r3 (910+950=1860).
-        let path = fs.path(r(0), r(3)).unwrap();
+        let path = fs.path(r(0), r(3)).unwrap().unwrap();
         assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    fn routing_loop_is_an_error_not_a_panic() {
+        // Hand-build corrupted tables: r0 → r1 → r0 while "heading" to r2.
+        let t = two_bp_square();
+        let mut fs = ForwardingState::install(&t, &LinkSet::full(t.n_links()));
+        let to_r1 = fs.next_hop(r(0), r(1)).unwrap();
+        let to_r0 = fs.next_hop(r(1), r(0)).unwrap();
+        fs.next[0][2] = Some(to_r1);
+        fs.next[1][2] = Some(to_r0);
+        assert_eq!(fs.path(r(0), r(2)), Err(FabricError::RoutingLoop { src: r(0), dst: r(2) }));
+        // The error formats the offending pair for operators.
+        let msg = fs.path(r(0), r(2)).unwrap_err().to_string();
+        assert!(msg.contains("forwarding loop"), "got: {msg}");
     }
 }

@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 pub enum LeaseState {
     Active,
     /// Recall requested; the lease dies at the end of `effective_period`.
-    Recalled { effective_period: u32 },
+    Recalled {
+        effective_period: u32,
+    },
     Expired,
 }
 
@@ -48,12 +50,7 @@ impl LeaseBook {
     /// Ingest an auction outcome: one lease per selected BP link, with the
     /// BP's payment allocated pro-rata by the topology's declared cost
     /// (virtual links are contract-priced and not leased through the book).
-    pub fn ingest_auction(
-        &mut self,
-        topo: &PocTopology,
-        outcome: &AuctionOutcome,
-        period: u32,
-    ) {
+    pub fn ingest_auction(&mut self, topo: &PocTopology, outcome: &AuctionOutcome, period: u32) {
         for settlement in &outcome.settlements {
             if settlement.n_selected_links == 0 {
                 continue;
@@ -63,8 +60,7 @@ impl LeaseBook {
                 .iter()
                 .filter(|&l| topo.link(l).owner == LinkOwner::Bp(settlement.bp))
                 .collect();
-            let weight_total: f64 =
-                links.iter().map(|&l| topo.link(l).true_monthly_cost).sum();
+            let weight_total: f64 = links.iter().map(|&l| topo.link(l).true_monthly_cost).sum();
             for &l in &links {
                 let w = topo.link(l).true_monthly_cost;
                 let share = if weight_total > 0.0 { w / weight_total } else { 0.0 };

@@ -65,6 +65,8 @@ pub struct BillingSummary {
 pub enum PocError {
     Registry(RegistryError),
     Auction(poc_auction::vcg::AuctionError),
+    /// The installed forwarding tables are corrupt (routing loop).
+    Fabric(crate::fabric::FabricError),
     /// Billing requested before any auction round installed a fabric.
     NoFabric,
     /// Usage reported for an entity that may not send traffic.
@@ -76,6 +78,7 @@ impl std::fmt::Display for PocError {
         match self {
             PocError::Registry(e) => write!(f, "registry: {e}"),
             PocError::Auction(e) => write!(f, "auction: {e}"),
+            PocError::Fabric(e) => write!(f, "fabric: {e}"),
             PocError::NoFabric => write!(f, "no fabric installed (run an auction round first)"),
             PocError::NotAuthorized(e) => write!(f, "{e} is not authorized to send traffic"),
         }
@@ -214,10 +217,7 @@ impl Poc {
     /// Settle one period. `usage` is billable usage per member (Gbit/s
     /// averaged over the period, sent + received). The POC prices transit
     /// at exactly outlay/usage — nonprofit break-even.
-    pub fn billing_cycle(
-        &mut self,
-        usage: &[(EntityId, f64)],
-    ) -> Result<BillingSummary, PocError> {
+    pub fn billing_cycle(&mut self, usage: &[(EntityId, f64)]) -> Result<BillingSummary, PocError> {
         let outcome = self.last_outcome.as_ref().ok_or(PocError::NoFabric)?;
         for &(id, _) in usage {
             if !self.registry.may_send_traffic(id) {
@@ -274,8 +274,7 @@ impl Poc {
 
         // Charges: usage-proportional, summing exactly to the outlay.
         let total_usage_gbps: f64 = usage.iter().map(|(_, u)| u).sum();
-        let unit_price =
-            if total_usage_gbps > 0.0 { total_outlay / total_usage_gbps } else { 0.0 };
+        let unit_price = if total_usage_gbps > 0.0 { total_outlay / total_usage_gbps } else { 0.0 };
         let mut charges = Vec::with_capacity(usage.len());
         for &(id, gbps) in usage {
             let charge = gbps * unit_price;
@@ -345,13 +344,12 @@ impl Poc {
         to: EntityId,
     ) -> Result<Option<Vec<poc_topology::LinkId>>, PocError> {
         let fabric = self.fabric.as_ref().ok_or(PocError::NoFabric)?;
-        let (Some(a), Some(b)) = (
-            self.registry.attachment_router(from),
-            self.registry.attachment_router(to),
-        ) else {
+        let (Some(a), Some(b)) =
+            (self.registry.attachment_router(from), self.registry.attachment_router(to))
+        else {
             return Ok(None);
         };
-        Ok(fabric.path(a, b))
+        fabric.path(a, b).map_err(PocError::Fabric)
     }
 }
 
@@ -429,10 +427,7 @@ mod tests {
         let tm = demand(p.topo().n_routers());
         p.run_auction_round(&tm).unwrap();
         let bp = p.registry().by_name("bp:BP-A").unwrap().id;
-        assert!(matches!(
-            p.billing_cycle(&[(bp, 1.0)]),
-            Err(PocError::NotAuthorized(_))
-        ));
+        assert!(matches!(p.billing_cycle(&[(bp, 1.0)]), Err(PocError::NotAuthorized(_))));
     }
 
     #[test]

@@ -77,13 +77,7 @@ impl Ledger {
         }
         *self.balances.entry(from).or_insert(0.0) -= amount;
         *self.balances.entry(to).or_insert(0.0) += amount;
-        self.postings.push(Posting {
-            period,
-            from,
-            to,
-            amount,
-            memo: memo.to_string(),
-        });
+        self.postings.push(Posting { period, from, to, amount, memo: memo.to_string() });
     }
 
     /// Net balance of an account (positive = received more than paid).
@@ -104,11 +98,7 @@ impl Ledger {
 
     /// Total flow into `to` from `from` across all periods.
     pub fn total_flow(&self, from: Account, to: Account) -> f64 {
-        self.postings
-            .iter()
-            .filter(|p| p.from == from && p.to == to)
-            .map(|p| p.amount)
-            .sum()
+        self.postings.iter().filter(|p| p.from == from && p.to == to).map(|p| p.amount).sum()
     }
 
     pub fn postings(&self) -> &[Posting] {

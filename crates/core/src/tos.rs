@@ -50,10 +50,14 @@ pub enum PolicyAction {
     /// Scheduling priority change (positive = boost, negative = throttle).
     Prioritize(i32),
     /// Provide a CDN / application-enhancement service to matched traffic.
-    ProvideEnhancement { service: String },
+    ProvideEnhancement {
+        service: String,
+    },
     /// Permit a third party to install an enhancement service that applies
     /// to the matched traffic.
-    AllowThirdPartyEnhancement { provider: String },
+    AllowThirdPartyEnhancement {
+        provider: String,
+    },
 }
 
 /// The declared basis for the policy — what the LMP claims justifies it.
@@ -83,9 +87,14 @@ pub struct TrafficPolicy {
 /// The engine's ruling.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Verdict {
-    Allowed { rationale: String },
+    Allowed {
+        rationale: String,
+    },
     /// Violation of peering condition (i), (ii) or (iii).
-    Violation { condition: u8, rationale: String },
+    Violation {
+        condition: u8,
+        rationale: String,
+    },
 }
 
 impl Verdict {
@@ -124,13 +133,13 @@ impl NeutralityEngine {
         let differential = policy.matches.is_differential();
         match (&policy.action, &policy.basis) {
             // Security blocking is the explicit carve-out — even targeted.
-            (PolicyAction::Block, PolicyBasis::Security) => Verdict::Allowed {
-                rationale: "security exception (ToS carve-out)".into(),
-            },
+            (PolicyAction::Block, PolicyBasis::Security) => {
+                Verdict::Allowed { rationale: "security exception (ToS carve-out)".into() }
+            }
             // Maintenance priority likewise.
-            (PolicyAction::Prioritize(_), PolicyBasis::Maintenance) => Verdict::Allowed {
-                rationale: "internal maintenance exception".into(),
-            },
+            (PolicyAction::Prioritize(_), PolicyBasis::Maintenance) => {
+                Verdict::Allowed { rationale: "internal maintenance exception".into() }
+            }
             // Posted-price QoS / services must be openly offered and not
             // single out traffic the buyer didn't choose: the *offer* is
             // uniform even though only payers receive it.
@@ -173,8 +182,7 @@ impl NeutralityEngine {
                     }
                 } else {
                     Verdict::Allowed {
-                        rationale: "uniform scheduling change affects all traffic equally"
-                            .into(),
+                        rationale: "uniform scheduling change affects all traffic equally".into(),
                     }
                 }
             }
@@ -196,12 +204,10 @@ impl NeutralityEngine {
                 if differential {
                     Verdict::Violation {
                         condition: 3,
-                        rationale:
-                            "third-party enhancement permitted only for a subset of traffic"
-                                .into(),
+                        rationale: "third-party enhancement permitted only for a subset of traffic"
+                            .into(),
                     }
-                } else if matches!(basis, PolicyBasis::PostedPrice { openly_offered: false, .. })
-                {
+                } else if matches!(basis, PolicyBasis::PostedPrice { openly_offered: false, .. }) {
                     Verdict::Violation {
                         condition: 3,
                         rationale: "third-party install terms not openly offered".into(),
@@ -220,11 +226,7 @@ impl NeutralityEngine {
         &self,
         policies: &'p [TrafficPolicy],
     ) -> Vec<(&'p TrafficPolicy, Verdict)> {
-        policies
-            .iter()
-            .map(|p| (p, self.review(p)))
-            .filter(|(_, v)| v.is_violation())
-            .collect()
+        policies.iter().map(|p| (p, self.review(p))).filter(|(_, v)| v.is_violation()).collect()
     }
 }
 

@@ -1,12 +1,10 @@
-//! Typed async client for the POC control plane.
+//! Typed blocking client for the POC control plane.
 
 use crate::codec::{read_frame, write_frame, CodecError};
-use crate::proto::{
-    AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response,
-};
+use crate::proto::{AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response};
 use poc_core::entity::EntityId;
 use poc_core::tos::{TrafficPolicy, Verdict};
-use tokio::net::TcpStream;
+use std::net::TcpStream;
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -42,71 +40,71 @@ pub struct PocClient {
 }
 
 impl PocClient {
-    pub async fn connect(addr: std::net::SocketAddr) -> std::io::Result<Self> {
-        Ok(Self { stream: TcpStream::connect(addr).await? })
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Self> {
+        Ok(Self { stream: TcpStream::connect(addr)? })
     }
 
-    async fn call(&mut self, req: Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req).await?;
-        let resp: Response = read_frame(&mut self.stream).await?;
+    fn call(&mut self, req: Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req)?;
+        let resp: Response = read_frame(&mut self.stream)?;
         if let Response::Error { message } = resp {
             return Err(ClientError::Server(message));
         }
         Ok(resp)
     }
 
-    pub async fn ping(&mut self) -> Result<(), ClientError> {
-        match self.call(Request::Ping).await? {
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(ClientError::Protocol(format!("expected Pong, got {other:?}"))),
         }
     }
 
     /// Attach and return the assigned entity id.
-    pub async fn attach(&mut self, name: &str, role: AttachRole) -> Result<EntityId, ClientError> {
-        match self.call(Request::Attach { name: name.into(), role }).await? {
+    pub fn attach(&mut self, name: &str, role: AttachRole) -> Result<EntityId, ClientError> {
+        match self.call(Request::Attach { name: name.into(), role })? {
             Response::Welcome { entity } => Ok(entity),
             other => Err(ClientError::Protocol(format!("expected Welcome, got {other:?}"))),
         }
     }
 
-    pub async fn run_auction(&mut self) -> Result<OutcomeSummary, ClientError> {
-        match self.call(Request::RunAuction).await? {
+    pub fn run_auction(&mut self) -> Result<OutcomeSummary, ClientError> {
+        match self.call(Request::RunAuction)? {
             Response::AuctionDone(s) => Ok(s),
             other => Err(ClientError::Protocol(format!("expected AuctionDone, got {other:?}"))),
         }
     }
 
-    pub async fn outcome(&mut self) -> Result<Option<OutcomeSummary>, ClientError> {
-        match self.call(Request::GetOutcome).await? {
+    pub fn outcome(&mut self) -> Result<Option<OutcomeSummary>, ClientError> {
+        match self.call(Request::GetOutcome)? {
             Response::Outcome(s) => Ok(s),
             other => Err(ClientError::Protocol(format!("expected Outcome, got {other:?}"))),
         }
     }
 
-    pub async fn report_usage(&mut self, entity: EntityId, gbps: f64) -> Result<(), ClientError> {
-        match self.call(Request::ReportUsage { entity, gbps }).await? {
+    pub fn report_usage(&mut self, entity: EntityId, gbps: f64) -> Result<(), ClientError> {
+        match self.call(Request::ReportUsage { entity, gbps })? {
             Response::Ack => Ok(()),
             other => Err(ClientError::Protocol(format!("expected Ack, got {other:?}"))),
         }
     }
 
-    pub async fn run_billing(&mut self) -> Result<BillingSummaryWire, ClientError> {
-        match self.call(Request::RunBilling).await? {
+    pub fn run_billing(&mut self) -> Result<BillingSummaryWire, ClientError> {
+        match self.call(Request::RunBilling)? {
             Response::BillingDone(s) => Ok(s),
             other => Err(ClientError::Protocol(format!("expected BillingDone, got {other:?}"))),
         }
     }
 
-    pub async fn balance(&mut self, entity: EntityId) -> Result<f64, ClientError> {
-        match self.call(Request::GetBalance { entity }).await? {
+    pub fn balance(&mut self, entity: EntityId) -> Result<f64, ClientError> {
+        match self.call(Request::GetBalance { entity })? {
             Response::Balance { balance, .. } => Ok(balance),
             other => Err(ClientError::Protocol(format!("expected Balance, got {other:?}"))),
         }
     }
 
-    pub async fn review_policy(&mut self, policy: TrafficPolicy) -> Result<Verdict, ClientError> {
-        match self.call(Request::ReviewPolicy { policy }).await? {
+    pub fn review_policy(&mut self, policy: TrafficPolicy) -> Result<Verdict, ClientError> {
+        match self.call(Request::ReviewPolicy { policy })? {
             Response::PolicyVerdict(v) => Ok(v),
             other => Err(ClientError::Protocol(format!("expected Verdict, got {other:?}"))),
         }
@@ -114,21 +112,21 @@ impl PocClient {
 
     /// Recall a leased link on behalf of a BP. Returns (lease found,
     /// re-auction pending).
-    pub async fn recall_link(
+    pub fn recall_link(
         &mut self,
         bp: u32,
         link: u32,
         notice_periods: u32,
     ) -> Result<(bool, bool), ClientError> {
-        match self.call(Request::RecallLink { bp, link, notice_periods }).await? {
+        match self.call(Request::RecallLink { bp, link, notice_periods })? {
             Response::RecallDone { found, reauction_needed } => Ok((found, reauction_needed)),
             other => Err(ClientError::Protocol(format!("expected RecallDone, got {other:?}"))),
         }
     }
 
     /// The current lease book.
-    pub async fn leases(&mut self) -> Result<Vec<LeaseWire>, ClientError> {
-        match self.call(Request::GetLeases).await? {
+    pub fn leases(&mut self) -> Result<Vec<LeaseWire>, ClientError> {
+        match self.call(Request::GetLeases)? {
             Response::Leases(ls) => Ok(ls),
             other => Err(ClientError::Protocol(format!("expected Leases, got {other:?}"))),
         }
@@ -136,12 +134,8 @@ impl PocClient {
 
     /// Link ids of the fabric path between two members, if both attached
     /// and connected.
-    pub async fn path(
-        &mut self,
-        from: EntityId,
-        to: EntityId,
-    ) -> Result<Option<Vec<u32>>, ClientError> {
-        match self.call(Request::GetPath { from, to }).await? {
+    pub fn path(&mut self, from: EntityId, to: EntityId) -> Result<Option<Vec<u32>>, ClientError> {
+        match self.call(Request::GetPath { from, to })? {
             Response::Path { links } => Ok(links),
             other => Err(ClientError::Protocol(format!("expected Path, got {other:?}"))),
         }

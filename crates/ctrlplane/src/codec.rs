@@ -2,12 +2,13 @@
 //!
 //! Each frame: 4-byte big-endian payload length, then that many bytes of
 //! JSON. A hard size cap protects the server from a malicious or broken
-//! peer declaring a multi-gigabyte frame.
+//! peer declaring a multi-gigabyte frame. Framing is synchronous over any
+//! [`std::io::Read`]/[`std::io::Write`]; the server gives each connection
+//! its own thread, so blocking reads are the natural model.
 
-use bytes::{BufMut, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+use std::io::{Read, Write};
 
 /// Maximum accepted frame payload (1 MiB — control-plane messages are
 /// small; anything bigger is a protocol error).
@@ -49,9 +50,9 @@ impl From<serde_json::Error> for CodecError {
 }
 
 /// Write one frame.
-pub async fn write_frame<W, T>(writer: &mut W, msg: &T) -> Result<(), CodecError>
+pub fn write_frame<W, T>(writer: &mut W, msg: &T) -> Result<(), CodecError>
 where
-    W: AsyncWrite + Unpin,
+    W: Write,
     T: Serialize,
 {
     let payload = serde_json::to_vec(msg)?;
@@ -59,27 +60,25 @@ where
     if len > MAX_FRAME {
         return Err(CodecError::FrameTooLarge(len));
     }
-    let mut buf = BytesMut::with_capacity(4 + payload.len());
-    buf.put_u32(len);
-    buf.put_slice(&payload);
-    writer.write_all(&buf).await?;
-    writer.flush().await?;
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&payload);
+    writer.write_all(&buf)?;
+    writer.flush()?;
     Ok(())
 }
 
 /// Read one frame. Returns [`CodecError::Closed`] on clean EOF at a frame
 /// boundary.
-pub async fn read_frame<R, T>(reader: &mut R) -> Result<T, CodecError>
+pub fn read_frame<R, T>(reader: &mut R) -> Result<T, CodecError>
 where
-    R: AsyncRead + Unpin,
+    R: Read,
     T: DeserializeOwned,
 {
     let mut len_buf = [0u8; 4];
-    match reader.read_exact(&mut len_buf).await {
+    match reader.read_exact(&mut len_buf) {
         Ok(_) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-            return Err(CodecError::Closed)
-        }
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(CodecError::Closed),
         Err(e) => return Err(e.into()),
     }
     let len = u32::from_be_bytes(len_buf);
@@ -87,7 +86,7 @@ where
         return Err(CodecError::FrameTooLarge(len));
     }
     let mut payload = vec![0u8; len as usize];
-    reader.read_exact(&mut payload).await?;
+    reader.read_exact(&mut payload)?;
     Ok(serde_json::from_slice(&payload)?)
 }
 
@@ -96,51 +95,56 @@ mod tests {
     use super::*;
     use crate::proto::{Request, Response};
     use poc_core::entity::EntityId;
+    use std::io::Cursor;
 
-    #[tokio::test]
-    async fn frame_round_trip() {
-        let (mut a, mut b) = tokio::io::duplex(4096);
-        write_frame(&mut a, &Request::Ping).await.unwrap();
-        let got: Request = read_frame(&mut b).await.unwrap();
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping).unwrap();
+        let got: Request = read_frame(&mut Cursor::new(wire)).unwrap();
         assert_eq!(got, Request::Ping);
     }
 
-    #[tokio::test]
-    async fn multiple_frames_in_order() {
-        let (mut a, mut b) = tokio::io::duplex(4096);
-        write_frame(&mut a, &Response::Pong).await.unwrap();
-        write_frame(&mut a, &Response::Welcome { entity: EntityId(3) }).await.unwrap();
-        let r1: Response = read_frame(&mut b).await.unwrap();
-        let r2: Response = read_frame(&mut b).await.unwrap();
+    #[test]
+    fn multiple_frames_in_order() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Response::Pong).unwrap();
+        write_frame(&mut wire, &Response::Welcome { entity: EntityId(3) }).unwrap();
+        let mut cursor = Cursor::new(wire);
+        let r1: Response = read_frame(&mut cursor).unwrap();
+        let r2: Response = read_frame(&mut cursor).unwrap();
         assert_eq!(r1, Response::Pong);
         assert_eq!(r2, Response::Welcome { entity: EntityId(3) });
     }
 
-    #[tokio::test]
-    async fn eof_reports_closed() {
-        let (a, mut b) = tokio::io::duplex(64);
-        drop(a);
-        let err = read_frame::<_, Request>(&mut b).await.unwrap_err();
+    #[test]
+    fn eof_reports_closed() {
+        let err = read_frame::<_, Request>(&mut Cursor::new(Vec::new())).unwrap_err();
         assert!(matches!(err, CodecError::Closed), "{err:?}");
     }
 
-    #[tokio::test]
-    async fn oversized_frame_rejected() {
-        let (mut a, mut b) = tokio::io::duplex(64);
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping).unwrap();
+        wire.truncate(wire.len() - 1);
+        let err = read_frame::<_, Request>(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
         // Hand-craft a bogus length prefix.
-        use tokio::io::AsyncWriteExt;
-        a.write_all(&(MAX_FRAME + 1).to_be_bytes()).await.unwrap();
-        let err = read_frame::<_, Request>(&mut b).await.unwrap_err();
+        let wire = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        let err = read_frame::<_, Request>(&mut Cursor::new(wire)).unwrap_err();
         assert!(matches!(err, CodecError::FrameTooLarge(_)), "{err:?}");
     }
 
-    #[tokio::test]
-    async fn garbage_json_rejected() {
-        let (mut a, mut b) = tokio::io::duplex(64);
-        use tokio::io::AsyncWriteExt;
-        a.write_all(&5u32.to_be_bytes()).await.unwrap();
-        a.write_all(b"hello").await.unwrap();
-        let err = read_frame::<_, Request>(&mut b).await.unwrap_err();
+    #[test]
+    fn garbage_json_rejected() {
+        let mut wire = 5u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"hello");
+        let err = read_frame::<_, Request>(&mut Cursor::new(wire)).unwrap_err();
         assert!(matches!(err, CodecError::Json(_)), "{err:?}");
     }
 }

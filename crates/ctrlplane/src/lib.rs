@@ -1,19 +1,19 @@
-//! Async TCP control plane for the POC.
+//! TCP control plane for the POC.
 //!
 //! The reproduction band for this paper calls for a control-plane
-//! prototype on async networking: this crate runs the [`poc_core::Poc`]
+//! prototype on real networking: this crate runs the [`poc_core::Poc`]
 //! behind a TCP endpoint speaking a length-prefixed JSON protocol.
 //! Members attach (LMP / direct CSP), the operator triggers auction
 //! rounds and billing cycles, members query the ledger, submit usage, and
 //! request neutrality review of traffic policies.
 //!
 //! * [`proto`] — the wire messages;
-//! * [`codec`] — length-prefixed framing over any `AsyncRead`/`AsyncWrite`;
-//! * [`server`] — the POC controller: one task per connection, state
-//!   behind an async mutex (auction rounds serialize state mutation —
+//! * [`codec`] — length-prefixed framing over any `Read`/`Write`;
+//! * [`server`] — the POC controller: one thread per connection, state
+//!   behind a mutex (auction rounds serialize state mutation —
 //!   acceptable for a control plane, where rounds are rare and minutes
 //!   apart);
-//! * [`client`] — a typed async client.
+//! * [`client`] — a typed blocking client.
 
 pub mod client;
 pub mod codec;

@@ -82,20 +82,32 @@ pub struct BillingSummaryWire {
 /// Server → client.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Response {
-    Welcome { entity: EntityId },
+    Welcome {
+        entity: EntityId,
+    },
     Pong,
     Ack,
     AuctionDone(OutcomeSummary),
     Outcome(Option<OutcomeSummary>),
     BillingDone(BillingSummaryWire),
-    Balance { entity: EntityId, balance: f64 },
+    Balance {
+        entity: EntityId,
+        balance: f64,
+    },
     PolicyVerdict(Verdict),
-    Path { links: Option<Vec<u32>> },
+    Path {
+        links: Option<Vec<u32>>,
+    },
     /// Recall accepted (`found` = an active lease matched) and whether a
     /// re-auction is now pending.
-    RecallDone { found: bool, reauction_needed: bool },
+    RecallDone {
+        found: bool,
+        reauction_needed: bool,
+    },
     Leases(Vec<LeaseWire>),
-    Error { message: String },
+    Error {
+        message: String,
+    },
 }
 
 #[cfg(test)]
@@ -104,10 +116,8 @@ mod tests {
 
     #[test]
     fn round_trip_json() {
-        let req = Request::Attach {
-            name: "lmp-1".into(),
-            role: AttachRole::Lmp { router: RouterId(3) },
-        };
+        let req =
+            Request::Attach { name: "lmp-1".into(), role: AttachRole::Lmp { router: RouterId(3) } };
         let bytes = serde_json::to_vec(&req).unwrap();
         let back: Request = serde_json::from_slice(&bytes).unwrap();
         assert_eq!(req, back);
@@ -122,8 +132,7 @@ mod tests {
     fn verdict_round_trip() {
         let v = Verdict::Violation { condition: 2, rationale: "x".into() };
         let resp = Response::PolicyVerdict(v.clone());
-        let back: Response =
-            serde_json::from_slice(&serde_json::to_vec(&resp).unwrap()).unwrap();
+        let back: Response = serde_json::from_slice(&serde_json::to_vec(&resp).unwrap()).unwrap();
         assert_eq!(back, Response::PolicyVerdict(v));
     }
 

@@ -1,24 +1,29 @@
 //! The POC controller: a TCP server wrapping [`poc_core::Poc`].
 //!
-//! One tokio task per connection; all state behind a single async mutex.
-//! Auction rounds hold the lock for their duration — control-plane rounds
-//! are rare (monthly in the paper's economics) so serialization is the
-//! right simplicity trade-off for a prototype. Shutdown is cooperative via
-//! a watch channel; the accept loop and every connection task exit when it
-//! fires.
+//! One thread per connection; all state behind a single mutex. Auction
+//! rounds hold the lock for their duration — control-plane rounds are rare
+//! (monthly in the paper's economics) so serialization is the right
+//! simplicity trade-off for a prototype. Shutdown is cooperative via an
+//! [`AtomicBool`]: [`ServerHandle::shutdown`] sets the flag and pokes the
+//! accept loop with a throwaway connection; connection threads observe the
+//! flag between read attempts (reads run under a short timeout so a parked
+//! thread notices within ~100 ms).
 
 use crate::codec::{read_frame, write_frame, CodecError};
-use crate::proto::{
-    AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response,
-};
+use crate::proto::{AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response};
+use parking_lot::Mutex;
 use poc_core::entity::EntityId;
 use poc_core::poc::Poc;
 use poc_traffic::TrafficMatrix;
 use std::collections::BTreeMap;
-use std::net::SocketAddr;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::{watch, Mutex};
+use std::time::Duration;
+
+/// How often a blocked connection read re-checks the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
 
 /// Shared controller state.
 struct State {
@@ -29,97 +34,128 @@ struct State {
     usage: BTreeMap<EntityId, f64>,
 }
 
-/// The server. Construct with [`PocServer::bind`], then [`PocServer::run`]
-/// (or spawn it) and keep the [`ServerHandle`] for shutdown.
+/// The server. Construct with [`PocServer::bind`], then call
+/// [`PocServer::run`] (typically on its own thread) and keep the
+/// [`ServerHandle`] for shutdown.
 pub struct PocServer {
     listener: TcpListener,
     state: Arc<Mutex<State>>,
-    shutdown_rx: watch::Receiver<bool>,
+    shutdown: Arc<AtomicBool>,
 }
 
 /// Handle for stopping a running server.
 pub struct ServerHandle {
-    shutdown_tx: watch::Sender<bool>,
+    shutdown: Arc<AtomicBool>,
     pub local_addr: SocketAddr,
 }
 
 impl ServerHandle {
     /// Signal the server (accept loop + connections) to stop.
     pub fn shutdown(&self) {
-        let _ = self.shutdown_tx.send(true);
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop: it is parked in accept(), so hand it one
+        // last throwaway connection to observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
     }
 }
 
 impl PocServer {
     /// Bind on `addr` (use port 0 for an ephemeral port).
-    pub async fn bind(
-        addr: &str,
-        poc: Poc,
-        tm: TrafficMatrix,
-    ) -> std::io::Result<(Self, ServerHandle)> {
-        let listener = TcpListener::bind(addr).await?;
+    pub fn bind(addr: &str, poc: Poc, tm: TrafficMatrix) -> std::io::Result<(Self, ServerHandle)> {
+        let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let shutdown = Arc::new(AtomicBool::new(false));
         let state = Arc::new(Mutex::new(State { poc, tm, usage: BTreeMap::new() }));
         Ok((
-            Self { listener, state, shutdown_rx },
-            ServerHandle { shutdown_tx, local_addr },
+            Self { listener, state, shutdown: Arc::clone(&shutdown) },
+            ServerHandle { shutdown, local_addr },
         ))
     }
 
-    /// Accept-and-serve until shutdown.
-    pub async fn run(self) {
-        let mut shutdown = self.shutdown_rx.clone();
+    /// Accept-and-serve until shutdown. Returns once the accept loop has
+    /// stopped and every connection thread has exited.
+    pub fn run(self) {
+        let mut workers = Vec::new();
         loop {
-            tokio::select! {
-                accepted = self.listener.accept() => {
-                    match accepted {
-                        Ok((stream, _peer)) => {
-                            let state = Arc::clone(&self.state);
-                            let conn_shutdown = self.shutdown_rx.clone();
-                            tokio::spawn(async move {
-                                let _ = serve_connection(stream, state, conn_shutdown).await;
-                            });
-                        }
-                        Err(_) => break,
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
                     }
+                    let state = Arc::clone(&self.state);
+                    let flag = Arc::clone(&self.shutdown);
+                    workers.push(std::thread::spawn(move || {
+                        let _ = serve_connection(stream, state, flag);
+                    }));
                 }
-                _ = shutdown.changed() => {
-                    if *shutdown.borrow() {
+                Err(_) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
                 }
             }
         }
+        for w in workers {
+            let _ = w.join();
+        }
     }
 }
 
-async fn serve_connection(
+/// [`Read`] adapter that turns a blocking stream into one that polls the
+/// shutdown flag: reads run under [`READ_POLL`] timeouts, and once the
+/// flag is set an idle wait surfaces as EOF (so the codec reports a clean
+/// `Closed` at a frame boundary). Partial reads are preserved by the
+/// underlying `read`, so a timeout mid-frame never corrupts framing.
+struct ShutdownAwareReader<'a> {
+    stream: &'a TcpStream,
+    flag: &'a AtomicBool,
+}
+
+impl Read for ShutdownAwareReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        // `impl Read for &TcpStream` lets us read through the shared ref.
+        let mut stream = self.stream;
+        loop {
+            match stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.flag.load(Ordering::SeqCst) {
+                        return Ok(0);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn serve_connection(
     mut stream: TcpStream,
     state: Arc<Mutex<State>>,
-    mut shutdown: watch::Receiver<bool>,
+    flag: Arc<AtomicBool>,
 ) -> Result<(), CodecError> {
+    stream.set_read_timeout(Some(READ_POLL))?;
     loop {
-        let request: Request = tokio::select! {
-            r = read_frame(&mut stream) => match r {
-                Ok(req) => req,
-                Err(CodecError::Closed) => return Ok(()),
-                Err(e) => return Err(e),
-            },
-            _ = shutdown.changed() => {
-                if *shutdown.borrow() {
-                    return Ok(());
-                }
-                continue;
-            }
+        if flag.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut reader = ShutdownAwareReader { stream: &stream, flag: &flag };
+        let request: Request = match read_frame(&mut reader) {
+            Ok(req) => req,
+            Err(CodecError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
         };
-        let response = handle(&state, request).await;
-        write_frame(&mut stream, &response).await?;
+        let response = handle(&state, request);
+        write_frame(&mut stream, &response)?;
     }
 }
 
-async fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
-    let mut st = state.lock().await;
+fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
+    let mut st = state.lock();
     match request {
         Request::Ping => Response::Pong,
         Request::Attach { name, role } => {
@@ -154,8 +190,7 @@ async fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
             Response::Ack
         }
         Request::RunBilling => {
-            let usage: Vec<(EntityId, f64)> =
-                st.usage.iter().map(|(&e, &g)| (e, g)).collect();
+            let usage: Vec<(EntityId, f64)> = st.usage.iter().map(|(&e, &g)| (e, g)).collect();
             match st.poc.billing_cycle(&usage) {
                 Ok(summary) => {
                     st.usage.clear();
@@ -176,9 +211,9 @@ async fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
         },
         Request::ReviewPolicy { policy } => Response::PolicyVerdict(st.poc.review_policy(&policy)),
         Request::GetPath { from, to } => match st.poc.member_path(from, to) {
-            Ok(links) => Response::Path {
-                links: links.map(|ls| ls.into_iter().map(|l| l.0).collect()),
-            },
+            Ok(links) => {
+                Response::Path { links: links.map(|ls| ls.into_iter().map(|l| l.0).collect()) }
+            }
             Err(e) => Response::Error { message: e.to_string() },
         },
         Request::RecallLink { bp, link, notice_periods } => {
@@ -216,10 +251,6 @@ fn summarize(out: &poc_auction::AuctionOutcome) -> OutcomeSummary {
         n_selected_links: out.selected.len(),
         total_cost: out.total_cost,
         total_payments: out.settlements.iter().map(|s| s.payment).sum(),
-        settlements: out
-            .settlements
-            .iter()
-            .map(|s| (s.bp.0, s.payment, s.pob()))
-            .collect(),
+        settlements: out.settlements.iter().map(|s| (s.bp.0, s.payment, s.pob())).collect(),
     }
 }

@@ -9,8 +9,9 @@ use poc_topology::builder::two_bp_square;
 use poc_topology::zoo::{attach_external_isps, ExternalIspConfig};
 use poc_topology::{CostModel, RouterId};
 use poc_traffic::TrafficMatrix;
+use std::thread::JoinHandle;
 
-async fn start_server() -> (poc_ctrlplane::ServerHandle, tokio::task::JoinHandle<()>) {
+fn start_server() -> (poc_ctrlplane::ServerHandle, JoinHandle<()>) {
     let mut topo = two_bp_square();
     attach_external_isps(
         &mut topo,
@@ -21,75 +22,66 @@ async fn start_server() -> (poc_ctrlplane::ServerHandle, tokio::task::JoinHandle
     tm.set(RouterId(0), RouterId(1), 10.0);
     tm.set(RouterId(1), RouterId(2), 5.0);
     let poc = Poc::new(topo, PocConfig::default());
-    let (server, handle) = PocServer::bind("127.0.0.1:0", poc, tm).await.unwrap();
-    let join = tokio::spawn(server.run());
+    let (server, handle) = PocServer::bind("127.0.0.1:0", poc, tm).unwrap();
+    let join = std::thread::spawn(move || server.run());
     (handle, join)
 }
 
-#[tokio::test]
-async fn ping_pong() {
-    let (handle, join) = start_server().await;
-    let mut client = PocClient::connect(handle.local_addr).await.unwrap();
-    client.ping().await.unwrap();
+#[test]
+fn ping_pong() {
+    let (handle, join) = start_server();
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    client.ping().unwrap();
     handle.shutdown();
-    let _ = join.await;
+    let _ = join.join();
 }
 
-#[tokio::test]
-async fn full_lifecycle_attach_auction_usage_billing() {
-    let (handle, join) = start_server().await;
-    let mut operator = PocClient::connect(handle.local_addr).await.unwrap();
-    let mut lmp_client = PocClient::connect(handle.local_addr).await.unwrap();
+#[test]
+fn full_lifecycle_attach_auction_usage_billing() {
+    let (handle, join) = start_server();
+    let mut operator = PocClient::connect(handle.local_addr).unwrap();
+    let mut lmp_client = PocClient::connect(handle.local_addr).unwrap();
 
     // Attach two LMPs from a second connection.
-    let lmp_a = lmp_client
-        .attach("lmp-a", AttachRole::Lmp { router: RouterId(0) })
-        .await
-        .unwrap();
-    let lmp_b = lmp_client
-        .attach("lmp-b", AttachRole::Lmp { router: RouterId(1) })
-        .await
-        .unwrap();
+    let lmp_a = lmp_client.attach("lmp-a", AttachRole::Lmp { router: RouterId(0) }).unwrap();
+    let lmp_b = lmp_client.attach("lmp-b", AttachRole::Lmp { router: RouterId(1) }).unwrap();
     assert_ne!(lmp_a, lmp_b);
 
     // No outcome before the auction.
-    assert!(operator.outcome().await.unwrap().is_none());
+    assert!(operator.outcome().unwrap().is_none());
 
     // Run the auction.
-    let outcome = operator.run_auction().await.unwrap();
+    let outcome = operator.run_auction().unwrap();
     assert!(outcome.n_selected_links > 0);
     assert!(outcome.total_cost > 0.0);
-    assert_eq!(operator.outcome().await.unwrap().unwrap(), outcome);
+    assert_eq!(operator.outcome().unwrap().unwrap(), outcome);
 
     // Path between the members exists now.
-    let path = lmp_client.path(lmp_a, lmp_b).await.unwrap();
+    let path = lmp_client.path(lmp_a, lmp_b).unwrap();
     assert!(path.is_some());
     assert!(!path.unwrap().is_empty());
 
     // Report usage and bill.
-    lmp_client.report_usage(lmp_a, 12.0).await.unwrap();
-    lmp_client.report_usage(lmp_b, 8.0).await.unwrap();
-    let bill = operator.run_billing().await.unwrap();
+    lmp_client.report_usage(lmp_a, 12.0).unwrap();
+    lmp_client.report_usage(lmp_b, 8.0).unwrap();
+    let bill = operator.run_billing().unwrap();
     assert!(bill.total_outlay > 0.0);
     assert!(bill.poc_net.abs() < 1e-6, "POC must break even: {bill:?}");
     assert_eq!(bill.charges.len(), 2);
 
     // Balances reflect the charges.
-    let bal_a = lmp_client.balance(lmp_a).await.unwrap();
+    let bal_a = lmp_client.balance(lmp_a).unwrap();
     assert!(bal_a < 0.0, "LMP paid the POC: {bal_a}");
 
     handle.shutdown();
-    let _ = join.await;
+    let _ = join.join();
 }
 
-#[tokio::test]
-async fn policy_review_over_the_wire() {
-    let (handle, join) = start_server().await;
-    let mut client = PocClient::connect(handle.local_addr).await.unwrap();
-    let lmp = client
-        .attach("lmp", AttachRole::Lmp { router: RouterId(0) })
-        .await
-        .unwrap();
+#[test]
+fn policy_review_over_the_wire() {
+    let (handle, join) = start_server();
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    let lmp = client.attach("lmp", AttachRole::Lmp { router: RouterId(0) }).unwrap();
     // Discriminatory block → violation.
     let verdict = client
         .review_policy(TrafficPolicy {
@@ -98,7 +90,6 @@ async fn policy_review_over_the_wire() {
             action: PolicyAction::Block,
             basis: PolicyBasis::Commercial,
         })
-        .await
         .unwrap();
     assert!(verdict.is_violation());
     // Posted-price QoS → allowed.
@@ -109,92 +100,83 @@ async fn policy_review_over_the_wire() {
             action: PolicyAction::Prioritize(3),
             basis: PolicyBasis::PostedPrice { price: 5.0, openly_offered: true },
         })
-        .await
         .unwrap();
     assert!(!verdict.is_violation());
     handle.shutdown();
-    let _ = join.await;
+    let _ = join.join();
 }
 
-#[tokio::test]
-async fn errors_are_reported_not_fatal() {
-    let (handle, join) = start_server().await;
-    let mut client = PocClient::connect(handle.local_addr).await.unwrap();
+#[test]
+fn errors_are_reported_not_fatal() {
+    let (handle, join) = start_server();
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
     // Billing before any auction → server error, connection stays usable.
-    let err = client.run_billing().await.unwrap_err();
+    let err = client.run_billing().unwrap_err();
     assert!(err.to_string().contains("no fabric"), "{err}");
-    client.ping().await.unwrap();
+    client.ping().unwrap();
     // Duplicate attach name.
-    client.attach("dup", AttachRole::Lmp { router: RouterId(0) }).await.unwrap();
-    let err = client
-        .attach("dup", AttachRole::Lmp { router: RouterId(1) })
-        .await
-        .unwrap_err();
+    client.attach("dup", AttachRole::Lmp { router: RouterId(0) }).unwrap();
+    let err = client.attach("dup", AttachRole::Lmp { router: RouterId(1) }).unwrap_err();
     assert!(err.to_string().contains("already registered"), "{err}");
     // Usage from an unknown entity.
-    let err = client.report_usage(EntityId(999), 1.0).await.unwrap_err();
+    let err = client.report_usage(EntityId(999), 1.0).unwrap_err();
     assert!(err.to_string().contains("not authorized"), "{err}");
     handle.shutdown();
-    let _ = join.await;
+    let _ = join.join();
 }
 
-#[tokio::test]
-async fn concurrent_clients_serialize_cleanly() {
-    let (handle, join) = start_server().await;
+#[test]
+fn concurrent_clients_serialize_cleanly() {
+    let (handle, join) = start_server();
     let addr = handle.local_addr;
-    let mut tasks = Vec::new();
+    let mut workers = Vec::new();
     for i in 0..8 {
-        tasks.push(tokio::spawn(async move {
-            let mut c = PocClient::connect(addr).await.unwrap();
-            c.ping().await.unwrap();
-            c.attach(&format!("lmp-{i}"), AttachRole::Lmp { router: RouterId(0) })
-                .await
-                .unwrap()
+        workers.push(std::thread::spawn(move || {
+            let mut c = PocClient::connect(addr).unwrap();
+            c.ping().unwrap();
+            c.attach(&format!("lmp-{i}"), AttachRole::Lmp { router: RouterId(0) }).unwrap()
         }));
     }
     let mut ids = Vec::new();
-    for t in tasks {
-        ids.push(t.await.unwrap());
+    for w in workers {
+        ids.push(w.join().unwrap());
     }
     ids.sort();
     ids.dedup();
     assert_eq!(ids.len(), 8, "every client got a distinct entity id");
     handle.shutdown();
-    let _ = join.await;
+    let _ = join.join();
 }
 
-#[tokio::test]
-async fn lease_recall_over_the_wire() {
-    let (handle, join) = start_server().await;
-    let mut operator = PocClient::connect(handle.local_addr).await.unwrap();
-    operator.run_auction().await.unwrap();
+#[test]
+fn lease_recall_over_the_wire() {
+    let (handle, join) = start_server();
+    let mut operator = PocClient::connect(handle.local_addr).unwrap();
+    operator.run_auction().unwrap();
 
     // Lease book is populated and all leases are active.
-    let leases = operator.leases().await.unwrap();
+    let leases = operator.leases().unwrap();
     assert!(!leases.is_empty());
     assert!(leases.iter().all(|l| l.state == "active"));
 
     // A BP recalls its first leased link: lease found, re-auction flagged.
     let lease = leases[0].clone();
-    let (found, reauction) = operator
-        .recall_link(lease.bp, lease.link, 1)
-        .await
-        .unwrap();
+    let (found, reauction) = operator.recall_link(lease.bp, lease.link, 1).unwrap();
     assert!(found);
     assert!(reauction);
-    let leases = operator.leases().await.unwrap();
+    let leases = operator.leases().unwrap();
     let recalled = leases.iter().find(|l| l.link == lease.link).unwrap();
     assert!(recalled.state.starts_with("recalled@"), "{recalled:?}");
 
     // Recalling an unknown link is a clean no-op.
-    let (found, _) = operator.recall_link(99, 9999, 1).await.unwrap();
+    let (found, _) = operator.recall_link(99, 9999, 1).unwrap();
     assert!(!found);
 
     // A fresh auction round clears the flag.
-    operator.run_auction().await.unwrap();
-    let (_, reauction) = operator.recall_link(99, 9999, 1).await.unwrap();
+    operator.run_auction().unwrap();
+    let (_, reauction) = operator.recall_link(99, 9999, 1).unwrap();
     assert!(!reauction, "fresh round must clear the re-auction flag");
 
     handle.shutdown();
-    let _ = join.await;
+    let _ = join.join();
 }

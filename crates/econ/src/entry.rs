@@ -52,14 +52,7 @@ pub fn entry_decision(
     };
     let operating_profit = (price - fee) * demand.d(price);
     let net_profit = operating_profit - entry_cost;
-    EntryOutcome {
-        regime,
-        fee,
-        price,
-        operating_profit,
-        net_profit,
-        enters: net_profit > 0.0,
-    }
+    EntryOutcome { regime, fee, price, operating_profit, net_profit, enters: net_profit > 0.0 }
 }
 
 /// The largest entry cost at which entry is still viable under `regime`

@@ -25,8 +25,7 @@ pub fn price_response_curve(demand: &dyn Demand, t_max: f64, n: usize) -> Vec<(f
 /// `tol` in the flat direction).
 pub fn is_strictly_increasing(curve: &[(f64, f64)], tol: f64) -> bool {
     curve.windows(2).all(|w| w[1].1 > w[0].1 - tol && w[1].1 >= w[0].1 - tol)
-        && curve.last().map(|l| l.1).unwrap_or(0.0)
-            > curve.first().map(|f| f.1).unwrap_or(0.0)
+        && curve.last().map(|l| l.1).unwrap_or(0.0) > curve.first().map(|f| f.1).unwrap_or(0.0)
 }
 
 /// Spot-check the lemma's hypotheses at a set of prices: positive,

@@ -344,7 +344,13 @@ mod tests {
         let e = Economy::example();
         let [nn, uni, nbs] = e.compare_regimes();
         for ((a, b), c) in nn.per_csp.iter().zip(&uni.per_csp).zip(&nbs.per_csp) {
-            assert!(b.price > a.price - 1e-9, "{}: unilateral {} vs NN {}", a.csp, b.price, a.price);
+            assert!(
+                b.price > a.price - 1e-9,
+                "{}: unilateral {} vs NN {}",
+                a.csp,
+                b.price,
+                a.price
+            );
             assert!(c.price >= a.price - 1e-9);
             assert!(b.price >= c.price - 1e-6, "unilateral should not undercut bargained");
         }

@@ -18,22 +18,14 @@ fn simpson(f: &dyn Fn(f64) -> f64, a: f64, b: f64, eps: f64, depth: usize) -> f6
         let m = (a + b) / 2.0;
         (b - a) / 6.0 * (f(a) + 4.0 * f(m) + f(b))
     }
-    fn rec(
-        f: &dyn Fn(f64) -> f64,
-        a: f64,
-        b: f64,
-        whole: f64,
-        eps: f64,
-        depth: usize,
-    ) -> f64 {
+    fn rec(f: &dyn Fn(f64) -> f64, a: f64, b: f64, whole: f64, eps: f64, depth: usize) -> f64 {
         let m = (a + b) / 2.0;
         let left = quad(f, a, m);
         let right = quad(f, m, b);
         if depth == 0 || (left + right - whole).abs() <= 15.0 * eps {
             left + right + (left + right - whole) / 15.0
         } else {
-            rec(f, a, m, left, eps / 2.0, depth - 1)
-                + rec(f, m, b, right, eps / 2.0, depth - 1)
+            rec(f, a, m, left, eps / 2.0, depth - 1) + rec(f, m, b, right, eps / 2.0, depth - 1)
         }
     }
     rec(f, a, b, quad(f, a, b), eps, depth)

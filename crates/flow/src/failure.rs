@@ -143,9 +143,7 @@ pub fn survives_all_pairs_backup(
     let vetoes: Vec<HashSet<LinkId>> = demands
         .iter()
         .map(|&(src, dst, _)| {
-            base.primary_path(src, dst)
-                .map(|p| p.iter().copied().collect())
-                .unwrap_or_default()
+            base.primary_path(src, dst).map(|p| p.iter().copied().collect()).unwrap_or_default()
         })
         .collect();
     match route_tm_with_veto(topo, active, tm, |fi, l| !vetoes[fi].contains(&l)) {
@@ -197,11 +195,8 @@ fn reroute_demand(
             return Err(format!("{remaining:.2} Gbps of {src}->{dst} has no backup route"));
         };
         let dirs = g.path_dirs(src, &path);
-        let bottleneck = path
-            .iter()
-            .zip(&dirs)
-            .map(|(&l, &d)| g.residual(l, d))
-            .fold(f64::INFINITY, f64::min);
+        let bottleneck =
+            path.iter().zip(&dirs).map(|(&l, &d)| g.residual(l, d)).fold(f64::INFINITY, f64::min);
         let amount = remaining.min(bottleneck);
         if amount <= 1e-9 {
             undo(g, src, &placed);
@@ -415,12 +410,8 @@ mod tests {
             base.primary_path(r(0), r(1)).unwrap().iter().copied().collect();
         assert!(absorb_link_failure(&t, &all, &base, &primary).is_ok());
         // Failing every link touching r1 strands the flow.
-        let all_r1: HashSet<LinkId> = t
-            .links
-            .iter()
-            .filter(|l| l.a == r(1) || l.b == r(1))
-            .map(|l| l.id)
-            .collect();
+        let all_r1: HashSet<LinkId> =
+            t.links.iter().filter(|l| l.a == r(1) || l.b == r(1)).map(|l| l.id).collect();
         assert!(absorb_link_failure(&t, &all, &base, &all_r1).is_err());
     }
 

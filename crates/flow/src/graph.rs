@@ -30,11 +30,7 @@ pub struct CapacityGraph<'t> {
 impl<'t> CapacityGraph<'t> {
     /// Build the graph over `active ⊆ links(topo)` with full residuals.
     pub fn new(topo: &'t PocTopology, active: &LinkSet) -> Self {
-        assert_eq!(
-            active.universe(),
-            topo.n_links(),
-            "link-set universe must match the topology"
-        );
+        assert_eq!(active.universe(), topo.n_links(), "link-set universe must match the topology");
         let mut adj = vec![Vec::new(); topo.n_routers()];
         let mut residual_fwd = vec![0.0; topo.n_links()];
         let mut residual_rev = vec![0.0; topo.n_links()];
@@ -245,9 +241,7 @@ mod tests {
         let t = two_bp_square();
         let g = CapacityGraph::new(&t, &LinkSet::full(t.n_links()));
         let w = |l: LinkId, _| t.link(l).distance_km;
-        let path = g
-            .shortest_path(RouterId(0), RouterId(3), w, |_, _| true)
-            .expect("connected");
+        let path = g.shortest_path(RouterId(0), RouterId(3), w, |_, _| true).expect("connected");
         // Direct r0-r3 is 1830km; r0-r2-r3 is 910+950=1860; direct wins.
         assert_eq!(path.len(), 1);
         assert!(t.link(path[0]).connects(RouterId(0), RouterId(3)));
@@ -293,12 +287,7 @@ mod tests {
         let t = two_bp_square();
         let g = CapacityGraph::new(&t, &LinkSet::full(t.n_links()));
         let path = g
-            .shortest_path(
-                RouterId(3),
-                RouterId(0),
-                |l, _| t.link(l).distance_km,
-                |_, _| true,
-            )
+            .shortest_path(RouterId(3), RouterId(0), |l, _| t.link(l).distance_km, |_, _| true)
             .unwrap();
         let dirs = g.path_dirs(RouterId(3), &path);
         assert_eq!(dirs.len(), path.len());
@@ -312,8 +301,6 @@ mod tests {
         let t = two_bp_square();
         let none = LinkSet::empty(t.n_links());
         let g = CapacityGraph::new(&t, &none);
-        assert!(g
-            .shortest_path(RouterId(0), RouterId(1), |_, _| 1.0, |_, _| true)
-            .is_none());
+        assert!(g.shortest_path(RouterId(0), RouterId(1), |_, _| 1.0, |_, _| true).is_none());
     }
 }

@@ -46,8 +46,7 @@ pub fn k_shortest_paths(
     assert!(k >= 1, "need k >= 1");
     assert!(src != dst, "k-shortest paths need distinct endpoints");
     let g = CapacityGraph::new(topo, active);
-    let shortest =
-        g.shortest_path(src, dst, |l, _| topo.link(l).distance_km, |_, _| true);
+    let shortest = g.shortest_path(src, dst, |l, _| topo.link(l).distance_km, |_, _| true);
     let Some(first) = shortest else { return Vec::new() };
     let mut found = vec![RankedPath { km: path_km(topo, &first), links: first }];
     let mut candidates: Vec<RankedPath> = Vec::new();
@@ -62,16 +61,14 @@ pub fn k_shortest_paths(
             // Links banned at the spur: the (i+1)-prefix-sharing paths'
             // next links.
             let mut banned_links: HashSet<LinkId> = HashSet::new();
-            for p in found.iter().map(|p| &p.links).chain(candidates.iter().map(|c| &c.links))
-            {
+            for p in found.iter().map(|p| &p.links).chain(candidates.iter().map(|c| &c.links)) {
                 if p.len() > i && p[..i] == *root {
                     banned_links.insert(p[i]);
                 }
             }
             // Nodes of the root (except the spur node) are banned to keep
             // paths loopless.
-            let banned_nodes: HashSet<RouterId> =
-                prev_nodes[..i].iter().copied().collect();
+            let banned_nodes: HashSet<RouterId> = prev_nodes[..i].iter().copied().collect();
             let spur = g.shortest_path(
                 spur_node,
                 dst,
@@ -106,9 +103,8 @@ pub fn k_shortest_paths(
         }
         // Pop the cheapest candidate (ties: lexicographic links for
         // determinism).
-        candidates.sort_by(|a, b| {
-            a.km.partial_cmp(&b.km).expect("NaN km").then(a.links.cmp(&b.links))
-        });
+        candidates
+            .sort_by(|a, b| a.km.partial_cmp(&b.km).expect("NaN km").then(a.links.cmp(&b.links)));
         found.push(candidates.remove(0));
     }
     found

@@ -29,5 +29,5 @@ pub mod route;
 pub use graph::CapacityGraph;
 pub use kpaths::{disjoint_degree, k_shortest_paths, RankedPath};
 pub use linkset::LinkSet;
-pub use oracle::{Constraint, FeasibilityOracle, Rejection};
+pub use oracle::{Constraint, FeasibilityCache, FeasibilityOracle, Rejection};
 pub use route::{route_tm, RouteError, Routing};

@@ -120,12 +120,7 @@ impl MaxFlow {
 }
 
 /// Convenience: max flow between one pair over `active`.
-pub fn max_flow_between(
-    topo: &PocTopology,
-    active: &LinkSet,
-    src: RouterId,
-    dst: RouterId,
-) -> f64 {
+pub fn max_flow_between(topo: &PocTopology, active: &LinkSet, src: RouterId, dst: RouterId) -> f64 {
     MaxFlow::new(topo, active).max_flow(src, dst)
 }
 

@@ -4,9 +4,7 @@
 //! under the configured [`Constraint`]. The oracle also exposes the routing
 //! it found, which the auction's greedy selection reuses.
 
-use crate::failure::{
-    survives_all_pairs_backup, survives_single_path_failures, ResilienceResult,
-};
+use crate::failure::{survives_all_pairs_backup, survives_single_path_failures, ResilienceResult};
 use crate::linkset::LinkSet;
 use crate::route::{route_tm, RouteError, Routing};
 use poc_topology::{PocTopology, RouterId};
@@ -56,11 +54,68 @@ impl Constraint {
     }
 }
 
+/// Shared memo of acceptability verdicts, keyed by the candidate
+/// [`LinkSet`].
+///
+/// A verdict is a pure function of `(topo, tm, constraint, links)`, so a
+/// cache is only valid for oracles over the same instance — the intended
+/// use is one cache per auction round, shared by the round's per-BP
+/// Clarke-pivot re-selections (which probe heavily overlapping link sets,
+/// sequentially or from parallel threads). Thread-safe: reads take a
+/// shared lock, inserts an exclusive one; the oracle computation itself
+/// runs outside any lock, so concurrent probes of distinct sets never
+/// serialize on each other.
+#[derive(Default)]
+pub struct FeasibilityCache {
+    verdicts: parking_lot::RwLock<std::collections::HashMap<LinkSet, bool>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl FeasibilityCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached verdict for `links`, or `None` when it has not been computed.
+    pub fn lookup(&self, links: &LinkSet) -> Option<bool> {
+        use std::sync::atomic::Ordering;
+        let got = self.verdicts.read().get(links).copied();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Record a verdict. Idempotent: concurrent computations of the same
+    /// key insert the same value.
+    pub fn record(&self, links: &LinkSet, verdict: bool) {
+        self.verdicts.write().insert(links.clone(), verdict);
+    }
+
+    /// Number of distinct link sets memoized.
+    pub fn len(&self) -> usize {
+        self.verdicts.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.read().is_empty()
+    }
+
+    /// `(hits, misses)` over all lookups so far.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
 /// Oracle binding a topology, a traffic matrix, and a constraint level.
 pub struct FeasibilityOracle<'a> {
     topo: &'a PocTopology,
     tm: &'a TrafficMatrix,
     constraint: Constraint,
+    cache: Option<&'a FeasibilityCache>,
 }
 
 impl<'a> FeasibilityOracle<'a> {
@@ -70,7 +125,20 @@ impl<'a> FeasibilityOracle<'a> {
             topo.n_routers(),
             "traffic matrix and topology disagree on router count"
         );
-        Self { topo, tm, constraint }
+        Self { topo, tm, constraint, cache: None }
+    }
+
+    /// As [`Self::new`], with acceptability verdicts memoized in `cache`.
+    /// The cache must be dedicated to this `(topo, tm, constraint)`
+    /// instance; sharing one across different instances returns wrong
+    /// verdicts.
+    pub fn with_cache(
+        topo: &'a PocTopology,
+        tm: &'a TrafficMatrix,
+        constraint: Constraint,
+        cache: &'a FeasibilityCache,
+    ) -> Self {
+        Self { cache: Some(cache), ..Self::new(topo, tm, constraint) }
     }
 
     pub fn constraint(&self) -> Constraint {
@@ -86,9 +154,19 @@ impl<'a> FeasibilityOracle<'a> {
     }
 
     /// Whether `links ∈ A(OL)`: the subset carries the matrix under the
-    /// constraint.
+    /// constraint. Memoized when the oracle was built
+    /// [`Self::with_cache`].
     pub fn acceptable(&self, links: &LinkSet) -> bool {
-        self.evaluate(links).is_ok()
+        if let Some(cache) = self.cache {
+            if let Some(verdict) = cache.lookup(links) {
+                return verdict;
+            }
+            let verdict = self.evaluate(links).is_ok();
+            cache.record(links, verdict);
+            verdict
+        } else {
+            self.evaluate(links).is_ok()
+        }
     }
 
     /// As [`Self::acceptable`], but returns the base routing on success.
@@ -154,9 +232,7 @@ impl<'a> FeasibilityOracle<'a> {
         };
         match res {
             ResilienceResult::Survives => Ok(base),
-            ResilienceResult::Fails { pair, reason } => {
-                Err(Rejection::Resilience { pair, reason })
-            }
+            ResilienceResult::Fails { pair, reason } => Err(Rejection::Resilience { pair, reason }),
         }
     }
 }
@@ -179,15 +255,10 @@ mod tests {
         let t = two_bp_square();
         let tm = tm_for(&t);
         let full = LinkSet::full(t.n_links());
-        let tree =
-            LinkSet::from_links(t.n_links(), [LinkId(0), LinkId(1), LinkId(5)]);
+        let tree = LinkSet::from_links(t.n_links(), [LinkId(0), LinkId(1), LinkId(5)]);
 
         let o1 = FeasibilityOracle::new(&t, &tm, Constraint::BaseLoad);
-        let o2 = FeasibilityOracle::new(
-            &t,
-            &tm,
-            Constraint::SinglePathFailure { sample_every: 1 },
-        );
+        let o2 = FeasibilityOracle::new(&t, &tm, Constraint::SinglePathFailure { sample_every: 1 });
         let o3 = FeasibilityOracle::new(&t, &tm, Constraint::AllPairsBackup);
 
         // Full mesh passes everything.
@@ -214,6 +285,70 @@ mod tests {
         let tm = tm_for(&t);
         let o = FeasibilityOracle::new(&t, &tm, Constraint::BaseLoad);
         assert!(!o.acceptable(&LinkSet::empty(t.n_links())));
+    }
+
+    /// Candidate subsets exercising hits and misses: the full set, a
+    /// spanning-ish tree, singletons, and the empty set.
+    fn probe_sets(t: &PocTopology) -> Vec<LinkSet> {
+        let n = t.n_links();
+        let mut sets = vec![
+            LinkSet::full(n),
+            LinkSet::from_links(n, [LinkId(0), LinkId(1), LinkId(5)]),
+            LinkSet::empty(n),
+        ];
+        for l in 0..n {
+            sets.push(LinkSet::from_links(n, [LinkId::from_index(l)]));
+        }
+        sets
+    }
+
+    #[test]
+    fn cached_oracle_matches_uncached_verdicts() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        for c in Constraint::paper_suite(1) {
+            let plain = FeasibilityOracle::new(&t, &tm, c);
+            let cache = FeasibilityCache::new();
+            let cached = FeasibilityOracle::with_cache(&t, &tm, c, &cache);
+            // Two passes: the second must be served from the cache.
+            for _ in 0..2 {
+                for s in probe_sets(&t) {
+                    assert_eq!(
+                        cached.acceptable(&s),
+                        plain.acceptable(&s),
+                        "verdict mismatch under {} for {s:?}",
+                        c.label()
+                    );
+                }
+            }
+            let n_sets = probe_sets(&t).len() as u64;
+            let (hits, misses) = cache.stats();
+            assert_eq!(cache.len() as u64, n_sets);
+            assert_eq!(misses, n_sets, "first pass misses every set");
+            assert_eq!(hits, n_sets, "second pass hits every set");
+        }
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let cache = FeasibilityCache::new();
+        let sets = probe_sets(&t);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let o = FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &cache);
+                    for s in &sets {
+                        o.acceptable(s);
+                    }
+                });
+            }
+        });
+        let plain = FeasibilityOracle::new(&t, &tm, Constraint::BaseLoad);
+        for s in &sets {
+            assert_eq!(cache.lookup(s), Some(plain.acceptable(s)));
+        }
     }
 
     #[test]

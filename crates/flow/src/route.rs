@@ -91,10 +91,9 @@ pub enum RouteError {
 impl std::fmt::Display for RouteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RouteError::Unroutable { src, dst, remaining_gbps } => write!(
-                f,
-                "no residual capacity for {remaining_gbps:.2} Gbps of {src}->{dst}"
-            ),
+            RouteError::Unroutable { src, dst, remaining_gbps } => {
+                write!(f, "no residual capacity for {remaining_gbps:.2} Gbps of {src}->{dst}")
+            }
             RouteError::Disconnected { src, dst } => {
                 write!(f, "{src} and {dst} are disconnected in the active set")
             }
@@ -321,8 +320,7 @@ mod tests {
         tm.set(r(0), r(1), 10.0);
         let all = LinkSet::full(t.n_links());
         let direct = route_tm(&t, &all, &tm).unwrap().primary_path(r(0), r(1)).unwrap()[0];
-        let routing =
-            route_tm_with_veto(&t, &all, &tm, move |_, l| l != direct).unwrap();
+        let routing = route_tm_with_veto(&t, &all, &tm, move |_, l| l != direct).unwrap();
         let p = routing.primary_path(r(0), r(1)).unwrap();
         assert!(!p.contains(&direct));
         assert!(p.len() >= 2);

@@ -67,11 +67,8 @@ mod tests {
     fn run(throttles: Vec<IngressThrottle>) -> SimReport {
         let t = two_bp_square();
         let all = LinkSet::full(t.n_links());
-        let mut sim = Simulator::new(&t, &all, SimConfig {
-            horizon: 1.0,
-            outages: vec![],
-            throttles,
-        });
+        let mut sim =
+            Simulator::new(&t, &all, SimConfig { horizon: 1.0, outages: vec![], throttles });
         sim.add_flow(FlowSpec::persistent(r(0), r(1), 30.0, 1.0, "suspect"));
         sim.add_flow(FlowSpec::persistent(r(2), r(1), 30.0, 1.0, "control"));
         sim.run()

@@ -56,8 +56,7 @@ pub fn run_drill(
         .map(|i| (base.load_fwd[i] + base.load_rev[i], LinkId::from_index(i)))
         .collect();
     by_load.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN load").then(a.1.cmp(&b.1)));
-    let failed_links: Vec<LinkId> =
-        by_load.iter().take(spec.n_failures).map(|&(_, l)| l).collect();
+    let failed_links: Vec<LinkId> = by_load.iter().take(spec.n_failures).map(|&(_, l)| l).collect();
 
     let window = spec.outage_hours + spec.gap_hours;
     let horizon = window * failed_links.len() as f64 + spec.gap_hours;
@@ -71,11 +70,8 @@ pub fn run_drill(
         })
         .collect();
 
-    let mut sim = Simulator::new(topo, active, SimConfig {
-        horizon,
-        outages,
-        throttles: Vec::new(),
-    });
+    let mut sim =
+        Simulator::new(topo, active, SimConfig { horizon, outages, throttles: Vec::new() });
     // Traffic-engineered placement from the base routing: each split share
     // is pinned to its path and falls back to dynamic rerouting during an
     // outage — the behaviour the resilience constraints provision for.
@@ -128,10 +124,7 @@ mod tests {
     fn fragile_fabric_loses_traffic() {
         // Spanning tree: every failure severs something.
         let t = two_bp_square();
-        let tree = LinkSet::from_links(
-            t.n_links(),
-            [LinkId(0), LinkId(1), LinkId(5)],
-        );
+        let tree = LinkSet::from_links(t.n_links(), [LinkId(0), LinkId(1), LinkId(5)]);
         let mut tm = TrafficMatrix::zero(t.n_routers());
         tm.set(r(0), r(1), 10.0);
         let rep = run_drill(

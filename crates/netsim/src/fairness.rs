@@ -20,11 +20,7 @@ pub struct AllocFlow {
 /// Compute max-min fair rates. `scale[l]` optionally derates a link's
 /// usable capacity (e.g. 0.0 while the link is down); pass `None` for full
 /// capacity. Returns one rate per flow (≤ demand).
-pub fn max_min_rates(
-    topo: &PocTopology,
-    flows: &[AllocFlow],
-    scale: Option<&[f64]>,
-) -> Vec<f64> {
+pub fn max_min_rates(topo: &PocTopology, flows: &[AllocFlow], scale: Option<&[f64]>) -> Vec<f64> {
     let n_links = topo.n_links();
     if let Some(s) = scale {
         assert_eq!(s.len(), n_links, "scale vector must cover all links");
@@ -129,11 +125,7 @@ mod tests {
 
     /// Hops for the direct link between two routers (test helper).
     fn direct_hops(topo: &PocTopology, a: RouterId, b: RouterId) -> Vec<(LinkId, Dir)> {
-        let link = topo
-            .links
-            .iter()
-            .find(|l| l.connects(a, b))
-            .expect("no direct link");
+        let link = topo.links.iter().find(|l| l.connects(a, b)).expect("no direct link");
         let dir = if link.a == a { Dir::Fwd } else { Dir::Rev };
         vec![(link.id, dir)]
     }
@@ -141,10 +133,8 @@ mod tests {
     #[test]
     fn unconstrained_flows_get_their_demand() {
         let t = two_bp_square();
-        let flows = vec![AllocFlow {
-            hops: direct_hops(&t, RouterId(0), RouterId(1)),
-            demand_gbps: 30.0,
-        }];
+        let flows =
+            vec![AllocFlow { hops: direct_hops(&t, RouterId(0), RouterId(1)), demand_gbps: 30.0 }];
         let rates = max_min_rates(&t, &flows, None);
         assert!((rates[0] - 30.0).abs() < 1e-9);
     }

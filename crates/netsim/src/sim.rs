@@ -167,8 +167,7 @@ impl SimReport {
 
     /// Mean availability of flows with the given tag.
     pub fn availability_by_tag(&self, tag: &str) -> Option<f64> {
-        let tagged: Vec<&FlowStats> =
-            self.per_flow.iter().filter(|f| f.tag == tag).collect();
+        let tagged: Vec<&FlowStats> = self.per_flow.iter().filter(|f| f.tag == tag).collect();
         if tagged.is_empty() {
             return None;
         }
@@ -192,26 +191,17 @@ impl<'t> Simulator<'t> {
     pub fn new(topo: &'t PocTopology, active: &LinkSet, config: SimConfig) -> Self {
         assert!(config.horizon > 0.0, "horizon must be positive");
         for o in &config.outages {
-            assert!(
-                o.down_at < o.up_at && o.down_at >= 0.0,
-                "outage interval must be ordered"
-            );
+            assert!(o.down_at < o.up_at && o.down_at >= 0.0, "outage interval must be ordered");
             assert!(active.contains(o.link), "outage on a link not in the active set");
         }
         for t in &config.throttles {
-            assert!(
-                (0.0..=1.0).contains(&t.factor),
-                "throttle factor must be in [0,1]"
-            );
+            assert!((0.0..=1.0).contains(&t.factor), "throttle factor must be in [0,1]");
         }
         Self { topo, active: active.clone(), flows: Vec::new(), config }
     }
 
     pub fn add_flow(&mut self, flow: FlowSpec) {
-        assert!(
-            flow.start >= 0.0 && flow.start < flow.end,
-            "flow interval must be ordered"
-        );
+        assert!(flow.start >= 0.0 && flow.start < flow.end, "flow interval must be ordered");
         assert!(flow.demand_gbps >= 0.0, "demand must be non-negative");
         self.flows.push(flow);
     }
@@ -315,9 +305,8 @@ impl<'t> Simulator<'t> {
                 let g = CapacityGraph::new(self.topo, &surviving);
                 for (i, f) in self.flows.iter().enumerate() {
                     // Pinned placement wins while all its links are up.
-                    let pinned_ok = f.pinned_path.as_ref().filter(|p| {
-                        p.iter().all(|&l| up[l.index()])
-                    });
+                    let pinned_ok =
+                        f.pinned_path.as_ref().filter(|p| p.iter().all(|&l| up[l.index()]));
                     let new_path = match pinned_ok {
                         Some(p) => {
                             let dirs = g.path_dirs(f.src, p);

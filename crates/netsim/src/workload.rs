@@ -144,10 +144,7 @@ mod tests {
         let cfg = WorkloadConfig { n_flows: 400, ..Default::default() };
         let flows = generate_onoff(&t, &cfg);
         let n = flows.len() as f64;
-        assert!(
-            (n - 400.0).abs() < 120.0,
-            "Poisson count {n} too far from target 400"
-        );
+        assert!((n - 400.0).abs() < 120.0, "Poisson count {n} too far from target 400");
     }
 
     #[test]
@@ -190,10 +187,7 @@ mod tests {
         // arrivals near the peak.
         let peak = flows.iter().filter(|f| (10.0..14.0).contains(&f.start)).count();
         let trough = flows.iter().filter(|f| f.start < 2.0 || f.start >= 22.0).count();
-        assert!(
-            peak as f64 > trough as f64 * 2.0,
-            "peak {peak} vs trough {trough}"
-        );
+        assert!(peak as f64 > trough as f64 * 2.0, "peak {peak} vs trough {trough}");
     }
 
     #[test]

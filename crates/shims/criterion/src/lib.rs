@@ -1,0 +1,245 @@
+//! Offline `criterion` shim.
+//!
+//! Implements the API subset the bench crate uses — `Criterion` with
+//! `sample_size`/`measurement_time` builders, `bench_function`,
+//! `bench_with_input` + `BenchmarkId`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` macro — over a plain wall-clock timing loop.
+//! No statistical model, no HTML reports, no CLI filtering; each
+//! benchmark calibrates an iteration count, collects `sample_size`
+//! samples within the `measurement_time` budget, and prints
+//! median/mean/min per-iteration times.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// CLI args are ignored by the shim; kept for source compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Real criterion prints an aggregate report here; the shim prints
+    /// per-benchmark lines eagerly, so this is a no-op.
+    pub fn final_summary(&self) {}
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            budget: self.measurement_time,
+            stats: None,
+        };
+        f(&mut b);
+        report(id, b.stats);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            budget: self.measurement_time,
+            stats: None,
+        };
+        f(&mut b, input);
+        report(&id.label, b.stats);
+        self
+    }
+}
+
+/// Identifies a parameterised benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing statistics over the collected samples, in ns per iteration.
+struct Stats {
+    median: f64,
+    mean: f64,
+    min: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Hands the routine to the timing loop.
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let time = |n: u64, routine: &mut R| -> Duration {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            start.elapsed()
+        };
+
+        // Calibrate: grow the batch until one batch takes >= 1 ms, so the
+        // per-iteration estimate is not dominated by timer resolution.
+        let mut iters: u64 = 1;
+        let mut elapsed = time(iters, &mut routine);
+        while elapsed < Duration::from_millis(1) && iters < (1 << 24) {
+            iters *= 2;
+            elapsed = time(iters, &mut routine);
+        }
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+
+        // Size each sample so that sample_size samples fill the budget.
+        let per_sample = self.budget.as_secs_f64() / self.sample_size as f64;
+        let sample_iters = ((per_sample / per_iter) as u64).clamp(1, 1 << 28);
+
+        let deadline = Instant::now() + self.budget;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        while samples.len() < self.sample_size {
+            let d = time(sample_iters, &mut routine);
+            samples.push(d.as_secs_f64() * 1e9 / sample_iters as f64);
+            // Honor the time budget, but never report on fewer than 2 samples.
+            if Instant::now() >= deadline && samples.len() >= 2 {
+                break;
+            }
+        }
+
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let n = samples.len();
+        let median = if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        };
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        self.stats = Some(Stats {
+            median,
+            mean,
+            min: samples[0],
+            samples: n,
+            iters_per_sample: sample_iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(id: &str, stats: Option<Stats>) {
+    match stats {
+        Some(s) => println!(
+            "{id:<44} median {:>10}  mean {:>10}  min {:>10}  ({} samples x {} iters)",
+            fmt_ns(s.median),
+            fmt_ns(s.mean),
+            fmt_ns(s.min),
+            s.samples,
+            s.iters_per_sample,
+        ),
+        None => println!("{id:<44} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        c.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| n.wrapping_mul(3))
+        });
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1u32));
+        }
+        criterion_group! {
+            name = g;
+            config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(5));
+            targets = target
+        }
+        g();
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline `proptest` shim.
+//!
+//! A compact property-testing harness exposing the API subset the facade
+//! test-suite uses: the `proptest!` macro, `prop_assert*!`/`prop_assume!`,
+//! `Strategy` with `prop_map`, range strategies, tuple strategies,
+//! `prop::collection::vec`, `prop::array::uniform6`, and
+//! `prop::sample::select`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — on failure the harness prints the generated inputs
+//!   verbatim and re-raises the panic;
+//! * no persistence — `*.proptest-regressions` files are not replayed
+//!   (known regressions are pinned as explicit `#[test]`s instead);
+//! * cases are generated from a fixed per-test seed (FNV-1a of the test
+//!   name), so runs are fully deterministic.
+
+pub mod strategy {
+    use rand_chacha::ChaCha8Rng;
+    use std::fmt::Debug;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = ChaCha8Rng;
+
+    /// A recipe for generating values.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Debug + Copy,
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Debug + Copy,
+        std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($t:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($t,)+) = self;
+                    ($($t.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::Rng;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            sizes: std::ops::Range<usize>,
+        }
+
+        /// Vec of `element` values with a length drawn from `sizes`.
+        pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, sizes }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = if self.sizes.is_empty() {
+                    self.sizes.start
+                } else {
+                    rng.gen_range(self.sizes.clone())
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod array {
+        use crate::strategy::{Strategy, TestRng};
+
+        pub struct Uniform6<S>(S);
+
+        /// `[S::Value; 6]`, each element drawn independently.
+        pub fn uniform6<S: Strategy>(element: S) -> Uniform6<S> {
+            Uniform6(element)
+        }
+
+        impl<S: Strategy> Strategy for Uniform6<S> {
+            type Value = [S::Value; 6];
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                std::array::from_fn(|_| self.0.sample(rng))
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::Rng;
+        use std::fmt::Debug;
+
+        pub struct Select<T>(Vec<T>);
+
+        /// Uniformly pick one of the given values.
+        pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-test execution settings.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    /// Deterministic RNG for a test, seeded from its name (FNV-1a).
+    pub fn rng_for(test_name: &str) -> crate::strategy::TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        crate::strategy::TestRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!("" $(, stringify!($arg), " = {:?}; ")*),
+                        $(&$arg),*
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(__e) = __outcome {
+                        eprintln!(
+                            "proptest {} failed on case {}/{} with inputs: {}",
+                            stringify!($name), __case + 1, __cfg.cases, __inputs
+                        );
+                        ::std::panic::resume_unwind(__e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(
+            a in 0u32..10,
+            pair in (1usize..4, 0.0f64..1.0),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((1..4).contains(&pair.0));
+            prop_assert!((0.0..1.0).contains(&pair.1));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_and_map(
+            v in prop::collection::vec(0u32..5, 0..8).prop_map(|v| v.len()),
+            pick in prop::sample::select(vec![2u32, 4, 8]),
+            arr in prop::array::uniform6(0.5f64..1.5),
+        ) {
+            prop_assert!(v < 8);
+            prop_assert!(pick == 2 || pick == 4 || pick == 8);
+            prop_assert_eq!(arr.len(), 6);
+            prop_assume!(v > 0);
+            prop_assert_ne!(v, 0);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The shim's built-in JSON lexer/parser and string writer.
+//!
+//! `Parser` is a plain byte cursor with combinators shaped around what the
+//! derive macro generates: `expect`, `try_consume`, `string`, `number`,
+//! `seq`, and `skip_value` for unknown fields.
+
+/// Parse or serialize failure. Carries the byte offset where parsing gave
+/// up, which is enough to debug the small control-plane payloads this
+/// workspace exchanges.
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub msg: String,
+    pub offset: usize,
+}
+
+impl Error {
+    pub fn missing_field(name: &str) -> Self {
+        Error { msg: format!("missing field `{name}`"), offset: 0 }
+    }
+
+    pub fn unknown_variant(name: &str) -> Self {
+        Error { msg: format!("unknown variant `{name}`"), offset: 0 }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at offset {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Escape and quote `s` onto `out`.
+pub fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Byte cursor over a JSON document.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    pub fn error(&self, msg: &str) -> Error {
+        Error { msg: msg.to_string(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The next non-whitespace byte without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consume `c` or error.
+    pub fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.try_consume(c) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    /// Consume `c` if it is next.
+    pub fn try_consume(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a `null` literal if next.
+    pub fn try_null(&mut self) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the next value is a string.
+    pub fn peek_string(&mut self) -> bool {
+        self.peek() == Some(b'"')
+    }
+
+    pub fn bool(&mut self) -> Result<bool, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.error("expected bool"))
+        }
+    }
+
+    /// Parse a quoted string (handles escapes).
+    pub fn string(&mut self) -> Result<String, Error> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.error("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // shim's writer; reject them on read.
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| self.error("invalid code point"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Copy a full UTF-8 sequence.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len()
+                        && self.bytes[self.pos] & 0xC0 == 0x80
+                    {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn number_token(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number bytes"))
+    }
+
+    /// Parse any JSON number as f64.
+    pub fn number(&mut self) -> Result<f64, Error> {
+        let tok = self.number_token()?;
+        tok.parse::<f64>().map_err(|_| self.error("malformed number"))
+    }
+
+    /// Parse an integer (rejects fractional forms).
+    pub fn integer(&mut self) -> Result<i128, Error> {
+        let tok = self.number_token()?;
+        if let Ok(v) = tok.parse::<i128>() {
+            return Ok(v);
+        }
+        // Accept floats that are exactly integral (e.g. "3.0").
+        let f = tok.parse::<f64>().map_err(|_| self.error("malformed number"))?;
+        if f.fract() == 0.0 && f.abs() < 9.0e15 {
+            Ok(f as i128)
+        } else {
+            Err(self.error("expected integer"))
+        }
+    }
+
+    /// Iterate an array: calls `f` once per element.
+    pub fn seq(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<(), Error>,
+    ) -> Result<(), Error> {
+        self.expect(b'[')?;
+        if self.try_consume(b']') {
+            return Ok(());
+        }
+        loop {
+            f(self)?;
+            if self.try_consume(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(());
+        }
+    }
+
+    /// Skip one complete JSON value (used for unknown object keys).
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if self.try_consume(b'}') {
+                    return Ok(());
+                }
+                loop {
+                    self.string()?;
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    if self.try_consume(b',') {
+                        continue;
+                    }
+                    self.expect(b'}')?;
+                    return Ok(());
+                }
+            }
+            Some(b'[') => self.seq(|p| p.skip_value()),
+            Some(b't') | Some(b'f') => {
+                self.bool()?;
+                Ok(())
+            }
+            Some(b'n') => {
+                if self.try_null() {
+                    Ok(())
+                } else {
+                    Err(self.error("expected null"))
+                }
+            }
+            Some(_) => {
+                self.number()?;
+                Ok(())
+            }
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    /// Error unless only whitespace remains.
+    pub fn finish(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing characters"))
+        }
+    }
+}
+
+impl Deserialize for bool {
+    fn json_read(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.bool()
+    }
+}
+
+use crate::Deserialize;

@@ -1,0 +1,377 @@
+//! Offline `serde` shim.
+//!
+//! The real serde crates are unavailable in this build environment (no
+//! registry access), so this workspace ships a minimal stand-in exposing
+//! exactly the surface the repo uses: the `Serialize`/`Deserialize`
+//! traits, `serde::de::DeserializeOwned`, and `#[derive(Serialize,
+//! Deserialize)]` (via the sibling `serde_derive` shim). Unlike real
+//! serde there is no format abstraction: the traits read and write JSON
+//! directly, and the `serde_json` shim is a thin wrapper over them.
+//!
+//! Conventions match serde's JSON defaults where it is cheap to do so:
+//! structs are objects, newtype structs are transparent, unit enum
+//! variants are strings, data-carrying variants are single-key objects,
+//! unknown object keys are skipped, and `#[serde(default)]` /
+//! `#[serde(transparent)]` are honored. Maps serialize as arrays of
+//! `[key, value]` pairs (this shim never needs to interoperate with
+//! externally produced JSON).
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can write itself as JSON.
+pub trait Serialize {
+    fn json_write(&self, out: &mut String);
+}
+
+/// A value that can parse itself from JSON.
+pub trait Deserialize: Sized {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error>;
+}
+
+/// Module mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Module mirror of `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// In real serde this is `Deserialize` without borrowed data; the shim
+    /// traits never borrow, so it is a blanket alias.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn json_write(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                out.push_str(itoa(*self as i128).as_str());
+            }
+        }
+        impl Deserialize for $t {
+            fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+                let n = p.integer()?;
+                <$t>::try_from(n).map_err(|_| p.error("integer out of range"))
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa(v: i128) -> String {
+    v.to_string()
+}
+
+impl Serialize for f64 {
+    fn json_write(&self, out: &mut String) {
+        if self.is_finite() {
+            // Rust's shortest round-trip formatting; valid JSON.
+            let s = format!("{self}");
+            out.push_str(&s);
+            // `5` would parse back as an integer fine for f64, no suffix
+            // needed: f64::json_read accepts either form.
+        } else {
+            // Mirror serde_json: non-finite floats become null.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        if p.try_null() {
+            return Ok(f64::NAN);
+        }
+        p.number()
+    }
+}
+
+impl Serialize for f32 {
+    fn json_write(&self, out: &mut String) {
+        (*self as f64).json_write(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        Ok(f64::json_read(p)? as f32)
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String) {
+        json::write_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String) {
+        json::write_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        p.string()
+    }
+}
+
+impl Serialize for char {
+    fn json_write(&self, out: &mut String) {
+        json::write_string(&self.to_string(), out);
+    }
+}
+
+impl Deserialize for char {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let s = p.string()?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(p.error("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        Ok(Box::new(T::json_read(p)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_write(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        if p.try_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::json_read(p)?))
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    let mut first = true;
+    for v in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        v.json_write(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let mut out = Vec::new();
+        p.seq(|p| {
+            out.push(T::json_read(p)?);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let v = Vec::<T>::json_read(p)?;
+        if v.len() != N {
+            return Err(p.error("array length mismatch"));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&v);
+        Ok(out)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json_write(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json_write(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+                p.expect(b'[')?;
+                let v = ($(
+                    {
+                        if $n > 0 { p.expect(b',')?; }
+                        $t::json_read(p)?
+                    },
+                )+);
+                p.expect(b']')?;
+                Ok(v)
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        let mut first = true;
+        for (k, v) in self {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('[');
+            k.json_write(out);
+            out.push(',');
+            v.json_write(out);
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let pairs = Vec::<(K, V)>::json_read(p)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        let mut first = true;
+        for v in self {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            v.json_write(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let items = Vec::<T>::json_read(p)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        let mut first = true;
+        for v in self {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            v.json_write(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let items = Vec::<T>::json_read(p)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        let mut first = true;
+        for (k, v) in self {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('[');
+            k.json_write(out);
+            out.push(',');
+            v.json_write(out);
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn json_read(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let pairs = Vec::<(K, V)>::json_read(p)?;
+        Ok(pairs.into_iter().collect())
+    }
+}

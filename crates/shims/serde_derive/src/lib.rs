@@ -1,0 +1,507 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde shim.
+//!
+//! syn/quote are unavailable offline, so the item is parsed directly from
+//! the `proc_macro` token stream and code is generated as a source string.
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields (JSON objects; `#[serde(default)]` honored,
+//!   unknown keys skipped)
+//! * newtype structs (transparent, matching serde)
+//! * tuple structs (JSON arrays) and unit structs (null)
+//! * non-generic enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, matching serde)
+//!
+//! Generic parameters, lifetimes, and other serde attributes are
+//! unsupported and produce a compile error naming the offender.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility up to `struct`/`enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + [...]
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub`, etc.
+            }
+            Some(TokenTree::Group(_)) => {
+                i += 1; // `(crate)` after pub
+            }
+            other => return Err(format!("unexpected token before item keyword: {other:?}")),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim derive: generic type `{name}` unsupported"));
+        }
+    }
+
+    let shape = if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("expected struct body, found {other:?}")),
+        }
+    };
+
+    Ok(Item { name, shape })
+}
+
+/// Whether a `#[...]` attribute group body is `serde(default)`.
+fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+    let mut it = g.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if attr_is_serde_default(g) {
+                    default = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // the comma (or past the end)
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a discriminant and/or trailing comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                let comma = if i > 0 { "," } else { "" };
+                b.push_str(&format!(
+                    "out.push_str(\"{comma}\\\"{0}\\\":\");\n\
+                     ::serde::Serialize::json_write(&self.{0}, out);\n",
+                    f.name
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Shape::Tuple(1) => "::serde::Serialize::json_write(&self.0, out);".to_string(),
+        Shape::Tuple(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("::serde::Serialize::json_write(&self.{i}, out);\n"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Shape::Unit => "out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        b.push_str(&format!(
+                            "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        b.push_str(&format!(
+                            "{name}::{vn}(__f0) => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":\");\n\
+                             ::serde::Serialize::json_write(__f0, out);\n\
+                             out.push('}}');\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        b.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":[\");\n",
+                            binders.join(", ")
+                        ));
+                        for (i, f) in binders.iter().enumerate() {
+                            if i > 0 {
+                                b.push_str("out.push(',');\n");
+                            }
+                            b.push_str(&format!(
+                                "::serde::Serialize::json_write({f}, out);\n"
+                            ));
+                        }
+                        b.push_str("out.push_str(\"]}\");\n}\n");
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        b.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":{{\");\n",
+                            binders.join(", ")
+                        ));
+                        for (i, f) in fields.iter().enumerate() {
+                            let comma = if i > 0 { "," } else { "" };
+                            b.push_str(&format!(
+                                "out.push_str(\"{comma}\\\"{0}\\\":\");\n\
+                                 ::serde::Serialize::json_write({0}, out);\n",
+                                f.name
+                            ));
+                        }
+                        b.push_str("out.push_str(\"}}\");\n}\n");
+                    }
+                }
+            }
+            b.push('}');
+            b
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn json_write(&self, out: &mut String) {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Generate the object-parsing block for named fields, leaving the
+/// constructed value as the block's tail expression.
+fn named_fields_block(ctor: &str, fields: &[Field]) -> String {
+    let mut b = String::from("{\n");
+    for f in fields {
+        b.push_str(&format!("let mut __v_{} = None;\n", f.name));
+    }
+    b.push_str(
+        "p.expect(b'{')?;\n\
+         if !p.try_consume(b'}') {\n\
+         loop {\n\
+         let __k = p.string()?;\n\
+         p.expect(b':')?;\n\
+         match __k.as_str() {\n",
+    );
+    for f in fields {
+        b.push_str(&format!(
+            "\"{0}\" => {{ __v_{0} = Some(::serde::Deserialize::json_read(p)?); }}\n",
+            f.name
+        ));
+    }
+    b.push_str(
+        "_ => { p.skip_value()?; }\n\
+         }\n\
+         if p.try_consume(b',') { continue; }\n\
+         p.expect(b'}')?;\n\
+         break;\n\
+         }\n\
+         }\n",
+    );
+    b.push_str(&format!("{ctor} {{\n"));
+    for f in fields {
+        if f.default {
+            b.push_str(&format!(
+                "{0}: match __v_{0} {{ Some(__x) => __x, None => ::core::default::Default::default() }},\n",
+                f.name
+            ));
+        } else {
+            b.push_str(&format!(
+                "{0}: match __v_{0} {{ Some(__x) => __x, None => return Err(::serde::json::Error::missing_field(\"{0}\")) }},\n",
+                f.name
+            ));
+        }
+    }
+    b.push_str("}\n}");
+    b
+}
+
+fn tuple_fields_expr(ctor: &str, n: usize) -> String {
+    let mut b = String::from("{\np.expect(b'[')?;\n");
+    for i in 0..n {
+        if i > 0 {
+            b.push_str("p.expect(b',')?;\n");
+        }
+        b.push_str(&format!("let __f{i} = ::serde::Deserialize::json_read(p)?;\n"));
+    }
+    b.push_str("p.expect(b']')?;\n");
+    let binders: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+    b.push_str(&format!("{ctor}({})\n}}", binders.join(", ")));
+    b
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            format!("Ok({})", named_fields_block(name, fields))
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::json_read(p)?))")
+        }
+        Shape::Tuple(n) => format!("Ok({})", tuple_fields_expr(name, *n)),
+        Shape::Unit => format!(
+            "if p.try_null() {{ Ok({name}) }} else {{ Err(p.error(\"expected null\")) }}"
+        ),
+        Shape::Enum(variants) => {
+            let mut b = String::from(
+                "if p.peek_string() {\n\
+                 let __tag = p.string()?;\n\
+                 return match __tag.as_str() {\n",
+            );
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    b.push_str(&format!("\"{0}\" => Ok({name}::{0}),\n", v.name));
+                }
+            }
+            b.push_str(
+                "_ => Err(::serde::json::Error::unknown_variant(&__tag)),\n\
+                 };\n\
+                 }\n\
+                 p.expect(b'{')?;\n\
+                 let __tag = p.string()?;\n\
+                 p.expect(b':')?;\n\
+                 let __v = match __tag.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        b.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             if !p.try_null() {{ return Err(p.error(\"expected null\")); }}\n\
+                             {name}::{vn}\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        b.push_str(&format!(
+                            "\"{vn}\" => {name}::{vn}(::serde::Deserialize::json_read(p)?),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        b.push_str(&format!(
+                            "\"{vn}\" => {},\n",
+                            tuple_fields_expr(&format!("{name}::{vn}"), *n)
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        b.push_str(&format!(
+                            "\"{vn}\" => {},\n",
+                            named_fields_block(&format!("{name}::{vn}"), fields)
+                        ));
+                    }
+                }
+            }
+            b.push_str(
+                "_ => return Err(::serde::json::Error::unknown_variant(&__tag)),\n\
+                 };\n\
+                 p.expect(b'}')?;\n\
+                 Ok(__v)",
+            );
+            b
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn json_read(p: &mut ::serde::json::Parser<'_>) -> ::core::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

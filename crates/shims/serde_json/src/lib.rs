@@ -1,0 +1,65 @@
+//! Offline `serde_json` shim: `to_string`/`to_vec`/`from_str`/`from_slice`
+//! over the in-tree serde shim, which reads and writes JSON directly.
+//! Floats use Rust's shortest round-trip formatting (the behavior the real
+//! crate's `float_roundtrip` feature guarantees).
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+pub use serde::json::Error;
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.json_write(&mut out);
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let mut p = serde::json::Parser::new(s);
+    let v = T::json_read(&mut p)?;
+    p.finish()?;
+    Ok(v)
+}
+
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|_| Error { msg: "invalid utf-8".into(), offset: 0 })?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn primitives_round_trip() {
+        let s = super::to_string(&(1u32, -2i64, 3.5f64, true, "hi\"\\\n".to_string()))
+            .unwrap();
+        let back: (u32, i64, f64, bool, String) = super::from_str(&s).unwrap();
+        assert_eq!(back, (1, -2, 3.5, true, "hi\"\\\n".to_string()));
+    }
+
+    #[test]
+    fn vec_and_option_round_trip() {
+        let v = vec![Some(1.25f64), None, Some(-0.5)];
+        let s = super::to_string(&v).unwrap();
+        let back: Vec<Option<f64>> = super::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_shortest_round_trip() {
+        for x in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, 48.917595338008844] {
+            let s = super::to_string(&x).unwrap();
+            let back: f64 = super::from_str(&s).unwrap();
+            assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(super::from_str::<bool>("true x").is_err());
+    }
+}

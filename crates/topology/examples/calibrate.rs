@@ -4,5 +4,11 @@ fn main() {
     let s = TopologyStats::compute(&t);
     println!("{}", s.render_table());
     let (min, max) = s.share_range();
-    println!("links={} routers={} share range {:.1}%..{:.1}%", s.n_bp_links, s.n_routers, min*100.0, max*100.0);
+    println!(
+        "links={} routers={} share range {:.1}%..{:.1}%",
+        s.n_bp_links,
+        s.n_routers,
+        min * 100.0,
+        max * 100.0
+    );
 }

@@ -156,20 +156,12 @@ impl PocTopology {
 
     /// Ids of all links owned by `bp`.
     pub fn links_of_bp(&self, bp: BpId) -> Vec<LinkId> {
-        self.links
-            .iter()
-            .filter(|l| l.owner == LinkOwner::Bp(bp))
-            .map(|l| l.id)
-            .collect()
+        self.links.iter().filter(|l| l.owner == LinkOwner::Bp(bp)).map(|l| l.id).collect()
     }
 
     /// Ids of all virtual (external-ISP) links.
     pub fn virtual_links(&self) -> Vec<LinkId> {
-        self.links
-            .iter()
-            .filter(|l| l.owner.is_virtual())
-            .map(|l| l.id)
-            .collect()
+        self.links.iter().filter(|l| l.owner.is_virtual()).map(|l| l.id).collect()
     }
 
     /// Link count per BP, keyed by BP id.

@@ -29,7 +29,9 @@ impl TopologyStats {
         let n_virtual = topo.n_links() - n_bp_links;
         let mut bp_shares: Vec<(BpId, usize, f64)> = per_bp
             .into_iter()
-            .map(|(bp, n)| (bp, n, if n_bp_links == 0 { 0.0 } else { n as f64 / n_bp_links as f64 }))
+            .map(|(bp, n)| {
+                (bp, n, if n_bp_links == 0 { 0.0 } else { n as f64 / n_bp_links as f64 })
+            })
             .collect();
         bp_shares.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let total_capacity_gbps = topo.links.iter().map(|l| l.capacity_gbps).sum();
@@ -127,7 +129,7 @@ mod paper_instance_tests {
             s.n_bp_links
         );
         let (min, max) = s.share_range();
-        assert!(min >= 0.015 && min <= 0.035, "smallest share ~2%, got {:.3}", min);
-        assert!(max >= 0.08 && max <= 0.14, "largest share ~12%, got {:.3}", max);
+        assert!((0.015..=0.035).contains(&min), "smallest share ~2%, got {:.3}", min);
+        assert!((0.08..=0.14).contains(&max), "largest share ~12%, got {:.3}", max);
     }
 }

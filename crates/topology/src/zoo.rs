@@ -103,13 +103,7 @@ impl ZooConfig {
     /// A small instance for unit tests and quick examples: a handful of
     /// routers, a few hundred links.
     pub fn small() -> Self {
-        Self {
-            n_cities: 24,
-            n_bps: 6,
-            coverage_min: 0.3,
-            coverage_max: 0.8,
-            ..Self::paper()
-        }
+        Self { n_cities: 24, n_bps: 6, coverage_min: 0.3, coverage_max: 0.8, ..Self::paper() }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -243,12 +237,8 @@ impl ZooGenerator {
         for bp in bps {
             let efficiency = rng.gen_range(eff_lo..=eff_hi);
             // POC-router cities this BP is present in.
-            let bp_router_cities: Vec<PopId> = bp
-                .cities
-                .iter()
-                .copied()
-                .filter(|c| router_at_city.contains_key(c))
-                .collect();
+            let bp_router_cities: Vec<PopId> =
+                bp.cities.iter().copied().filter(|c| router_at_city.contains_key(c)).collect();
             // All-pairs bounded-hop internal paths among those cities.
             let paths = internal_paths(cities, bp, &bp_router_cities);
             for ((ca, cb), (dist_km, hops)) in paths {
@@ -696,8 +686,7 @@ mod tests {
         let t = ZooGenerator::new(ZooConfig::small()).generate();
         for bp in &t.bps {
             // Union-find over edges must connect all cities.
-            let mut parent: HashMap<PopId, PopId> =
-                bp.cities.iter().map(|&c| (c, c)).collect();
+            let mut parent: HashMap<PopId, PopId> = bp.cities.iter().map(|&c| (c, c)).collect();
             fn find(p: &mut HashMap<PopId, PopId>, x: PopId) -> PopId {
                 let mut r = x;
                 while p[&r] != r {
@@ -767,16 +756,14 @@ mod style_tests {
 
     #[test]
     fn hub_style_is_connected_with_a_hub() {
-        let cfg =
-            ZooConfig { internal_style: InternalStyle::HubAndSpoke, ..ZooConfig::small() };
+        let cfg = ZooConfig { internal_style: InternalStyle::HubAndSpoke, ..ZooConfig::small() };
         let t = ZooGenerator::new(cfg).generate();
         t.validate().unwrap();
         for bp in &t.bps {
             assert!(connected(bp), "{} disconnected", bp.name);
             if bp.cities.len() >= 4 {
                 // Some city has degree >= n-1 (the hub).
-                let max_deg =
-                    bp.cities.iter().map(|&c| degree_of(bp, c)).max().unwrap_or(0);
+                let max_deg = bp.cities.iter().map(|&c| degree_of(bp, c)).max().unwrap_or(0);
                 assert!(
                     max_deg >= bp.cities.len() - 1,
                     "{}: no hub found (max degree {max_deg})",

@@ -108,9 +108,11 @@ impl TrafficMatrix {
     /// Iterate over the non-zero directed demands as `(src, dst, gbps)`.
     pub fn iter_demands(&self) -> impl Iterator<Item = (RouterId, RouterId, f64)> + '_ {
         let n = self.n;
-        self.demand.iter().enumerate().filter(|(_, &d)| d > 0.0).map(move |(i, &d)| {
-            (RouterId::from_index(i / n), RouterId::from_index(i % n), d)
-        })
+        self.demand
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0.0)
+            .map(move |(i, &d)| (RouterId::from_index(i / n), RouterId::from_index(i % n), d))
     }
 
     /// Undirected pair load: demand(a,b) + demand(b,a), for the feasibility
@@ -184,9 +186,8 @@ mod tests {
     fn from_dense_validates_diagonal() {
         let ok = TrafficMatrix::from_dense(2, vec![0.0, 1.0, 2.0, 0.0]);
         assert_eq!(ok.demand(r(0), r(1)), 1.0);
-        let bad = std::panic::catch_unwind(|| {
-            TrafficMatrix::from_dense(2, vec![1.0, 0.0, 0.0, 0.0])
-        });
+        let bad =
+            std::panic::catch_unwind(|| TrafficMatrix::from_dense(2, vec![1.0, 0.0, 0.0, 0.0]));
         assert!(bad.is_err());
     }
 

@@ -66,8 +66,7 @@ impl TrafficScenario {
             return tm;
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let weights: Vec<f64> =
-            topo.routers.iter().map(|r| topo.city(r.city).weight).collect();
+        let weights: Vec<f64> = topo.routers.iter().map(|r| topo.city(r.city).weight).collect();
         match &self.model {
             TrafficModel::Uniform => {
                 for a in 0..n {
@@ -171,7 +170,12 @@ mod tests {
     #[test]
     fn uniform_has_equal_demands() {
         let t = topo();
-        let s = TrafficScenario { model: TrafficModel::Uniform, seed: 0, total_gbps: 100.0, cap_gbps: None };
+        let s = TrafficScenario {
+            model: TrafficModel::Uniform,
+            seed: 0,
+            total_gbps: 100.0,
+            cap_gbps: None,
+        };
         let tm = s.generate(&t);
         let n = tm.n_routers();
         let expect = 100.0 / (n * (n - 1)) as f64;

@@ -32,9 +32,8 @@ fn main() {
 
     let mut market = Market::truthful(&topo, 3.0);
     let selector = GreedySelector::with_prune_budget(24);
-    let report =
-        withholding_experiment(&mut market, &tm, Constraint::BaseLoad, &selector)
-            .expect("auction feasible with and without withholding");
+    let report = withholding_experiment(&mut market, &tm, Constraint::BaseLoad, &selector)
+        .expect("auction feasible with and without withholding");
 
     println!(
         "baseline:  |SL| = {}, C(SL) = ${:.0}",
@@ -73,10 +72,7 @@ fn main() {
     // alternatives are the contract-priced virtual links, so no payment can
     // exceed what an all-virtual solution would cost the POC.
     let oracle = FeasibilityOracle::new(market.topo(), &tm, Constraint::BaseLoad);
-    let virtual_only = LinkSet::from_links(
-        market.topo().n_links(),
-        market.topo().virtual_links(),
-    );
+    let virtual_only = LinkSet::from_links(market.topo().n_links(), market.topo().virtual_links());
     match GreedySelector::with_prune_budget(24).select(&market, &oracle, &virtual_only) {
         Some(fallback) => {
             // Per-BP Clarke bound: P_α = C_α(SL_α) + C(SL_−α) − C(SL) and

@@ -18,11 +18,8 @@ use std::time::Instant;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (zoo_cfg, total_gbps, stride) = if quick {
-        (ZooConfig::small(), 2000.0, 8)
-    } else {
-        (ZooConfig::paper(), 24000.0, 32)
-    };
+    let (zoo_cfg, total_gbps, stride) =
+        if quick { (ZooConfig::small(), 2000.0, 8) } else { (ZooConfig::paper(), 24000.0, 32) };
 
     let mut topo = ZooGenerator::new(zoo_cfg).generate();
     attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
@@ -61,11 +58,8 @@ fn main() {
                     out.total_cost,
                     t0.elapsed()
                 );
-                let series = out
-                    .top_pob(5)
-                    .into_iter()
-                    .map(|(bp, pob)| (bp.to_string(), pob))
-                    .collect();
+                let series =
+                    out.top_pob(5).into_iter().map(|(bp, pob)| (bp.to_string(), pob)).collect();
                 table.push((c.label().to_string(), series));
             }
             Err(e) => {

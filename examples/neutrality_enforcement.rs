@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example neutrality_enforcement`
 
 use public_option_core::core::poc::{Poc, PocConfig};
-use public_option_core::core::tos::{
-    PolicyAction, PolicyBasis, PolicyMatch, TrafficPolicy,
-};
+use public_option_core::core::tos::{PolicyAction, PolicyBasis, PolicyMatch, TrafficPolicy};
 use public_option_core::flow::LinkSet;
 use public_option_core::netsim::discrim::{detect_throttling, ThrottleSpec};
 use public_option_core::netsim::sim::{FlowSpec, IngressThrottle, SimConfig, Simulator};
@@ -99,15 +97,19 @@ fn main() {
     let topo = poc.topo();
     let all = LinkSet::full(topo.n_links());
     for (scenario, factor) in [("honest LMP", 1.0), ("cheating LMP", 0.4)] {
-        let mut sim = Simulator::new(topo, &all, SimConfig {
-            horizon: 1.0,
-            outages: vec![],
-            throttles: if factor < 1.0 {
-                vec![IngressThrottle { tag: "suspect".into(), factor }]
-            } else {
-                vec![]
+        let mut sim = Simulator::new(
+            topo,
+            &all,
+            SimConfig {
+                horizon: 1.0,
+                outages: vec![],
+                throttles: if factor < 1.0 {
+                    vec![IngressThrottle { tag: "suspect".into(), factor }]
+                } else {
+                    vec![]
+                },
             },
-        });
+        );
         sim.add_flow(FlowSpec::persistent(RouterId(0), RouterId(1), 30.0, 1.0, "suspect"));
         sim.add_flow(FlowSpec::persistent(RouterId(2), RouterId(1), 30.0, 1.0, "control"));
         let report = sim.run();

@@ -37,13 +37,9 @@ fn main() {
     println!("=== Social welfare by regime (per unit consumer mass) ===");
     let economy = Economy::example();
     let reports = economy.compare_regimes();
-    println!(
-        "{:<28}{:>10}{:>10}{:>10}{:>10}",
-        "regime", "welfare", "consumer", "fees", "prices"
-    );
+    println!("{:<28}{:>10}{:>10}{:>10}{:>10}", "regime", "welfare", "consumer", "fees", "prices");
     for r in &reports {
-        let avg_price =
-            r.per_csp.iter().map(|c| c.price).sum::<f64>() / r.per_csp.len() as f64;
+        let avg_price = r.per_csp.iter().map(|c| c.price).sum::<f64>() / r.per_csp.len() as f64;
         println!(
             "{:<28}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
             r.regime.label(),
@@ -79,10 +75,7 @@ fn main() {
     println!("{:>8}{:>12}{:>12}{:>16}", "⟨rc⟩", "K_max(NN)", "K_max(UR)", "deterred band");
     for avg_rc in [0.2, 1.0, 3.0] {
         let (k_ur, k_nn) = deterrence_band(&demand, avg_rc);
-        println!(
-            "{avg_rc:>8.1}{k_nn:>12.3}{k_ur:>12.3}{:>16.3}",
-            k_nn - k_ur
-        );
+        println!("{avg_rc:>8.1}{k_nn:>12.3}{k_ur:>12.3}{:>16.3}", k_nn - k_ur);
     }
     let k_uni = max_viable_entry_cost(&demand, 0.0, Regime::UnilateralFees);
     println!(

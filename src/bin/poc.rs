@@ -11,8 +11,8 @@
 //!
 //! Argument parsing is deliberately dependency-free (std only).
 
-use public_option_core::auction::{run_auction, GreedySelector, Market};
 use public_option_core::auction::Selector;
+use public_option_core::auction::{run_auction, GreedySelector, Market};
 use public_option_core::core::poc::{Poc, PocConfig};
 use public_option_core::econ::Economy;
 use public_option_core::flow::{Constraint, FeasibilityOracle};
@@ -60,7 +60,7 @@ commands:
   auction [--paper] [--constraint N]   run one VCG round, print PoB (E-F2)
   welfare                              §4 regime comparison (E-W1)
   drill [--failures N]                 failure drill on the leased fabric (E-R1)
-  serve [--addr HOST:PORT]             run the async control-plane server
+  serve [--addr HOST:PORT]             run the control-plane server
   help                                 this message";
 
 fn flag(rest: &[String], name: &str) -> bool {
@@ -68,10 +68,7 @@ fn flag(rest: &[String], name: &str) -> bool {
 }
 
 fn opt<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
-    rest.iter()
-        .position(|a| a == name)
-        .and_then(|i| rest.get(i + 1))
-        .map(|s| s.as_str())
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1)).map(|s| s.as_str())
 }
 
 fn build_instance(paper: bool) -> (PocTopology, TrafficMatrix) {
@@ -79,8 +76,8 @@ fn build_instance(paper: bool) -> (PocTopology, TrafficMatrix) {
     let mut topo = ZooGenerator::new(zoo).generate();
     attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
     let total = if paper { 24000.0 } else { 2500.0 };
-    let tm = TrafficScenario { total_gbps: total, ..TrafficScenario::paper_default() }
-        .generate(&topo);
+    let tm =
+        TrafficScenario { total_gbps: total, ..TrafficScenario::paper_default() }.generate(&topo);
     (topo, tm)
 }
 
@@ -176,22 +173,11 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7700").to_string();
     let (topo, tm) = build_instance(flag(rest, "--paper"));
     let poc = Poc::new(topo, PocConfig::default());
-    let runtime = tokio::runtime::Builder::new_multi_thread()
-        .worker_threads(2)
-        .enable_all()
-        .build()
-        .map_err(|e| e.to_string())?;
-    runtime.block_on(async move {
-        let (server, handle) = public_option_core::ctrlplane::PocServer::bind(&addr, poc, tm)
-            .await
-            .map_err(|e| format!("bind {addr}: {e}"))?;
-        println!("POC control plane listening on {}", handle.local_addr);
-        println!("press Ctrl-C to stop");
-        let run = tokio::spawn(server.run());
-        tokio::signal::ctrl_c().await.map_err(|e| e.to_string())?;
-        handle.shutdown();
-        let _ = run.await;
-        println!("stopped.");
-        Ok(())
-    })
+    let (server, handle) = public_option_core::ctrlplane::PocServer::bind(&addr, poc, tm)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("POC control plane listening on {}", handle.local_addr);
+    println!("press Ctrl-C to stop");
+    // Blocks in the accept loop; Ctrl-C terminates the process.
+    server.run();
+    Ok(())
 }

@@ -41,21 +41,11 @@ fn full_lifecycle_invariants() {
 
     // Leases cover exactly the selected BP links; payments due equal VCG.
     let leased = poc.leases().active_links(poc.topo().n_links(), 0);
-    let virtual_selected: usize = poc
-        .topo()
-        .virtual_links()
-        .iter()
-        .filter(|&&l| selected.contains(l))
-        .count();
+    let virtual_selected: usize =
+        poc.topo().virtual_links().iter().filter(|&&l| selected.contains(l)).count();
     assert_eq!(leased.len() + virtual_selected, n_links);
     let due: f64 = poc.leases().payments_due(0).iter().map(|(_, p)| p).sum();
-    let vcg: f64 = poc
-        .last_outcome()
-        .unwrap()
-        .settlements
-        .iter()
-        .map(|s| s.payment)
-        .sum();
+    let vcg: f64 = poc.last_outcome().unwrap().settlements.iter().map(|s| s.payment).sum();
     assert!((due - vcg).abs() < 1e-6);
 
     // Fabric reaches every router pair.
@@ -63,17 +53,11 @@ fn full_lifecycle_invariants() {
 
     // Members, simulation, settlement.
     let lmp_a = poc.attach_lmp("it-a", RouterId(0)).unwrap();
-    let lmp_b = poc
-        .attach_lmp("it-b", RouterId::from_index(poc.topo().n_routers() - 1))
-        .unwrap();
-    let mut sim = Simulator::new(poc.topo(), &selected, SimConfig {
-        horizon: 6.0,
-        ..Default::default()
-    });
-    sim.add_traffic_matrix_routed(&tm, |r| {
-        Some(if r.index() % 2 == 0 { lmp_a } else { lmp_b })
-    })
-    .expect("selected fabric carries the matrix");
+    let lmp_b = poc.attach_lmp("it-b", RouterId::from_index(poc.topo().n_routers() - 1)).unwrap();
+    let mut sim =
+        Simulator::new(poc.topo(), &selected, SimConfig { horizon: 6.0, ..Default::default() });
+    sim.add_traffic_matrix_routed(&tm, |r| Some(if r.index() % 2 == 0 { lmp_a } else { lmp_b }))
+        .expect("selected fabric carries the matrix");
     let report = sim.run();
     assert!(
         report.overall_availability() > 0.999,
@@ -185,10 +169,11 @@ fn diurnal_workload_revenue_cycle() {
     // A day of on/off flows, all attributed to the one LMP.
     let cfg = WorkloadConfig { n_flows: 150, ..Default::default() };
     let flows = generate_onoff(poc.topo(), &cfg);
-    let mut sim = Simulator::new(poc.topo(), &selected, SimConfig {
-        horizon: cfg.horizon,
-        ..Default::default()
-    });
+    let mut sim = Simulator::new(
+        poc.topo(),
+        &selected,
+        SimConfig { horizon: cfg.horizon, ..Default::default() },
+    );
     for mut f in flows {
         f.owner = Some(lmp);
         sim.add_flow(f);
@@ -213,9 +198,8 @@ fn diurnal_workload_revenue_cycle() {
     assert!(bill.charges[0].1 > 0.0);
 
     // The member's statement shows the charge.
-    let statement = poc
-        .ledger()
-        .statement(public_option_core::core::settlement::Account::Entity(lmp));
+    let statement =
+        poc.ledger().statement(public_option_core::core::settlement::Account::Entity(lmp));
     assert!(statement.contains("transit"), "{statement}");
     assert!(statement.contains("debit"), "{statement}");
 }

@@ -11,7 +11,9 @@ use public_option_core::econ::{Demand, Economy};
 use public_option_core::flow::{Constraint, FeasibilityOracle};
 use public_option_core::netsim::drill::{run_drill, DrillSpec};
 use public_option_core::topology::zoo::{attach_external_isps, ExternalIspConfig};
-use public_option_core::topology::{CostModel, PocTopology, TopologyStats, ZooConfig, ZooGenerator};
+use public_option_core::topology::{
+    CostModel, PocTopology, TopologyStats, ZooConfig, ZooGenerator,
+};
 use public_option_core::traffic::{TrafficMatrix, TrafficModel, TrafficScenario};
 
 fn small_instance() -> (PocTopology, TrafficMatrix) {
@@ -174,9 +176,8 @@ fn shape_c1_collusion_bounded() {
     let (topo, tm) = small_instance();
     let mut market = Market::truthful(&topo, 3.0);
     let selector = GreedySelector::with_prune_budget(8);
-    let report =
-        withholding_experiment(&mut market, &tm, Constraint::BaseLoad, &selector)
-            .expect("feasible with full virtual coverage");
+    let report = withholding_experiment(&mut market, &tm, Constraint::BaseLoad, &selector)
+        .expect("feasible with full virtual coverage");
     for d in &report.deltas {
         assert!(d.payment_after.is_finite());
     }

@@ -20,9 +20,7 @@ use public_option_core::traffic::TrafficMatrix;
 
 fn arb_linkset(universe: usize) -> impl Strategy<Value = LinkSet> {
     prop::collection::vec(0..universe, 0..universe)
-        .prop_map(move |ids| {
-            LinkSet::from_links(universe, ids.into_iter().map(LinkId::from_index))
-        })
+        .prop_map(move |ids| LinkSet::from_links(universe, ids.into_iter().map(LinkId::from_index)))
 }
 
 proptest! {
@@ -162,7 +160,7 @@ fn fixture_market(
             )
         })
         .collect();
-    Market::new(topo, bids, 3.0)
+    Market::new(topo, bids, 3.0).expect("fixture bids are valid")
 }
 
 proptest! {
@@ -226,6 +224,47 @@ proptest! {
                 "misreport ×{} profits BP{}: {} vs truthful {}",
                 factor, liar, u_lie, u_truth
             );
+        }
+    }
+
+    /// Parallel pivot scheduling is an implementation detail: sequential
+    /// and parallel runs must produce bit-identical outcomes — same
+    /// selected set, and settlements equal down to the f64 bit patterns.
+    #[test]
+    fn vcg_pivot_modes_agree(
+        costs in prop::array::uniform6(100.0f64..5000.0),
+        d1 in 1.0f64..40.0,
+        d2 in 1.0f64..40.0,
+        exact in 0u32..2,
+    ) {
+        use public_option_core::auction::{run_auction_with, GreedySelector, PivotMode, Selector};
+        let topo = two_bp_square();
+        let market = fixture_market(&topo, &costs, [1.0, 1.0]);
+        let mut tm = TrafficMatrix::zero(topo.n_routers());
+        tm.set(RouterId(0), RouterId(1), d1);
+        tm.set(RouterId(1), RouterId(2), d2);
+        let selector: Box<dyn Selector> = if exact == 1 {
+            Box::new(ExhaustiveSelector)
+        } else {
+            Box::new(GreedySelector::default())
+        };
+        let seq = run_auction_with(&market, &tm, Constraint::BaseLoad, &*selector, PivotMode::Sequential);
+        let par = run_auction_with(&market, &tm, Constraint::BaseLoad, &*selector, PivotMode::Parallel);
+        match (seq, par) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.selected, &b.selected);
+                prop_assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits());
+                prop_assert_eq!(a.settlements.len(), b.settlements.len());
+                for (x, y) in a.settlements.iter().zip(&b.settlements) {
+                    prop_assert_eq!(x.bp, y.bp);
+                    prop_assert_eq!(x.n_selected_links, y.n_selected_links);
+                    prop_assert_eq!(x.bid_cost.to_bits(), y.bid_cost.to_bits());
+                    prop_assert_eq!(x.raw_pivot.to_bits(), y.raw_pivot.to_bits());
+                    prop_assert_eq!(x.payment.to_bits(), y.payment.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "modes disagree: {a:?} vs {b:?}"),
         }
     }
 }
@@ -418,5 +457,67 @@ proptest! {
         let json = serde_json::to_string(&tm).expect("serialize");
         let back: TrafficMatrix = serde_json::from_str(&json).expect("deserialize");
         prop_assert_eq!(back, tm);
+    }
+}
+
+// ---------- Pinned regression cases ------------------------------------------
+//
+// Shrunken inputs from historical proptest failures (recorded in
+// proptests.proptest-regressions). The in-tree proptest harness does not
+// replay that file, so the cases are pinned here explicitly.
+
+/// `kpaths_ranked_distinct_loopless` shrank to `seed = 116`.
+#[test]
+fn regression_kpaths_seed_116() {
+    use public_option_core::flow::k_shortest_paths;
+    use public_option_core::topology::{ZooConfig, ZooGenerator};
+    let topo = ZooGenerator::new(ZooConfig::small().with_seed(116)).generate();
+    assert!(topo.n_routers() >= 2);
+    let all = LinkSet::full(topo.n_links());
+    let src = RouterId(0);
+    let dst = RouterId::from_index(topo.n_routers() - 1);
+    for k in 1..6 {
+        let paths = k_shortest_paths(&topo, &all, src, dst, k);
+        assert!(paths.len() <= k);
+        for w in paths.windows(2) {
+            assert!(w[0].km <= w[1].km + 1e-9, "not ranked");
+            assert_ne!(&w[0].links, &w[1].links, "duplicate path");
+        }
+        for p in &paths {
+            let km: f64 = p.links.iter().map(|&l| topo.link(l).distance_km).sum();
+            assert!((km - p.km).abs() < 1e-9);
+            let mut at = src;
+            let mut visited = vec![at];
+            for &l in &p.links {
+                at = topo.link(l).other_end(at).expect("path incident");
+                assert!(!visited.contains(&at), "loop at {at} (k = {k})");
+                visited.push(at);
+            }
+            assert_eq!(at, dst);
+        }
+    }
+}
+
+/// `routing_never_overcommits` shrank to
+/// `demands = [(1, 0, 48.917595338008844)]`.
+#[test]
+fn regression_routing_single_demand() {
+    let topo = two_bp_square();
+    let mut tm = TrafficMatrix::zero(topo.n_routers());
+    tm.set(RouterId(1), RouterId(0), 48.917595338008844);
+    let all = LinkSet::full(topo.n_links());
+    if let Ok(routing) = route_tm(&topo, &all, &tm) {
+        for (i, link) in topo.links.iter().enumerate() {
+            assert!(routing.load_fwd[i] <= link.capacity_gbps + 1e-6);
+            assert!(routing.load_rev[i] <= link.capacity_gbps + 1e-6);
+        }
+        for flow in &routing.flows {
+            let placed: f64 = flow.paths.iter().map(|(_, g)| g).sum();
+            assert!(
+                (placed - flow.demand_gbps).abs() < 1e-6,
+                "demand not fully placed: {placed} of {}",
+                flow.demand_gbps
+            );
+        }
     }
 }
