@@ -1,6 +1,9 @@
 //! Paper-scale smoke test: one VCG round per constraint with timing.
 //! (Development tool; the polished reproduction is `examples/fig2_auction.rs`
 //! at the workspace root.)
+//!
+//! Progress goes to stderr as structured `poc-obs` events, so stdout stays
+//! clean and the lines can be grepped/parsed like any other run log.
 
 use poc_auction::{run_auction, GreedySelector, Market};
 use poc_flow::Constraint;
@@ -10,16 +13,17 @@ use poc_traffic::TrafficScenario;
 use std::time::Instant;
 
 fn main() {
+    poc_obs::log_to_stderr();
     let t0 = Instant::now();
     let mut topo = ZooGenerator::new(ZooConfig::paper()).generate();
     attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
     let tm = TrafficScenario::paper_default().generate(&topo);
-    println!(
-        "gen: {:?} links={} routers={} tm_total={}",
-        t0.elapsed(),
-        topo.n_links(),
-        topo.n_routers(),
-        tm.total()
+    poc_obs::event!(
+        "smoke.generated",
+        gen_ms = t0.elapsed().as_secs_f64() * 1e3,
+        links = topo.n_links(),
+        routers = topo.n_routers(),
+        tm_total = tm.total(),
     );
 
     let market = Market::truthful(&topo, 3.0);
@@ -32,18 +36,24 @@ fn main() {
         let t1 = Instant::now();
         match run_auction(&market, &tm, c, &sel) {
             Ok(out) => {
-                println!(
-                    "{} done in {:?}: |SL|={} C(SL)={:.0}",
-                    c.label(),
-                    t1.elapsed(),
-                    out.selected.len(),
-                    out.total_cost
+                poc_obs::event!(
+                    "smoke.round",
+                    constraint = c.label(),
+                    round_ms = t1.elapsed().as_secs_f64() * 1e3,
+                    selected = out.selected.len(),
+                    total_cost = out.total_cost,
                 );
                 for (bp, pob) in out.top_pob(5) {
-                    println!("  {bp} PoB={pob:.4}");
+                    poc_obs::event!("smoke.top_pob", bp = format!("{bp}"), pob = pob);
                 }
             }
-            Err(e) => println!("{} failed: {e}", c.label()),
+            Err(e) => {
+                poc_obs::event!(
+                    "smoke.round_failed",
+                    constraint = c.label(),
+                    error = e.to_string(),
+                );
+            }
         }
     }
 }

@@ -64,9 +64,46 @@ fn print_mode_comparison() {
     }
 }
 
-fn bench_pivot_modes(c: &mut Criterion) {
-    // Timing always on the small instance — paper-scale rounds are minutes
-    // long and belong in the printed experiment above, not the timer.
+/// E-OBS — instrumentation overhead on the parallel pivot path.
+///
+/// The ISSUE acceptance bar: recording must not add a lock to the pivot
+/// hot path, and a fully-enabled registry must stay within a few percent
+/// of the no-op configuration. Both configurations run the identical
+/// parallel round; only the shared `enabled` flag differs (no-op mode
+/// still executes every instrumentation call site, so this measures the
+/// real disabled-path cost too: one relaxed atomic load + branch each).
+fn print_metrics_overhead() {
+    let (topo, tm) = small_bench_instance();
+    let market = Market::truthful(&topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(8);
+    let reg = poc_obs::global();
+    let run = || {
+        run_auction_with(&market, &tm, Constraint::BaseLoad, &selector, PivotMode::Parallel)
+            .expect("feasible")
+    };
+    let time = |reps: u32| {
+        // Warm-up outside the timed window (thread pool spin-up, cache
+        // registration, page faults).
+        run();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            run();
+        }
+        t0.elapsed().as_secs_f64() / reps as f64
+    };
+    const REPS: u32 = 10;
+    reg.set_enabled(false);
+    let t_noop = time(REPS);
+    reg.set_enabled(true);
+    let t_enabled = time(REPS);
+    let overhead = (t_enabled / t_noop - 1.0) * 100.0;
+    println!("\n=== E-OBS / poc-obs overhead on the parallel VCG round ===");
+    println!("{:<18}{:>12.2}ms", "no-op registry", t_noop * 1e3);
+    println!("{:<18}{:>12.2}ms", "metrics enabled", t_enabled * 1e3);
+    println!("overhead: {overhead:+.2}%  (acceptance bar: under ~5%)");
+}
+
+fn small_bench_instance() -> (poc_topology::PocTopology, poc_traffic::TrafficMatrix) {
     let mut topo = poc_topology::ZooGenerator::new(poc_topology::ZooConfig::small()).generate();
     poc_topology::zoo::attach_external_isps(
         &mut topo,
@@ -78,6 +115,13 @@ fn bench_pivot_modes(c: &mut Criterion) {
         ..poc_traffic::TrafficScenario::paper_default()
     }
     .generate(&topo);
+    (topo, tm)
+}
+
+fn bench_pivot_modes(c: &mut Criterion) {
+    // Timing always on the small instance — paper-scale rounds are minutes
+    // long and belong in the printed experiment above, not the timer.
+    let (topo, tm) = small_bench_instance();
     let market = Market::truthful(&topo, 3.0);
     let selector = GreedySelector::with_prune_budget(8);
     for (label, mode) in [("sequential", PivotMode::Sequential), ("parallel", PivotMode::Parallel)]
@@ -89,6 +133,17 @@ fn bench_pivot_modes(c: &mut Criterion) {
             })
         });
     }
+    // Same parallel round, with the observability registry live vs no-op.
+    for (label, enabled) in [("metrics_noop", false), ("metrics_enabled", true)] {
+        poc_obs::global().set_enabled(enabled);
+        c.bench_with_input(BenchmarkId::new("vcg_round_parallel", label), &enabled, |b, _| {
+            b.iter(|| {
+                run_auction_with(&market, &tm, Constraint::BaseLoad, &selector, PivotMode::Parallel)
+                    .expect("feasible")
+            })
+        });
+    }
+    poc_obs::global().set_enabled(true);
 }
 
 criterion_group! {
@@ -99,6 +154,7 @@ criterion_group! {
 
 fn main() {
     print_mode_comparison();
+    print_metrics_overhead();
     benches();
     criterion::Criterion::default().configure_from_args().final_summary();
 }

@@ -140,4 +140,13 @@ impl PocClient {
             other => Err(ClientError::Protocol(format!("expected Path, got {other:?}"))),
         }
     }
+
+    /// Scrape the controller's live metrics snapshot (counters, gauges,
+    /// and latency histograms from its global `poc-obs` registry).
+    pub fn metrics(&mut self) -> Result<poc_obs::MetricsSnapshot, ClientError> {
+        match self.call(Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(ClientError::Protocol(format!("expected Metrics, got {other:?}"))),
+        }
+    }
 }

@@ -4,8 +4,12 @@
 //! prototype on real networking: this crate runs the [`poc_core::Poc`]
 //! behind a TCP endpoint speaking a length-prefixed JSON protocol.
 //! Members attach (LMP / direct CSP), the operator triggers auction
-//! rounds and billing cycles, members query the ledger, submit usage, and
-//! request neutrality review of traffic policies.
+//! rounds and billing cycles, members query the ledger, submit usage,
+//! request neutrality review of traffic policies, and scrape live
+//! metrics (`Request::Metrics` returns the controller's `poc-obs`
+//! registry snapshot: per-request latency histograms, frame and
+//! connection counters, and everything the auction and flow layers
+//! recorded).
 //!
 //! * [`proto`] — the wire messages;
 //! * [`codec`] — length-prefixed framing over any `Read`/`Write`;

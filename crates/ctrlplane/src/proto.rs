@@ -7,6 +7,7 @@
 
 use poc_core::entity::EntityId;
 use poc_core::tos::{TrafficPolicy, Verdict};
+use poc_obs::MetricsSnapshot;
 use poc_topology::RouterId;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,30 @@ pub enum Request {
     RecallLink { bp: u32, link: u32, notice_periods: u32 },
     /// Current lease book summary.
     GetLeases,
+    /// Scrape the controller's live metrics (the global `poc-obs`
+    /// registry snapshot, JSON on the wire like every other message).
+    Metrics,
+}
+
+impl Request {
+    /// Stable variant label, used as the per-request latency metric
+    /// suffix (`ctrl.request.<name>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Attach { .. } => "attach",
+            Request::Ping => "ping",
+            Request::RunAuction => "run_auction",
+            Request::GetOutcome => "get_outcome",
+            Request::RunBilling => "run_billing",
+            Request::ReportUsage { .. } => "report_usage",
+            Request::GetBalance { .. } => "get_balance",
+            Request::ReviewPolicy { .. } => "review_policy",
+            Request::GetPath { .. } => "get_path",
+            Request::RecallLink { .. } => "recall_link",
+            Request::GetLeases => "get_leases",
+            Request::Metrics => "metrics",
+        }
+    }
 }
 
 /// One lease as shipped to clients.
@@ -55,7 +80,7 @@ pub struct LeaseWire {
     pub link: u32,
     pub bp: u32,
     pub monthly_payment: f64,
-    /// "active", "recalled@<period>", or "expired".
+    /// `"active"`, `"recalled@<period>"`, or `"expired"`.
     pub state: String,
 }
 
@@ -105,6 +130,8 @@ pub enum Response {
         reauction_needed: bool,
     },
     Leases(Vec<LeaseWire>),
+    /// The controller's metrics snapshot.
+    Metrics(MetricsSnapshot),
     Error {
         message: String,
     },
@@ -134,6 +161,25 @@ mod tests {
         let resp = Response::PolicyVerdict(v.clone());
         let back: Response = serde_json::from_slice(&serde_json::to_vec(&resp).unwrap()).unwrap();
         assert_eq!(back, Response::PolicyVerdict(v));
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        // Request::Metrics is a unit variant (serializes as a string).
+        let back: Request =
+            serde_json::from_slice(&serde_json::to_vec(&Request::Metrics).unwrap()).unwrap();
+        assert_eq!(back, Request::Metrics);
+        assert_eq!(Request::Metrics.name(), "metrics");
+
+        let reg = poc_obs::MetricsRegistry::new();
+        reg.counter("proto.test.count").inc();
+        reg.histogram("proto.test.hist").record(1024);
+        let resp = Response::Metrics(reg.snapshot());
+        let back: Response = serde_json::from_slice(&serde_json::to_vec(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        let Response::Metrics(snap) = back else { panic!("expected Metrics") };
+        assert_eq!(snap.counter("proto.test.count"), Some(1));
+        assert_eq!(snap.histogram("proto.test.hist").unwrap().count, 1);
     }
 
     #[test]

@@ -18,9 +18,9 @@ use poc_traffic::TrafficMatrix;
 use std::collections::BTreeMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often a blocked connection read re-checks the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
@@ -41,11 +41,13 @@ pub struct PocServer {
     listener: TcpListener,
     state: Arc<Mutex<State>>,
     shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicI64>,
 }
 
 /// Handle for stopping a running server.
 pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicI64>,
     pub local_addr: SocketAddr,
 }
 
@@ -57,6 +59,28 @@ impl ServerHandle {
         // last throwaway connection to observe the flag.
         let _ = TcpStream::connect(self.local_addr);
     }
+
+    /// Connections currently being served by *this* server (the
+    /// `ctrl.conn.active` gauge aggregates across servers in the
+    /// process, this accessor does not). Drains to zero once
+    /// [`PocServer::run`] returns.
+    pub fn active_connections(&self) -> i64 {
+        self.active.load(Ordering::SeqCst)
+    }
+}
+
+/// Decrements the per-server active-connection count (and refreshes the
+/// `ctrl.conn.active` gauge) when a connection thread exits, however it
+/// exits.
+struct ConnectionGuard {
+    active: Arc<AtomicI64>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        let now = self.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        poc_obs::gauge!("ctrl.conn.active").set(now as f64);
+    }
 }
 
 impl PocServer {
@@ -65,15 +89,18 @@ impl PocServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicI64::new(0));
         let state = Arc::new(Mutex::new(State { poc, tm, usage: BTreeMap::new() }));
         Ok((
-            Self { listener, state, shutdown: Arc::clone(&shutdown) },
-            ServerHandle { shutdown, local_addr },
+            Self { listener, state, shutdown: Arc::clone(&shutdown), active: Arc::clone(&active) },
+            ServerHandle { shutdown, active, local_addr },
         ))
     }
 
     /// Accept-and-serve until shutdown. Returns once the accept loop has
-    /// stopped and every connection thread has exited.
+    /// stopped and every connection thread has exited; the time spent
+    /// draining those threads is recorded in the `ctrl.shutdown.drain`
+    /// histogram.
     pub fn run(self) {
         let mut workers = Vec::new();
         loop {
@@ -82,9 +109,14 @@ impl PocServer {
                     if self.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
+                    poc_obs::counter!("ctrl.conn.total").inc();
+                    let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+                    poc_obs::gauge!("ctrl.conn.active").set(now as f64);
+                    let guard = ConnectionGuard { active: Arc::clone(&self.active) };
                     let state = Arc::clone(&self.state);
                     let flag = Arc::clone(&self.shutdown);
                     workers.push(std::thread::spawn(move || {
+                        let _guard = guard;
                         let _ = serve_connection(stream, state, flag);
                     }));
                 }
@@ -95,9 +127,11 @@ impl PocServer {
                 }
             }
         }
+        let drain_started = Instant::now();
         for w in workers {
             let _ = w.join();
         }
+        poc_obs::histogram!("ctrl.shutdown.drain").record_duration(drain_started.elapsed());
     }
 }
 
@@ -149,8 +183,17 @@ fn serve_connection(
             Err(CodecError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
+        poc_obs::counter!("ctrl.frames.read").inc();
+        // Per-variant latency: the name is dynamic, so this resolves
+        // through the registry each time — fine at control-plane request
+        // rates (the lock-free-handle discipline matters on the auction's
+        // pivot path, not here).
+        let latency = poc_obs::global().histogram(&format!("ctrl.request.{}", request.name()));
+        let started = Instant::now();
         let response = handle(&state, request);
+        latency.record_duration(started.elapsed());
         write_frame(&mut stream, &response)?;
+        poc_obs::counter!("ctrl.frames.written").inc();
     }
 }
 
@@ -224,6 +267,10 @@ fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
             );
             Response::RecallDone { found, reauction_needed: st.poc.reauction_needed() }
         }
+        // Snapshot the process-global registry: auction, flow, and
+        // control-plane instruments all land there, so one scrape shows
+        // the whole controller.
+        Request::Metrics => Response::Metrics(poc_obs::global().snapshot()),
         Request::GetLeases => Response::Leases(
             st.poc
                 .leases()

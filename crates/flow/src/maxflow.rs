@@ -49,17 +49,23 @@ impl MaxFlow {
 
     /// Maximum flow from `src` to `dst`, Gbit/s. Consumes the residual
     /// state, so build a fresh solver per query.
+    ///
+    /// Metrics: each call bumps `flow.maxflow.runs`, and the number of
+    /// augmenting paths found is batched into `flow.maxflow.augment`
+    /// (one atomic add per run, not per path).
     pub fn max_flow(&mut self, src: RouterId, dst: RouterId) -> f64 {
+        poc_obs::counter!("flow.maxflow.runs").inc();
         let (s, t) = (src.index(), dst.index());
         assert!(s < self.n && t < self.n, "router outside graph");
         if s == t {
             return 0.0;
         }
         let mut flow = 0.0;
+        let mut augmenting_paths: u64 = 0;
         loop {
             let level = self.bfs_levels(s);
             if level[t].is_none() {
-                return flow;
+                break;
             }
             let mut it = vec![0usize; self.n];
             loop {
@@ -67,9 +73,12 @@ impl MaxFlow {
                 if pushed <= 1e-12 {
                     break;
                 }
+                augmenting_paths += 1;
                 flow += pushed;
             }
         }
+        poc_obs::counter!("flow.maxflow.augment").add(augmenting_paths);
+        flow
     }
 
     fn bfs_levels(&self, s: usize) -> Vec<Option<u32>> {

@@ -65,11 +65,32 @@ impl Constraint {
 /// shared lock, inserts an exclusive one; the oracle computation itself
 /// runs outside any lock, so concurrent probes of distinct sets never
 /// serialize on each other.
-#[derive(Default)]
+///
+/// Every lookup is bridged into the global metrics registry as the
+/// `flow.cache.hit` / `flow.cache.miss` counters (aggregated across all
+/// cache instances in the process); read those from a
+/// [`poc_obs::MetricsSnapshot`] instead of the per-instance
+/// [`FeasibilityCache::stats`] tuple.
 pub struct FeasibilityCache {
     verdicts: parking_lot::RwLock<std::collections::HashMap<LinkSet, bool>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
+    /// Bridged process-wide counters (lock-free handles into the global
+    /// registry, resolved once per cache).
+    obs_hits: poc_obs::Counter,
+    obs_misses: poc_obs::Counter,
+}
+
+impl Default for FeasibilityCache {
+    fn default() -> Self {
+        Self {
+            verdicts: Default::default(),
+            hits: Default::default(),
+            misses: Default::default(),
+            obs_hits: poc_obs::counter!("flow.cache.hit").clone(),
+            obs_misses: poc_obs::counter!("flow.cache.miss").clone(),
+        }
+    }
 }
 
 impl FeasibilityCache {
@@ -82,8 +103,14 @@ impl FeasibilityCache {
         use std::sync::atomic::Ordering;
         let got = self.verdicts.read().get(links).copied();
         match got {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs_hits.inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs_misses.inc();
+            }
         };
         got
     }
@@ -103,7 +130,9 @@ impl FeasibilityCache {
         self.verdicts.read().is_empty()
     }
 
-    /// `(hits, misses)` over all lookups so far.
+    /// `(hits, misses)` over all lookups on this instance.
+    #[deprecated(note = "read the flow.cache.hit / flow.cache.miss counters from the \
+                poc-obs registry snapshot instead of this tuple")]
     pub fn stats(&self) -> (u64, u64) {
         use std::sync::atomic::Ordering;
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
@@ -155,8 +184,10 @@ impl<'a> FeasibilityOracle<'a> {
 
     /// Whether `links ∈ A(OL)`: the subset carries the matrix under the
     /// constraint. Memoized when the oracle was built
-    /// [`Self::with_cache`].
+    /// [`Self::with_cache`]. Every call counts toward the
+    /// `flow.oracle.check` metric.
     pub fn acceptable(&self, links: &LinkSet) -> bool {
+        poc_obs::counter!("flow.oracle.check").inc();
         if let Some(cache) = self.cache {
             if let Some(verdict) = cache.lookup(links) {
                 return verdict;
@@ -322,11 +353,37 @@ mod tests {
                 }
             }
             let n_sets = probe_sets(&t).len() as u64;
+            #[allow(deprecated)]
             let (hits, misses) = cache.stats();
             assert_eq!(cache.len() as u64, n_sets);
             assert_eq!(misses, n_sets, "first pass misses every set");
             assert_eq!(hits, n_sets, "second pass hits every set");
         }
+    }
+
+    #[test]
+    fn cache_stats_bridge_into_global_registry() {
+        // The bridged counters aggregate across every cache in the
+        // process (tests run concurrently), so assert on the delta being
+        // at least this cache's contribution.
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let before = poc_obs::global().snapshot();
+        let cache = FeasibilityCache::new();
+        let oracle = FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &cache);
+        let full = LinkSet::full(t.n_links());
+        for _ in 0..3 {
+            oracle.acceptable(&full);
+        }
+        let after = poc_obs::global().snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert!(delta("flow.cache.miss") >= 1, "first probe misses");
+        assert!(delta("flow.cache.hit") >= 2, "repeat probes hit");
+        assert!(delta("flow.oracle.check") >= 3, "every acceptable() call counted");
+        #[allow(deprecated)]
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (2, 1), "per-instance tuple still works");
     }
 
     #[test]

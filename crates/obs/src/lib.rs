@@ -1,0 +1,186 @@
+//! In-tree observability for the Public Option for the Core.
+//!
+//! Zero external dependencies (the serde/serde_json shims are in-tree):
+//! a process-global [`MetricsRegistry`] of atomic counters, gauges, and
+//! log-bucket latency histograms; RAII [`Span`]s that time a region into
+//! the histogram named by the span; structured events fanned out to
+//! pluggable [`Sink`]s; and a JSON snapshot exporter that the control
+//! plane serves as its `Request::Metrics` scrape.
+//!
+//! # Design rules
+//!
+//! * **Recording never locks.** Instrument handles are shared atomic
+//!   cells; the registry lock is only taken when a *name* is resolved,
+//!   and the [`counter!`] / [`histogram!`] / [`span!`] macros cache the
+//!   resolved handle in a per-call-site static. The parallel Clarke-pivot
+//!   path therefore pays a few relaxed atomic ops per record and nothing
+//!   else — bounded by the `pivot_parallel` bench.
+//! * **One global registry.** Library crates record into
+//!   [`global()`]; it can be flipped into no-op mode with
+//!   [`MetricsRegistry::set_enabled`]`(false)`. Isolated registries
+//!   ([`MetricsRegistry::new`]) exist for tests.
+//! * **Names are dotted paths**, `<crate>.<subsystem>.<what>`:
+//!   `flow.cache.hit`, `auction.round.parallel`, `ctrl.frames.read`.
+//!   Histograms record nanoseconds unless the name says otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use poc_obs::{counter, span};
+//!
+//! fn handle_one() {
+//!     let _round = span!("demo.work", kind = "example");
+//!     counter!("demo.handled").inc();
+//!     // ... the span records its wall time when `_round` drops ...
+//! }
+//!
+//! handle_one();
+//! let snap = poc_obs::global().snapshot();
+//! assert_eq!(snap.counter("demo.handled"), Some(1));
+//! assert_eq!(snap.histogram("demo.work").unwrap().count, 1);
+//! ```
+
+pub mod histogram;
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+pub mod span;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use sink::{Event, FieldValue, Sink, StderrSink};
+pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+pub use span::Span;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-global registry every library crate records into.
+/// Initialized enabled, with no sinks, on first use.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Install the stderr text sink on the global registry (idempotent in
+/// effect for examples: call once at startup).
+pub fn log_to_stderr() {
+    global().add_sink(std::sync::Arc::new(StderrSink));
+}
+
+/// Resolve a counter from the global registry, caching the handle in a
+/// per-call-site static: the registry lock is taken at most once per
+/// call site for the life of the process.
+///
+/// ```
+/// poc_obs::counter!("doc.example.hits").inc();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __POC_OBS_COUNTER: ::std::sync::OnceLock<$crate::Counter> =
+            ::std::sync::OnceLock::new();
+        __POC_OBS_COUNTER.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Resolve a gauge from the global registry (per-call-site cached, like
+/// [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __POC_OBS_GAUGE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        __POC_OBS_GAUGE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Resolve a histogram from the global registry (per-call-site cached,
+/// like [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __POC_OBS_HISTOGRAM: ::std::sync::OnceLock<$crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        __POC_OBS_HISTOGRAM.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// Enter an RAII timing span recording into the histogram of the same
+/// name; optional `key = value` fields ride along on the `span.close`
+/// event when span events are enabled.
+///
+/// ```
+/// let pivot = 3u32;
+/// let _span = poc_obs::span!("doc.example.pivot", bp = pivot);
+/// // ... timed work; records into histogram "doc.example.pivot" on drop
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::on($name, $crate::histogram!($name))
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::Span::with_fields(
+            $name,
+            $crate::histogram!($name),
+            vec![$((stringify!($key), $crate::FieldValue::from($value))),+],
+        )
+    };
+}
+
+/// Emit a structured event to every sink on the global registry. With no
+/// sinks installed this costs one relaxed atomic load.
+///
+/// ```
+/// poc_obs::event!("doc.example.done", items = 3usize, ok = true);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::global().emit(
+            $name,
+            &[$((stringify!($key), $crate::FieldValue::from($value))),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sink::{Event, Sink};
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Default)]
+    struct CaptureSink(Mutex<Vec<String>>);
+
+    impl Sink for CaptureSink {
+        fn record(&self, event: &Event<'_>) {
+            let fields: Vec<String> =
+                event.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            self.0.lock().unwrap().push(format!("{} [{}]", event.name, fields.join(", ")));
+        }
+    }
+
+    #[test]
+    fn macros_share_one_global_instrument() {
+        // Two call sites, same name → same cell.
+        counter!("lib.macro.count").add(2);
+        counter!("lib.macro.count").inc();
+        assert_eq!(crate::global().counter("lib.macro.count").get(), 3);
+
+        gauge!("lib.macro.gauge").set(4.5);
+        assert_eq!(crate::global().gauge("lib.macro.gauge").get(), 4.5);
+
+        {
+            let _span = span!("lib.macro.span", step = 1u32);
+        }
+        assert!(histogram!("lib.macro.span").count() >= 1);
+    }
+
+    #[test]
+    fn events_reach_installed_sinks() {
+        let sink = Arc::new(CaptureSink::default());
+        crate::global().add_sink(sink.clone());
+        event!("lib.test.event", n = 7u32, label = "x");
+        let lines = sink.0.lock().unwrap().clone();
+        assert!(lines.iter().any(|l| l == "lib.test.event [n=7, label=x]"), "captured: {lines:?}");
+    }
+}

@@ -1,0 +1,422 @@
+//! The metrics registry and its instrument handles.
+//!
+//! A [`MetricsRegistry`] maps dotted instrument names to shared atomic
+//! cells. Resolving a name ([`MetricsRegistry::counter`] /
+//! [`MetricsRegistry::gauge`] / [`MetricsRegistry::histogram`]) takes the
+//! registry lock once and returns a cheap cloneable handle; *recording*
+//! through a handle is purely relaxed atomics, so handles can be used
+//! from the auction's parallel pivot threads without introducing any
+//! lock. The [`crate::counter!`] / [`crate::histogram!`] /
+//! [`crate::span!`] macros cache the handle in a per-call-site static, so
+//! steady-state instrumentation never touches the registry lock at all.
+//!
+//! The whole registry can be switched into no-op mode
+//! ([`MetricsRegistry::set_enabled`]): every handle observes the shared
+//! flag and recording collapses to one relaxed load and a branch. The
+//! `pivot_parallel` bench compares enabled vs no-op mode to bound the
+//! instrumentation overhead.
+
+use crate::histogram::HistogramCells;
+use crate::sink::{Event, FieldValue, Sink};
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Monotone event counter. Clone freely; clones share the same cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (use to batch per-iteration counts into one atomic op).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (stored as `f64` bits).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Add `delta` (lock-free compare-exchange loop).
+    pub fn add(&self, delta: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut current = self.cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.cell.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Log-bucket latency histogram handle (values in nanoseconds by
+/// convention; see [`mod@crate::histogram`] for bucket semantics).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cells: Arc<HistogramCells>,
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cells.record(value);
+        }
+    }
+
+    /// Record a wall-clock duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Whether recording is currently active (shared registry flag).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.cells.count()
+    }
+}
+
+/// One registered instrument.
+enum Instrument {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Named instruments plus the event sinks. See the module docs for the
+/// locking discipline; in short, the registry lock is a resolution-time
+/// cost only — never a recording-time one.
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    span_events: AtomicBool,
+    instruments: Mutex<BTreeMap<String, Instrument>>,
+    sinks: RwLock<Vec<Arc<dyn Sink>>>,
+    /// Mirrors `!sinks.is_empty()` so the no-sink fast path of
+    /// [`MetricsRegistry::emit`] is one relaxed load.
+    has_sinks: AtomicBool,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled registry with no sinks.
+    pub fn new() -> Self {
+        Self {
+            enabled: Arc::new(AtomicBool::new(true)),
+            span_events: AtomicBool::new(false),
+            instruments: Mutex::new(BTreeMap::new()),
+            sinks: RwLock::new(Vec::new()),
+            has_sinks: AtomicBool::new(false),
+        }
+    }
+
+    /// A no-op registry: handles resolve normally but record nothing
+    /// until [`MetricsRegistry::set_enabled`]`(true)`.
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.enabled.store(false, Ordering::Relaxed);
+        r
+    }
+
+    /// Toggle recording for every handle resolved from this registry.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Emit a `span.close` event to the sinks whenever an instrumented
+    /// span ends (off by default; spans always feed their histogram).
+    pub fn set_span_events(&self, on: bool) {
+        self.span_events.store(on, Ordering::Relaxed);
+    }
+
+    pub fn span_events_enabled(&self) -> bool {
+        self.span_events.load(Ordering::Relaxed)
+    }
+
+    /// Resolve (registering on first use) the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind —
+    /// a programming error the obs unit tests are meant to catch early.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.instruments.lock().expect("registry poisoned");
+        let cell = match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        };
+        Counter { enabled: Arc::clone(&self.enabled), cell }
+    }
+
+    /// Resolve (registering on first use) the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.instruments.lock().expect("registry poisoned");
+        let cell = match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        {
+            Instrument::Gauge(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        };
+        Gauge { enabled: Arc::clone(&self.enabled), cell }
+    }
+
+    /// Resolve (registering on first use) the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.instruments.lock().expect("registry poisoned");
+        let cells = match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(HistogramCells::new())))
+        {
+            Instrument::Histogram(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        };
+        Histogram { enabled: Arc::clone(&self.enabled), cells }
+    }
+
+    /// Install an event sink.
+    pub fn add_sink(&self, sink: Arc<dyn Sink>) {
+        let mut sinks = self.sinks.write().expect("sink list poisoned");
+        sinks.push(sink);
+        self.has_sinks.store(true, Ordering::Relaxed);
+    }
+
+    /// Remove every sink.
+    pub fn clear_sinks(&self) {
+        let mut sinks = self.sinks.write().expect("sink list poisoned");
+        sinks.clear();
+        self.has_sinks.store(false, Ordering::Relaxed);
+    }
+
+    /// Dispatch an event to every sink. With no sinks installed this is
+    /// one relaxed load.
+    pub fn emit(&self, name: &str, fields: &[(&'static str, FieldValue)]) {
+        if !self.has_sinks.load(Ordering::Relaxed) {
+            return;
+        }
+        let event = Event { name, fields };
+        for sink in self.sinks.read().expect("sink list poisoned").iter() {
+            sink.record(&event);
+        }
+    }
+
+    /// Zero every registered instrument (names stay registered and every
+    /// outstanding handle stays valid). Used between benchmark runs.
+    pub fn reset(&self) {
+        let map = self.instruments.lock().expect("registry poisoned");
+        for instrument in map.values() {
+            match instrument {
+                Instrument::Counter(c) => c.store(0, Ordering::Relaxed),
+                Instrument::Gauge(g) => g.store(0f64.to_bits(), Ordering::Relaxed),
+                Instrument::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Point-in-time snapshot of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.instruments.lock().expect("registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, instrument) in map.iter() {
+            match instrument {
+                Instrument::Counter(c) => snap
+                    .counters
+                    .push(CounterSnapshot { name: name.clone(), value: c.load(Ordering::Relaxed) }),
+                Instrument::Gauge(g) => snap.gauges.push(GaugeSnapshot {
+                    name: name.clone(),
+                    value: f64::from_bits(g.load(Ordering::Relaxed)),
+                }),
+                Instrument::Histogram(h) => snap.histograms.push(h.snapshot(name)),
+            }
+        }
+        snap
+    }
+
+    /// The snapshot rendered as JSON (the scrape format).
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("test.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // A second resolution shares the same cell.
+        assert_eq!(r.counter("test.count").get(), 5);
+
+        let g = r.gauge("test.gauge");
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("test.count"), Some(5));
+        assert_eq!(snap.gauge("test.gauge"), Some(1.5));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = MetricsRegistry::disabled();
+        let c = r.counter("noop.count");
+        let h = r.histogram("noop.hist");
+        c.inc();
+        h.record(10);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        // Re-enabling makes the same handles live.
+        r.set_enabled(true);
+        c.inc();
+        h.record(10);
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_conflict_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("conflict.metric");
+        r.histogram("conflict.metric");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_parses() {
+        let r = MetricsRegistry::new();
+        r.counter("z.last").inc();
+        r.counter("a.first").inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+        let back: crate::MetricsSnapshot = serde_json::from_str(&r.snapshot_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn multithread_counter_increments_lose_nothing() {
+        // Satellite stress test: N threads x M increments on one counter
+        // (plus a histogram recording alongside) must lose no update.
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 20_000;
+        let r = MetricsRegistry::new();
+        let c = r.counter("stress.count");
+        let h = r.histogram("stress.hist");
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record(t as u64 * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        let expected = THREADS as u64 * PER_THREAD;
+        assert_eq!(c.get(), expected);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("stress.count"), Some(expected));
+        assert_eq!(snap.histogram("stress.hist").unwrap().count, expected);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("reset.count");
+        let h = r.histogram("reset.hist");
+        c.add(3);
+        h.record(100);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(r.snapshot().counter("reset.count"), Some(1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Structured events and pluggable sinks.
+//!
+//! An [`Event`] is a name plus a flat list of typed fields. Events are
+//! emitted with the [`crate::event!`] macro (or
+//! [`crate::MetricsRegistry::emit`]) and fan out to every [`Sink`]
+//! installed on the registry. The in-tree [`StderrSink`] renders one text
+//! line per event; richer sinks (files, sockets) plug in through the same
+//! trait.
+
+use std::io::Write;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A typed event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.4}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! from_impls {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $cast)
+            }
+        }
+    )*};
+}
+
+from_impls! {
+    u64 => U64 as u64, u32 => U64 as u64, u16 => U64 as u64, usize => U64 as u64,
+    i64 => I64 as i64, i32 => I64 as i64,
+    f64 => F64 as f64, f32 => F64 as f64,
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured event, borrowed for the duration of the dispatch.
+#[derive(Debug)]
+pub struct Event<'a> {
+    /// Dotted event name, e.g. `auction.round.done`.
+    pub name: &'a str,
+    /// `(key, value)` pairs in emission order.
+    pub fields: &'a [(&'static str, FieldValue)],
+}
+
+/// Receives every event emitted through a registry.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &Event<'_>);
+}
+
+/// Seconds since the first event the process emitted (a cheap monotonic
+/// timestamp that needs no wall-clock dependency).
+fn uptime_secs() -> f64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Text sink: one `+<uptime>s name key=value ...` line per event on
+/// stderr, keeping stdout free for an example's primary data output.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event<'_>) {
+        let mut line = format!("+{:9.3}s {}", uptime_secs(), event.name);
+        for (key, value) in event.fields {
+            line.push_str(&format!(" {key}={value}"));
+        }
+        line.push('\n');
+        // One write_all per event keeps concurrent emitters line-atomic.
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Sink capturing formatted events for assertions.
+    #[derive(Default)]
+    pub struct VecSink(pub Mutex<Vec<String>>);
+
+    impl Sink for VecSink {
+        fn record(&self, event: &Event<'_>) {
+            let fields: Vec<String> =
+                event.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            self.0.lock().unwrap().push(format!("{} {}", event.name, fields.join(" ")));
+        }
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3u32), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-3i32), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(1.5f64), FieldValue::F64(1.5));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+    }
+
+    #[test]
+    fn vec_sink_formats_fields_in_order() {
+        let sink = VecSink::default();
+        sink.record(&Event {
+            name: "test.event",
+            fields: &[("a", FieldValue::U64(1)), ("b", FieldValue::Str("two".into()))],
+        });
+        assert_eq!(sink.0.lock().unwrap().as_slice(), ["test.event a=1 b=two"]);
+    }
+}

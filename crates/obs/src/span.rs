@@ -1,0 +1,99 @@
+//! RAII timing spans.
+//!
+//! A [`Span`] measures the wall time between its construction and its
+//! drop and records it, in nanoseconds, into the histogram named by the
+//! span. Enter one with the [`crate::span!`] macro — which caches the
+//! histogram handle in a per-call-site static so entering a span never
+//! takes the registry lock — or with [`Span::on`] when the histogram
+//! handle is already at hand (e.g. resolved per-request in the control
+//! plane).
+//!
+//! Spans always feed their histogram. When the global registry has
+//! [`crate::MetricsRegistry::set_span_events`] switched on, closing a
+//! span additionally emits a `span.close` event carrying the span name,
+//! its fields, and the duration — useful for ad-hoc tracing through the
+//! stderr sink without paying for string formatting in the steady state.
+
+use crate::registry::Histogram;
+use crate::sink::FieldValue;
+use std::time::Instant;
+
+/// An in-flight timed region. Ends (and records) on drop.
+#[must_use = "a span records on drop; binding it to `_` ends it immediately"]
+pub struct Span<'a> {
+    name: &'static str,
+    hist: &'a Histogram,
+    fields: Vec<(&'static str, FieldValue)>,
+    /// `None` when the registry is in no-op mode: drop does nothing.
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Enter a span recording into `hist` under `name`.
+    pub fn on(name: &'static str, hist: &'a Histogram) -> Self {
+        Self::with_fields(name, hist, Vec::new())
+    }
+
+    /// As [`Span::on`], with structured fields for the optional
+    /// `span.close` event.
+    pub fn with_fields(
+        name: &'static str,
+        hist: &'a Histogram,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> Self {
+        let start = hist.is_enabled().then(Instant::now);
+        Self { name, hist, fields, start }
+    }
+
+    /// Nanoseconds elapsed so far (`0` when the registry is disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.map_or(0, |s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+        let registry = crate::global();
+        if registry.span_events_enabled() {
+            let mut fields = std::mem::take(&mut self.fields);
+            fields.push(("span", FieldValue::Str(self.name.to_string())));
+            fields.push(("ns", FieldValue::U64(ns)));
+            registry.emit("span.close", &fields);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn span_records_into_histogram_on_drop() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("span.test");
+        {
+            let span = Span::on("span.test", &h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert!(span.elapsed_ns() > 0);
+        }
+        let snap = r.snapshot();
+        let hist = snap.histogram("span.test").unwrap();
+        assert_eq!(hist.count, 1);
+        assert!(hist.min >= 1_000_000, "slept ≥ 1 ms, recorded {} ns", hist.min);
+    }
+
+    #[test]
+    fn disabled_histogram_span_is_inert() {
+        let r = MetricsRegistry::disabled();
+        let h = r.histogram("span.noop");
+        {
+            let span = Span::on("span.noop", &h);
+            assert_eq!(span.elapsed_ns(), 0);
+        }
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -21,10 +21,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            sample_size: 20,
-            measurement_time: Duration::from_secs(3),
-        }
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(3) }
     }
 }
 
@@ -53,25 +50,24 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            sample_size: self.sample_size,
-            budget: self.measurement_time,
-            stats: None,
-        };
+        let mut b =
+            Bencher { sample_size: self.sample_size, budget: self.measurement_time, stats: None };
         f(&mut b);
         report(id, b.stats);
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher {
-            sample_size: self.sample_size,
-            budget: self.measurement_time,
-            stats: None,
-        };
+        let mut b =
+            Bencher { sample_size: self.sample_size, budget: self.measurement_time, stats: None };
         f(&mut b, input);
         report(&id.label, b.stats);
         self
@@ -85,9 +81,7 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
-        BenchmarkId {
-            label: format!("{function_name}/{parameter}"),
-        }
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
     }
 }
 
@@ -144,11 +138,8 @@ impl Bencher {
 
         samples.sort_by(|a, b| a.total_cmp(b));
         let n = samples.len();
-        let median = if n % 2 == 1 {
-            samples[n / 2]
-        } else {
-            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
-        };
+        let median =
+            if n % 2 == 1 { samples[n / 2] } else { (samples[n / 2 - 1] + samples[n / 2]) / 2.0 };
         let mean = samples.iter().sum::<f64>() / n as f64;
         self.stats = Some(Stats {
             median,
@@ -219,12 +210,8 @@ mod tests {
 
     #[test]
     fn measures_something() {
-        let mut c = Criterion::default()
-            .sample_size(2)
-            .measurement_time(Duration::from_millis(20));
-        c.bench_function("spin", |b| {
-            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
-        });
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(20));
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).map(black_box).sum::<u64>()));
         c.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
             b.iter(|| n.wrapping_mul(3))
         });

@@ -184,9 +184,7 @@ impl<'a> Parser<'a> {
                     // Copy a full UTF-8 sequence.
                     let start = self.pos;
                     self.pos += 1;
-                    while self.pos < self.bytes.len()
-                        && self.bytes[self.pos] & 0xC0 == 0x80
-                    {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
                         self.pos += 1;
                     }
                     let s = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -236,10 +234,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Iterate an array: calls `f` once per element.
-    pub fn seq(
-        &mut self,
-        mut f: impl FnMut(&mut Self) -> Result<(), Error>,
-    ) -> Result<(), Error> {
+    pub fn seq(&mut self, mut f: impl FnMut(&mut Self) -> Result<(), Error>) -> Result<(), Error> {
         self.expect(b'[')?;
         if self.try_consume(b']') {
             return Ok(());

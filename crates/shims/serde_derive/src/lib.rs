@@ -303,9 +303,7 @@ fn gen_serialize(item: &Item) -> String {
                 let vn = &v.name;
                 match &v.kind {
                     VariantKind::Unit => {
-                        b.push_str(&format!(
-                            "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
-                        ));
+                        b.push_str(&format!("{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"));
                     }
                     VariantKind::Tuple(1) => {
                         b.push_str(&format!(
@@ -316,8 +314,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Tuple(n) => {
-                        let binders: Vec<String> =
-                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
                         b.push_str(&format!(
                             "{name}::{vn}({}) => {{\n\
                              out.push_str(\"{{\\\"{vn}\\\":[\");\n",
@@ -327,15 +324,12 @@ fn gen_serialize(item: &Item) -> String {
                             if i > 0 {
                                 b.push_str("out.push(',');\n");
                             }
-                            b.push_str(&format!(
-                                "::serde::Serialize::json_write({f}, out);\n"
-                            ));
+                            b.push_str(&format!("::serde::Serialize::json_write({f}, out);\n"));
                         }
                         b.push_str("out.push_str(\"]}\");\n}\n");
                     }
                     VariantKind::Named(fields) => {
-                        let binders: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         b.push_str(&format!(
                             "{name}::{vn} {{ {} }} => {{\n\
                              out.push_str(\"{{\\\"{vn}\\\":{{\");\n",
@@ -439,9 +433,9 @@ fn gen_deserialize(item: &Item) -> String {
             format!("Ok({name}(::serde::Deserialize::json_read(p)?))")
         }
         Shape::Tuple(n) => format!("Ok({})", tuple_fields_expr(name, *n)),
-        Shape::Unit => format!(
-            "if p.try_null() {{ Ok({name}) }} else {{ Err(p.error(\"expected null\")) }}"
-        ),
+        Shape::Unit => {
+            format!("if p.try_null() {{ Ok({name}) }} else {{ Err(p.error(\"expected null\")) }}")
+        }
         Shape::Enum(variants) => {
             let mut b = String::from(
                 "if p.peek_string() {\n\

@@ -26,8 +26,8 @@ pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
 }
 
 pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
-    let s = std::str::from_utf8(bytes)
-        .map_err(|_| Error { msg: "invalid utf-8".into(), offset: 0 })?;
+    let s =
+        std::str::from_utf8(bytes).map_err(|_| Error { msg: "invalid utf-8".into(), offset: 0 })?;
     from_str(s)
 }
 
@@ -35,8 +35,7 @@ pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
 mod tests {
     #[test]
     fn primitives_round_trip() {
-        let s = super::to_string(&(1u32, -2i64, 3.5f64, true, "hi\"\\\n".to_string()))
-            .unwrap();
+        let s = super::to_string(&(1u32, -2i64, 3.5f64, true, "hi\"\\\n".to_string())).unwrap();
         let back: (u32, i64, f64, bool, String) = super::from_str(&s).unwrap();
         assert_eq!(back, (1, -2, 3.5, true, "hi\"\\\n".to_string()));
     }

@@ -1,14 +1,21 @@
+//! Calibration check for the paper-scale synthetic topology.
+//!
+//! The rendered table (the deliverable) stays on stdout; the summary
+//! line goes to stderr as a structured `poc-obs` event.
+
 use poc_topology::{TopologyStats, ZooConfig, ZooGenerator};
+
 fn main() {
+    poc_obs::log_to_stderr();
     let t = ZooGenerator::new(ZooConfig::paper()).generate();
     let s = TopologyStats::compute(&t);
     println!("{}", s.render_table());
     let (min, max) = s.share_range();
-    println!(
-        "links={} routers={} share range {:.1}%..{:.1}%",
-        s.n_bp_links,
-        s.n_routers,
-        min * 100.0,
-        max * 100.0
+    poc_obs::event!(
+        "calibrate.summary",
+        links = s.n_bp_links,
+        routers = s.n_routers,
+        share_min_pct = min * 100.0,
+        share_max_pct = max * 100.0,
     );
 }

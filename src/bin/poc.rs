@@ -7,6 +7,8 @@
 //! poc welfare                         §4 regime comparison (E-W1)
 //! poc drill [--failures N]            failure drill (E-R1)
 //! poc serve [--addr HOST:PORT]        run the control-plane server
+//! poc metrics [--addr HOST:PORT] [--json]
+//!                                     scrape a running server's metrics
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (std only).
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         "welfare" => cmd_welfare(),
         "drill" => cmd_drill(rest),
         "serve" => cmd_serve(rest),
+        "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -61,6 +64,7 @@ commands:
   welfare                              §4 regime comparison (E-W1)
   drill [--failures N]                 failure drill on the leased fabric (E-R1)
   serve [--addr HOST:PORT]             run the control-plane server
+  metrics [--addr HOST:PORT] [--json]  scrape a running server's metrics
   help                                 this message";
 
 fn flag(rest: &[String], name: &str) -> bool {
@@ -165,6 +169,49 @@ fn cmd_drill(rest: &[String]) -> Result<(), String> {
             drill.availability * 100.0,
             drill.total_reroutes
         );
+    }
+    Ok(())
+}
+
+fn cmd_metrics(rest: &[String]) -> Result<(), String> {
+    let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7700");
+    let addr: std::net::SocketAddr =
+        addr.parse().map_err(|e| format!("bad --addr {addr:?}: {e}"))?;
+    let mut client = public_option_core::ctrlplane::PocClient::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e} (is `poc serve` running?)"))?;
+    let snap = client.metrics().map_err(|e| format!("scrape: {e}"))?;
+    if flag(rest, "--json") {
+        println!("{}", snap.to_json());
+        return Ok(());
+    }
+    if !snap.counters.is_empty() {
+        println!("{:<34}{:>14}", "counter", "value");
+        for c in &snap.counters {
+            println!("{:<34}{:>14}", c.name, c.value);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        println!("\n{:<34}{:>14}", "gauge", "value");
+        for g in &snap.gauges {
+            println!("{:<34}{:>14.3}", g.name, g.value);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        println!(
+            "\n{:<34}{:>8}{:>12}{:>12}{:>12}{:>12}",
+            "histogram (ns)", "count", "mean", "p50", "p90", "p99"
+        );
+        for h in &snap.histograms {
+            println!(
+                "{:<34}{:>8}{:>12.0}{:>12}{:>12}{:>12}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p90,
+                h.p99
+            );
+        }
     }
     Ok(())
 }

@@ -5,5 +5,6 @@ pub use poc_ctrlplane as ctrlplane;
 pub use poc_econ as econ;
 pub use poc_flow as flow;
 pub use poc_netsim as netsim;
+pub use poc_obs as obs;
 pub use poc_topology as topology;
 pub use poc_traffic as traffic;
