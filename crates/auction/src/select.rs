@@ -91,7 +91,7 @@ impl GreedySelector {
         let topo = oracle.topo();
         let mut g = CapacityGraph::new(topo, available);
         let mut demands: Vec<(RouterId, RouterId, f64)> = oracle.tm().iter_demands().collect();
-        demands.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN demand"));
+        demands.sort_by(|a, b| b.2.total_cmp(&a.2));
 
         let mut primaries = Vec::with_capacity(demands.len());
         for (fi, (src, dst, demand)) in demands.into_iter().enumerate() {
@@ -236,7 +236,7 @@ fn prune_links(
 ) -> LinkSet {
     let mut by_price: Vec<(f64, LinkId)> =
         links.iter().map(|l| (market.unit_price(l), l)).collect();
-    by_price.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN price").then(a.1.cmp(&b.1)));
+    by_price.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut cur_cost = market.total_cost(&links);
     for (_, l) in by_price.into_iter().take(budget) {
         let mut candidate = links.clone();
@@ -282,7 +282,7 @@ impl Selector for ForwardGreedySelector {
         order.sort_by(|&a, &b| {
             let pa = market.unit_price(a) / topo.link(a).capacity_gbps;
             let pb = market.unit_price(b) / topo.link(b).capacity_gbps;
-            pa.partial_cmp(&pb).expect("NaN price").then(a.cmp(&b))
+            pa.total_cmp(&pb).then(a.cmp(&b))
         });
         let prefix =
             |k: usize| LinkSet::from_links(available.universe(), order[..k].iter().copied());

@@ -92,9 +92,7 @@ impl AuctionOutcome {
     pub fn top_pob(&self, n: usize) -> Vec<(BpId, f64)> {
         let mut by_size: Vec<&BpSettlement> =
             self.settlements.iter().filter(|s| s.bid_cost > 0.0).collect();
-        by_size.sort_by(|a, b| {
-            b.bid_cost.partial_cmp(&a.bid_cost).expect("NaN bid").then(a.bp.cmp(&b.bp))
-        });
+        by_size.sort_by(|a, b| b.bid_cost.total_cmp(&a.bid_cost).then(a.bp.cmp(&b.bp)));
         by_size.into_iter().take(n).map(|s| (s.bp, s.pob().expect("bid > 0"))).collect()
     }
 }

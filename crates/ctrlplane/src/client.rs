@@ -1,10 +1,22 @@
 //! Typed blocking client for the POC control plane.
+//!
+//! Every socket operation runs under a deadline ([`ClientConfig`]): a
+//! dead or wedged controller surfaces as [`ClientError::TimedOut`]
+//! instead of parking the caller forever. Idempotent requests
+//! (`Ping`/`Get*`/`Metrics` — see [`Request::is_idempotent`]) are
+//! additionally retried through an automatic reconnect loop with capped
+//! exponential backoff and deterministic jitter ([`RetryPolicy`]);
+//! mutating requests (`RunAuction`, `ReportUsage`, ...) are never
+//! replayed, because a lost response leaves the mutation ambiguous.
 
 use crate::codec::{read_frame, write_frame, CodecError};
 use crate::proto::{AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response};
 use poc_core::entity::EntityId;
 use poc_core::tos::{TrafficPolicy, Verdict};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -14,6 +26,22 @@ pub enum ClientError {
     Server(String),
     /// The server answered with an unexpected variant.
     Protocol(String),
+    /// A connect/read/write deadline expired (and, for idempotent
+    /// requests, every retry budgeted by the [`RetryPolicy`] was spent).
+    TimedOut,
+}
+
+impl ClientError {
+    /// Transport-level failure: a reconnect may succeed where this
+    /// attempt failed. `Server` and `Protocol` answers are *from* the
+    /// controller — retrying would re-ask a question that was answered.
+    fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Codec(c) => c.is_transport(),
+            ClientError::TimedOut => true,
+            ClientError::Server(_) | ClientError::Protocol(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -22,6 +50,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Codec(e) => write!(f, "codec: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::TimedOut => write!(f, "deadline expired"),
         }
     }
 }
@@ -30,27 +59,148 @@ impl std::error::Error for ClientError {}
 
 impl From<CodecError> for ClientError {
     fn from(e: CodecError) -> Self {
-        ClientError::Codec(e)
+        match e {
+            CodecError::TimedOut => ClientError::TimedOut,
+            other => ClientError::Codec(other),
+        }
+    }
+}
+
+/// Reconnect-and-retry policy for idempotent requests.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^(n-1)`, capped at
+    /// [`RetryPolicy::max_backoff`], scaled by jitter in `[0.5, 1.0)`.
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream (the in-tree `rand` shim), so a test
+    /// run's retry schedule is reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0x90c_0b5e,
+        }
+    }
+}
+
+/// Deadlines and retry policy for a [`PocClient`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    pub connect_timeout: Duration,
+    /// Read deadline per response. Covers the server-side handling time
+    /// too (an auction round computes under this deadline), so keep it
+    /// comfortably above the slowest expected request.
+    pub read_timeout: Duration,
+    pub write_timeout: Duration,
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// No retries; deadlines only.
+    pub fn no_retry(mut self) -> Self {
+        self.retry.max_retries = 0;
+        self
     }
 }
 
 /// A connection to the POC controller.
 pub struct PocClient {
     stream: TcpStream,
+    addr: std::net::SocketAddr,
+    config: ClientConfig,
+    jitter: ChaCha8Rng,
 }
 
 impl PocClient {
+    /// Connect with default deadlines and retry policy.
     pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Self> {
-        Ok(Self { stream: TcpStream::connect(addr)? })
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit deadlines and retry policy.
+    pub fn connect_with(addr: std::net::SocketAddr, config: ClientConfig) -> std::io::Result<Self> {
+        let stream = Self::open(addr, &config)?;
+        let jitter = ChaCha8Rng::seed_from_u64(config.retry.jitter_seed);
+        Ok(Self { stream, addr, config, jitter })
+    }
+
+    fn open(addr: std::net::SocketAddr, config: &ClientConfig) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+        stream.set_read_timeout(Some(config.read_timeout))?;
+        stream.set_write_timeout(Some(config.write_timeout))?;
+        Ok(stream)
+    }
+
+    /// Fault-injection hook: sever the underlying connection without the
+    /// client noticing, as a mid-session network drop would. The next
+    /// request fails at the transport layer (and, if idempotent,
+    /// recovers through the retry loop). Test harness use only.
+    #[doc(hidden)]
+    pub fn inject_disconnect(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 
     fn call(&mut self, req: Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req)?;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.call_once(&req) {
+                Ok(resp) => return Ok(resp),
+                Err(e)
+                    if e.is_retryable()
+                        && req.is_idempotent()
+                        && attempt < self.config.retry.max_retries =>
+                {
+                    attempt += 1;
+                    if matches!(e, ClientError::TimedOut) {
+                        poc_obs::counter!("ctrl.client.timeouts").inc();
+                    }
+                    poc_obs::counter!("ctrl.client.retries").inc();
+                    std::thread::sleep(self.backoff(attempt));
+                    // Reconnect; if that fails, the next call_once fails
+                    // at write and either retries again or surfaces.
+                    if let Ok(stream) = Self::open(self.addr, &self.config) {
+                        self.stream = stream;
+                    }
+                }
+                Err(ClientError::TimedOut) => {
+                    poc_obs::counter!("ctrl.client.timeouts").inc();
+                    return Err(ClientError::TimedOut);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn call_once(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, req)?;
         let resp: Response = read_frame(&mut self.stream)?;
         if let Response::Error { message } = resp {
             return Err(ClientError::Server(message));
         }
         Ok(resp)
+    }
+
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        backoff_delay(&self.config.retry, attempt, &mut self.jitter)
     }
 
     pub fn ping(&mut self) -> Result<(), ClientError> {
@@ -148,5 +298,59 @@ impl PocClient {
             Response::Metrics(snapshot) => Ok(snapshot),
             other => Err(ClientError::Protocol(format!("expected Metrics, got {other:?}"))),
         }
+    }
+}
+
+/// Capped exponential backoff with jitter in `[0.5, 1.0)` of the nominal
+/// delay (decorrelates clients retrying a shared outage). Retry `attempt`
+/// counts from 1.
+fn backoff_delay(retry: &RetryPolicy, attempt: u32, jitter: &mut ChaCha8Rng) -> Duration {
+    let nominal = retry
+        .base_backoff
+        .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+        .min(retry.max_backoff);
+    nominal.mul_f64(jitter.gen_range(0.5..1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let retry = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+            jitter_seed: 7,
+        };
+        let mut jitter = ChaCha8Rng::seed_from_u64(retry.jitter_seed);
+        let mut saw_below_nominal = false;
+        for attempt in 1..=10u32 {
+            let d = backoff_delay(&retry, attempt, &mut jitter);
+            assert!(d <= retry.max_backoff, "attempt {attempt}: {d:?}");
+            assert!(d >= retry.base_backoff.mul_f64(0.5), "attempt {attempt}: {d:?}");
+            saw_below_nominal |= d < retry.max_backoff.mul_f64(0.99);
+        }
+        assert!(saw_below_nominal, "jitter never moved the delay off the cap");
+        // Same seed ⇒ same schedule (deterministic tests).
+        let mut a = ChaCha8Rng::seed_from_u64(retry.jitter_seed);
+        let mut b = ChaCha8Rng::seed_from_u64(retry.jitter_seed);
+        for attempt in 1..=5u32 {
+            assert_eq!(
+                backoff_delay(&retry, attempt, &mut a),
+                backoff_delay(&retry, attempt, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn retryable_partition() {
+        assert!(ClientError::TimedOut.is_retryable());
+        assert!(ClientError::Codec(CodecError::Closed).is_retryable());
+        assert!(ClientError::Codec(CodecError::Io(std::io::Error::other("reset"))).is_retryable());
+        assert!(!ClientError::Server("at capacity".into()).is_retryable());
+        assert!(!ClientError::Protocol("wrong variant".into()).is_retryable());
+        assert!(!ClientError::Codec(CodecError::FrameTooLarge(9)).is_retryable());
     }
 }

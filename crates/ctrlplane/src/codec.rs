@@ -22,6 +22,19 @@ pub enum CodecError {
     Json(serde_json::Error),
     /// Clean EOF between frames (peer hung up).
     Closed,
+    /// A read or write deadline expired mid-operation. Framing state is
+    /// unrecoverable after this (partial bytes may have moved), so the
+    /// connection must be abandoned, not resumed.
+    TimedOut,
+}
+
+impl CodecError {
+    /// Transport-level failure (as opposed to a malformed message): the
+    /// peer or the network is at fault and a fresh connection may
+    /// succeed. This is the client retry layer's "retryable" predicate.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, CodecError::Io(_) | CodecError::Closed | CodecError::TimedOut)
+    }
 }
 
 impl std::fmt::Display for CodecError {
@@ -31,15 +44,27 @@ impl std::fmt::Display for CodecError {
             CodecError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
             CodecError::Json(e) => write!(f, "json: {e}"),
             CodecError::Closed => write!(f, "connection closed"),
+            CodecError::TimedOut => write!(f, "deadline expired mid-frame"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
+/// `true` for the error kinds a socket read/write deadline surfaces as
+/// (`SO_RCVTIMEO`/`SO_SNDTIMEO` report `WouldBlock` on Unix, `TimedOut`
+/// on Windows).
+pub fn is_io_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
 impl From<std::io::Error> for CodecError {
     fn from(e: std::io::Error) -> Self {
-        CodecError::Io(e)
+        if is_io_timeout(&e) {
+            CodecError::TimedOut
+        } else {
+            CodecError::Io(e)
+        }
     }
 }
 
@@ -138,6 +163,19 @@ mod tests {
         let wire = (MAX_FRAME + 1).to_be_bytes().to_vec();
         let err = read_frame::<_, Request>(&mut Cursor::new(wire)).unwrap_err();
         assert!(matches!(err, CodecError::FrameTooLarge(_)), "{err:?}");
+    }
+
+    #[test]
+    fn io_timeout_is_typed() {
+        struct StallingReader;
+        impl Read for StallingReader {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "deadline"))
+            }
+        }
+        let err = read_frame::<_, Request>(&mut StallingReader).unwrap_err();
+        assert!(matches!(err, CodecError::TimedOut), "{err:?}");
+        assert!(err.is_transport());
     }
 
     #[test]

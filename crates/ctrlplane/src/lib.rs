@@ -11,19 +11,31 @@
 //! connection counters, and everything the auction and flow layers
 //! recorded).
 //!
+//! The control plane is built to survive misbehaving peers: the server
+//! enforces a connection cap, per-connection idle deadlines, and write
+//! deadlines ([`server::ServerConfig`]); the client runs every socket
+//! operation under a deadline and retries idempotent requests through
+//! an automatic reconnect loop with capped, jittered exponential
+//! backoff ([`client::ClientConfig`]). The [`fault`] module is the
+//! deterministic fault-injection harness the integration tests drive
+//! against a live server.
+//!
 //! * [`proto`] — the wire messages;
 //! * [`codec`] — length-prefixed framing over any `Read`/`Write`;
 //! * [`server`] — the POC controller: one thread per connection, state
 //!   behind a mutex (auction rounds serialize state mutation —
 //!   acceptable for a control plane, where rounds are rare and minutes
 //!   apart);
-//! * [`client`] — a typed blocking client.
+//! * [`client`] — a typed blocking client with deadlines and retry;
+//! * [`fault`] — test-only fault injection (frame truncation, garbage,
+//!   oversized prefixes, drops, delays).
 
 pub mod client;
 pub mod codec;
+pub mod fault;
 pub mod proto;
 pub mod server;
 
-pub use client::PocClient;
+pub use client::{ClientConfig, ClientError, PocClient, RetryPolicy};
 pub use proto::{AttachRole, Request, Response};
-pub use server::{PocServer, ServerHandle};
+pub use server::{PocServer, ServerConfig, ServerHandle};

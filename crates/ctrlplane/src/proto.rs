@@ -72,6 +72,24 @@ impl Request {
             Request::Metrics => "metrics",
         }
     }
+
+    /// Whether replaying this request after a transport failure is safe.
+    /// Only idempotent requests may be retried by the client's automatic
+    /// reconnect loop: a lost response to `RunAuction`, `RunBilling`,
+    /// `Attach`, `ReportUsage`, or `RecallLink` leaves the server's state
+    /// ambiguous (the mutation may have been applied), so those surface
+    /// the error to the caller instead.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::GetOutcome
+                | Request::GetBalance { .. }
+                | Request::GetPath { .. }
+                | Request::GetLeases
+                | Request::Metrics
+        )
+    }
 }
 
 /// One lease as shipped to clients.
@@ -180,6 +198,38 @@ mod tests {
         let Response::Metrics(snap) = back else { panic!("expected Metrics") };
         assert_eq!(snap.counter("proto.test.count"), Some(1));
         assert_eq!(snap.histogram("proto.test.hist").unwrap().count, 1);
+    }
+
+    #[test]
+    fn idempotency_partition() {
+        // Reads retry; mutations never do.
+        assert!(Request::Ping.is_idempotent());
+        assert!(Request::GetOutcome.is_idempotent());
+        assert!(Request::GetBalance { entity: EntityId(1) }.is_idempotent());
+        assert!(Request::GetPath { from: EntityId(1), to: EntityId(2) }.is_idempotent());
+        assert!(Request::GetLeases.is_idempotent());
+        assert!(Request::Metrics.is_idempotent());
+        assert!(!Request::RunAuction.is_idempotent());
+        assert!(!Request::RunBilling.is_idempotent());
+        assert!(!Request::ReportUsage { entity: EntityId(1), gbps: 1.0 }.is_idempotent());
+        assert!(!Request::RecallLink { bp: 0, link: 0, notice_periods: 1 }.is_idempotent());
+        assert!(!Request::Attach {
+            name: "x".into(),
+            role: AttachRole::Lmp { router: RouterId(0) }
+        }
+        .is_idempotent());
+        assert!(
+            !Request::ReviewPolicy {
+                policy: poc_core::tos::TrafficPolicy {
+                    lmp: EntityId(1),
+                    matches: poc_core::tos::PolicyMatch::any(),
+                    action: poc_core::tos::PolicyAction::Block,
+                    basis: poc_core::tos::PolicyBasis::Commercial,
+                }
+            }
+            .is_idempotent(),
+            "review verdicts may depend on evolving policy state; stay conservative"
+        );
     }
 
     #[test]

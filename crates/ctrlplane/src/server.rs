@@ -8,6 +8,28 @@
 //! accept loop with a throwaway connection; connection threads observe the
 //! flag between read attempts (reads run under a short timeout so a parked
 //! thread notices within ~100 ms).
+//!
+//! # Robustness posture
+//!
+//! The controller is the trust anchor of the marketplace (§2, §3.2): it
+//! must stay reachable while peers misbehave. [`ServerConfig`] bounds
+//! every resource a peer can hold:
+//!
+//! * **connection cap** — at most `max_connections` concurrent
+//!   connections; excess connects are answered with a single
+//!   [`Response::Error`] frame and closed (`ctrl.conn.rejected`);
+//! * **idle deadline** — a peer that goes silent (including a slowloris
+//!   half-frame: valid length prefix, then nothing) is evicted after
+//!   `idle_timeout` (`ctrl.conn.idle_evicted`) instead of parking a
+//!   worker thread forever;
+//! * **write deadline** — a peer that stops draining its receive window
+//!   cannot stall a worker in `write` (`ctrl.write.timeouts`);
+//! * **worker reaping** — finished connection threads are joined on
+//!   every accept-loop turn (`ctrl.conn.reaped`), so the worker list
+//!   stays proportional to *live* connections;
+//! * **accept backoff** — a persistent `accept()` error (e.g. EMFILE)
+//!   backs off exponentially instead of hot-spinning a core
+//!   (`ctrl.accept.errors`).
 
 use crate::codec::{read_frame, write_frame, CodecError};
 use crate::proto::{AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response};
@@ -22,8 +44,40 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How often a blocked connection read re-checks the shutdown flag.
+/// How often a blocked connection read re-checks the shutdown flag (and
+/// the idle deadline).
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// First accept-error backoff; doubles per consecutive error up to
+/// [`ACCEPT_BACKOFF_MAX`], resets on the next successful accept.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// Resource bounds for a running server. Defaults are generous enough
+/// that the happy path never notices them; tests and hostile deployments
+/// tighten them.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; further connects get one
+    /// `Response::Error` frame and an immediate close.
+    pub max_connections: usize,
+    /// A connection with no bytes received for this long is evicted.
+    /// Covers both fully idle peers and slowloris half-frames.
+    pub idle_timeout: Duration,
+    /// Per-write deadline on responses (protects workers from a peer
+    /// that never drains its socket).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
 
 /// Shared controller state.
 struct State {
@@ -34,14 +88,15 @@ struct State {
     usage: BTreeMap<EntityId, f64>,
 }
 
-/// The server. Construct with [`PocServer::bind`], then call
-/// [`PocServer::run`] (typically on its own thread) and keep the
-/// [`ServerHandle`] for shutdown.
+/// The server. Construct with [`PocServer::bind`] (default limits) or
+/// [`PocServer::bind_with`], then call [`PocServer::run`] (typically on
+/// its own thread) and keep the [`ServerHandle`] for shutdown.
 pub struct PocServer {
     listener: TcpListener,
     state: Arc<Mutex<State>>,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicI64>,
+    config: ServerConfig,
 }
 
 /// Handle for stopping a running server.
@@ -84,15 +139,32 @@ impl Drop for ConnectionGuard {
 }
 
 impl PocServer {
-    /// Bind on `addr` (use port 0 for an ephemeral port).
+    /// Bind on `addr` (use port 0 for an ephemeral port) with default
+    /// [`ServerConfig`] limits.
     pub fn bind(addr: &str, poc: Poc, tm: TrafficMatrix) -> std::io::Result<(Self, ServerHandle)> {
+        Self::bind_with(addr, poc, tm, ServerConfig::default())
+    }
+
+    /// Bind with explicit resource limits.
+    pub fn bind_with(
+        addr: &str,
+        poc: Poc,
+        tm: TrafficMatrix,
+        config: ServerConfig,
+    ) -> std::io::Result<(Self, ServerHandle)> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicI64::new(0));
         let state = Arc::new(Mutex::new(State { poc, tm, usage: BTreeMap::new() }));
         Ok((
-            Self { listener, state, shutdown: Arc::clone(&shutdown), active: Arc::clone(&active) },
+            Self {
+                listener,
+                state,
+                shutdown: Arc::clone(&shutdown),
+                active: Arc::clone(&active),
+                config,
+            },
             ServerHandle { shutdown, active, local_addr },
         ))
     }
@@ -102,12 +174,28 @@ impl PocServer {
     /// draining those threads is recorded in the `ctrl.shutdown.drain`
     /// histogram.
     pub fn run(self) {
-        let mut workers = Vec::new();
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut accept_backoff = ACCEPT_BACKOFF_START;
         loop {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    accept_backoff = ACCEPT_BACKOFF_START;
                     if self.shutdown.load(Ordering::SeqCst) {
                         break;
+                    }
+                    // Reap finished workers on every accepted connection:
+                    // the handle list stays proportional to live
+                    // connections instead of growing for the lifetime of
+                    // the server. A finished thread joins instantly.
+                    let before = workers.len();
+                    workers.retain(|w| !w.is_finished());
+                    let reaped = before - workers.len();
+                    if reaped > 0 {
+                        poc_obs::counter!("ctrl.conn.reaped").add(reaped as u64);
+                    }
+                    if self.active.load(Ordering::SeqCst) >= self.config.max_connections as i64 {
+                        reject_over_capacity(stream, &self.config);
+                        continue;
                     }
                     poc_obs::counter!("ctrl.conn.total").inc();
                     let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
@@ -115,15 +203,22 @@ impl PocServer {
                     let guard = ConnectionGuard { active: Arc::clone(&self.active) };
                     let state = Arc::clone(&self.state);
                     let flag = Arc::clone(&self.shutdown);
+                    let config = self.config.clone();
                     workers.push(std::thread::spawn(move || {
                         let _guard = guard;
-                        let _ = serve_connection(stream, state, flag);
+                        let _ = serve_connection(stream, state, flag, &config);
                     }));
                 }
                 Err(_) => {
                     if self.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
+                    // A persistent accept error (EMFILE, ENOBUFS, ...)
+                    // must not hot-spin a core: back off exponentially
+                    // while staying responsive to shutdown.
+                    poc_obs::counter!("ctrl.accept.errors").inc();
+                    std::thread::sleep(accept_backoff);
+                    accept_backoff = (accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
                 }
             }
         }
@@ -135,14 +230,36 @@ impl PocServer {
     }
 }
 
+/// Turn away a connection over the cap: one best-effort typed error
+/// frame, then close. Runs inline in the accept loop, so the write
+/// deadline (already set) is what keeps a malicious peer from stalling
+/// accepts.
+fn reject_over_capacity(mut stream: TcpStream, config: &ServerConfig) {
+    poc_obs::counter!("ctrl.conn.rejected").inc();
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = write_frame(
+        &mut stream,
+        &Response::Error { message: "server at capacity, retry later".into() },
+    );
+}
+
 /// [`Read`] adapter that turns a blocking stream into one that polls the
-/// shutdown flag: reads run under [`READ_POLL`] timeouts, and once the
-/// flag is set an idle wait surfaces as EOF (so the codec reports a clean
-/// `Closed` at a frame boundary). Partial reads are preserved by the
-/// underlying `read`, so a timeout mid-frame never corrupts framing.
+/// shutdown flag and enforces the idle deadline: reads run under
+/// [`READ_POLL`] timeouts; once the shutdown flag is set an idle wait
+/// surfaces as EOF (so the codec reports a clean `Closed` at a frame
+/// boundary); and if no byte has arrived for `idle_timeout` the read
+/// fails with a timeout error (surfaced by the codec as
+/// [`CodecError::TimedOut`], evicting the connection). Partial reads are
+/// preserved by the underlying `read`, so a poll timeout mid-frame never
+/// corrupts framing.
 struct ShutdownAwareReader<'a> {
     stream: &'a TcpStream,
     flag: &'a AtomicBool,
+    idle_timeout: Duration,
+    /// Last instant any byte arrived on this connection. Shared with
+    /// [`serve_connection`] so idleness spans frame boundaries (a peer
+    /// sending a half-frame and stalling is as idle as a silent one).
+    last_byte: &'a mut Instant,
 }
 
 impl Read for ShutdownAwareReader<'_> {
@@ -160,6 +277,18 @@ impl Read for ShutdownAwareReader<'_> {
                     if self.flag.load(Ordering::SeqCst) {
                         return Ok(0);
                     }
+                    if self.last_byte.elapsed() >= self.idle_timeout {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "idle deadline expired",
+                        ));
+                    }
+                }
+                Ok(n) => {
+                    if n > 0 {
+                        *self.last_byte = Instant::now();
+                    }
+                    return Ok(n);
                 }
                 other => return other,
             }
@@ -171,16 +300,30 @@ fn serve_connection(
     mut stream: TcpStream,
     state: Arc<Mutex<State>>,
     flag: Arc<AtomicBool>,
+    config: &ServerConfig,
 ) -> Result<(), CodecError> {
     stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let mut last_byte = Instant::now();
     loop {
         if flag.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let mut reader = ShutdownAwareReader { stream: &stream, flag: &flag };
+        let mut reader = ShutdownAwareReader {
+            stream: &stream,
+            flag: &flag,
+            idle_timeout: config.idle_timeout,
+            last_byte: &mut last_byte,
+        };
         let request: Request = match read_frame(&mut reader) {
             Ok(req) => req,
             Err(CodecError::Closed) => return Ok(()),
+            Err(CodecError::TimedOut) => {
+                // Silent or slowloris peer: reclaim the thread. The
+                // socket close is the eviction notice.
+                poc_obs::counter!("ctrl.conn.idle_evicted").inc();
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
         poc_obs::counter!("ctrl.frames.read").inc();
@@ -192,7 +335,16 @@ fn serve_connection(
         let started = Instant::now();
         let response = handle(&state, request);
         latency.record_duration(started.elapsed());
-        write_frame(&mut stream, &response)?;
+        match write_frame(&mut stream, &response) {
+            Ok(()) => {}
+            Err(CodecError::TimedOut) => {
+                // The peer stopped draining its window mid-response; the
+                // frame is torn, so the connection is unusable.
+                poc_obs::counter!("ctrl.write.timeouts").inc();
+                return Err(CodecError::TimedOut);
+            }
+            Err(e) => return Err(e),
+        }
         poc_obs::counter!("ctrl.frames.written").inc();
     }
 }
@@ -229,7 +381,18 @@ fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
                     message: format!("{entity} is not authorized to send traffic"),
                 };
             }
-            *st.usage.entry(entity).or_insert(0.0) += gbps;
+            // Each report is finite, but the running sum across reports
+            // can still overflow to +inf; reject the report that would
+            // poison the billing cycle, keeping the accumulated total
+            // finite.
+            let current = st.usage.get(&entity).copied().unwrap_or(0.0);
+            let total = current + gbps;
+            if !total.is_finite() {
+                return Response::Error {
+                    message: format!("accumulated usage for {entity} would overflow"),
+                };
+            }
+            st.usage.insert(entity, total);
             Response::Ack
         }
         Request::RunBilling => {
@@ -299,5 +462,50 @@ fn summarize(out: &poc_auction::AuctionOutcome) -> OutcomeSummary {
         total_cost: out.total_cost,
         total_payments: out.settlements.iter().map(|s| s.payment).sum(),
         settlements: out.settlements.iter().map(|s| (s.bp.0, s.payment, s.pob())).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poc_core::poc::PocConfig;
+    use poc_topology::builder::two_bp_square;
+    use poc_topology::RouterId;
+
+    fn test_state() -> (Arc<Mutex<State>>, EntityId) {
+        let topo = two_bp_square();
+        let tm = TrafficMatrix::zero(topo.n_routers());
+        let mut poc = Poc::new(topo, PocConfig::default());
+        let lmp = poc.attach_lmp("lmp", RouterId(0)).unwrap();
+        (Arc::new(Mutex::new(State { poc, tm, usage: BTreeMap::new() })), lmp)
+    }
+
+    #[test]
+    fn usage_accumulation_rejects_overflow_to_inf() {
+        let (state, lmp) = test_state();
+        // Each report is individually finite...
+        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: f64::MAX });
+        assert_eq!(resp, Response::Ack);
+        // ...but the one that would push the running sum to +inf is
+        // rejected, and the stored total stays finite and unchanged.
+        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: f64::MAX });
+        let Response::Error { message } = resp else { panic!("expected overflow error: {resp:?}") };
+        assert!(message.contains("overflow"), "{message}");
+        let total = state.lock().usage[&lmp];
+        assert!(total.is_finite());
+        assert_eq!(total, f64::MAX);
+        // Reports that keep the total finite still go through.
+        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: 0.0 });
+        assert_eq!(resp, Response::Ack);
+    }
+
+    #[test]
+    fn usage_rejects_nonfinite_and_negative_reports() {
+        let (state, lmp) = test_state();
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: bad });
+            assert!(matches!(resp, Response::Error { .. }), "{bad} accepted: {resp:?}");
+        }
+        assert!(state.lock().usage.is_empty());
     }
 }

@@ -1,0 +1,264 @@
+//! Fault-injection tests: a live TCP server vs. misbehaving peers.
+//!
+//! Every fault the [`poc_ctrlplane::fault`] harness can inject is thrown
+//! at a real server (ephemeral port, own thread), and each test proves
+//! two things: the *faulty connection* is contained (evicted, rejected,
+//! or closed) and the *server* keeps serving clean clients afterwards.
+//!
+//! Metrics assertions use deltas against the process-global registry
+//! (tests in this binary run concurrently and share it), so they are
+//! `>=` comparisons on before/after counter reads.
+
+use poc_core::poc::{Poc, PocConfig};
+use poc_ctrlplane::codec::write_frame;
+use poc_ctrlplane::fault::{Fault, FaultProfile, FaultyTransport};
+use poc_ctrlplane::server::ServerConfig;
+use poc_ctrlplane::{ClientConfig, ClientError, PocClient, PocServer, Request, ServerHandle};
+use poc_topology::builder::two_bp_square;
+use poc_topology::zoo::{attach_external_isps, ExternalIspConfig};
+use poc_topology::{CostModel, RouterId};
+use poc_traffic::TrafficMatrix;
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn start_server_with(config: ServerConfig) -> (ServerHandle, JoinHandle<()>) {
+    let mut topo = two_bp_square();
+    attach_external_isps(
+        &mut topo,
+        &ExternalIspConfig { n_isps: 1, attach_points: 4, ..Default::default() },
+        &CostModel::default(),
+    );
+    let mut tm = TrafficMatrix::zero(topo.n_routers());
+    tm.set(RouterId(0), RouterId(1), 10.0);
+    let poc = Poc::new(topo, PocConfig::default());
+    let (server, handle) = PocServer::bind_with("127.0.0.1:0", poc, tm, config).unwrap();
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+/// Short idle deadline so eviction tests finish fast; the read poll is
+/// 100 ms, so eviction lands within ~idle_timeout + 200 ms.
+fn quick_evict_config() -> ServerConfig {
+    ServerConfig { idle_timeout: Duration::from_millis(300), ..ServerConfig::default() }
+}
+
+fn counter(name: &str) -> u64 {
+    poc_obs::global().counter(name).get()
+}
+
+/// Poll until `cond` holds, panicking after `timeout`.
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn stalled_mid_frame_client_is_evicted_within_idle_deadline() {
+    let (handle, join) = start_server_with(quick_evict_config());
+    let evicted_before = counter("ctrl.conn.idle_evicted");
+
+    // Slowloris: a syntactically valid length prefix, half a payload,
+    // then silence — the classic way to park a worker thread forever.
+    let raw = TcpStream::connect(handle.local_addr).unwrap();
+    let mut slowloris = FaultyTransport::scripted(raw, [Fault::TruncateMidFrame]);
+    write_frame(&mut slowloris, &Request::Ping).unwrap();
+    wait_until("server to register the connection", Duration::from_secs(2), || {
+        handle.active_connections() >= 1
+    });
+
+    // The server evicts the stalled peer: thread count back to baseline
+    // while the socket is still held open on our side.
+    wait_until("idle eviction", Duration::from_secs(3), || handle.active_connections() == 0);
+    assert!(
+        counter("ctrl.conn.idle_evicted") > evicted_before,
+        "eviction must be visible in ctrl.conn.idle_evicted"
+    );
+
+    // The server still serves clean clients.
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    client.ping().unwrap();
+    drop(slowloris);
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn client_retry_recovers_metrics_scrape_across_connection_drop() {
+    let (handle, join) = start_server_with(ServerConfig::default());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    client.ping().unwrap();
+
+    let retries_before = counter("ctrl.client.retries");
+    // Sever the connection out from under the client: the next request
+    // fails at the transport layer mid-session.
+    client.inject_disconnect();
+    let snap = client.metrics().expect("retry loop must recover the scrape");
+    assert!(snap.counter("ctrl.conn.total").unwrap_or(0) >= 1);
+    assert!(
+        counter("ctrl.client.retries") > retries_before,
+        "recovery must be visible in ctrl.client.retries"
+    );
+
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn mutating_requests_are_never_replayed() {
+    let (handle, join) = start_server_with(ServerConfig::default());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    client.ping().unwrap();
+
+    client.inject_disconnect();
+    // RunAuction is not idempotent: the failure surfaces instead of a
+    // blind replay (the round may or may not have executed).
+    let err = client.run_auction().unwrap_err();
+    assert!(
+        matches!(err, ClientError::Codec(_) | ClientError::TimedOut),
+        "expected a transport error, got {err}"
+    );
+    // The same client object recovers on its next idempotent request.
+    client.ping().expect("retry loop reconnects for idempotent requests");
+
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn garbage_json_closes_that_connection_only() {
+    let (handle, join) = start_server_with(ServerConfig::default());
+
+    // A clean client attached *before* the fault...
+    let mut bystander = PocClient::connect(handle.local_addr).unwrap();
+    bystander.ping().unwrap();
+
+    let raw = TcpStream::connect(handle.local_addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut vandal = FaultyTransport::scripted(raw, [Fault::GarbagePayload]);
+    write_frame(&mut vandal, &Request::Ping).unwrap();
+    // The server drops the vandal: our read sees EOF, no response frame.
+    let mut buf = [0u8; 16];
+    let n = std::io::Read::read(&mut vandal, &mut buf).unwrap();
+    assert_eq!(n, 0, "server must close the corrupted connection");
+
+    // ...is unaffected, as is a fresh one.
+    bystander.ping().unwrap();
+    let mut fresh = PocClient::connect(handle.local_addr).unwrap();
+    fresh.ping().unwrap();
+
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn oversized_length_prefix_closes_only_that_connection() {
+    let (handle, join) = start_server_with(ServerConfig::default());
+    let mut bystander = PocClient::connect(handle.local_addr).unwrap();
+    bystander.ping().unwrap();
+
+    let raw = TcpStream::connect(handle.local_addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut vandal = FaultyTransport::scripted(raw, [Fault::OversizedPrefix]);
+    write_frame(&mut vandal, &Request::Ping).unwrap();
+    let mut buf = [0u8; 16];
+    let n = std::io::Read::read(&mut vandal, &mut buf).unwrap();
+    assert_eq!(n, 0, "server must close on an oversized prefix");
+
+    bystander.ping().unwrap();
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn truncated_frame_then_reconnect_works() {
+    let (handle, join) = start_server_with(quick_evict_config());
+
+    // Truncate a frame, then hang up: the server sees EOF mid-frame and
+    // closes its side without disturbing anything else.
+    let raw = TcpStream::connect(handle.local_addr).unwrap();
+    let mut t = FaultyTransport::scripted(raw, [Fault::TruncateMidFrame]);
+    write_frame(&mut t, &Request::Ping).unwrap();
+    drop(t);
+
+    // Reconnecting from scratch works immediately.
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    client.ping().unwrap();
+    wait_until("torn connection to drain", Duration::from_secs(3), || {
+        handle.active_connections() == 1
+    });
+
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn connection_cap_rejects_excess_with_typed_error() {
+    let (handle, join) =
+        start_server_with(ServerConfig { max_connections: 2, ..ServerConfig::default() });
+    let rejected_before = counter("ctrl.conn.rejected");
+
+    let mut a = PocClient::connect(handle.local_addr).unwrap();
+    let mut b = PocClient::connect(handle.local_addr).unwrap();
+    a.ping().unwrap();
+    b.ping().unwrap();
+    assert_eq!(handle.active_connections(), 2);
+
+    // The third connection is turned away with one typed error frame.
+    let mut c =
+        PocClient::connect_with(handle.local_addr, ClientConfig::default().no_retry()).unwrap();
+    let err = c.ping().unwrap_err();
+    let ClientError::Server(message) = err else { panic!("expected typed rejection, got {err}") };
+    assert!(message.contains("capacity"), "{message}");
+    assert!(counter("ctrl.conn.rejected") > rejected_before);
+
+    // Capacity frees up when a client leaves; the server then accepts
+    // again (the parked reader notices the EOF within its poll cycle).
+    drop(a);
+    wait_until("slot to free", Duration::from_secs(2), || handle.active_connections() < 2);
+    let mut d = PocClient::connect(handle.local_addr).unwrap();
+    d.ping().unwrap();
+
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn server_survives_a_seeded_random_fault_storm() {
+    let (handle, join) = start_server_with(quick_evict_config());
+
+    // Forty connections, each writing a few frames through a seeded
+    // random fault profile. Whatever mix of truncations, garbage,
+    // oversized prefixes, drops, and delays a seed produces, none of it
+    // may take the controller down.
+    for seed in 0..40u64 {
+        let raw = TcpStream::connect(handle.local_addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut storm = FaultyTransport::random(raw, seed, FaultProfile::default());
+        for _ in 0..3 {
+            if write_frame(&mut storm, &Request::Ping).is_err() {
+                break; // injected drop: connection is gone, move on
+            }
+            // Drain any response so passthrough frames don't back up.
+            let mut buf = [0u8; 256];
+            let _ = std::io::Read::read(&mut storm, &mut buf);
+        }
+    }
+
+    // The controller survived: a clean client gets served, and every
+    // faulty connection drains (closed on error/EOF or idle-evicted).
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    client.ping().unwrap();
+    let snap = client.metrics().unwrap();
+    assert!(snap.counter("ctrl.conn.total").unwrap_or(0) >= 40);
+    wait_until("storm connections to drain", Duration::from_secs(5), || {
+        handle.active_connections() <= 1
+    });
+    client.ping().unwrap();
+
+    handle.shutdown();
+    let _ = join.join();
+}

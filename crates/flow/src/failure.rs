@@ -139,7 +139,7 @@ pub fn survives_all_pairs_backup(
     // Vetoes must be addressed by demand ordering (largest first), the same
     // ordering route_tm_with_veto uses internally.
     let mut demands: Vec<(RouterId, RouterId, f64)> = tm.iter_demands().collect();
-    demands.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN demand"));
+    demands.sort_by(|a, b| b.2.total_cmp(&a.2));
     let vetoes: Vec<HashSet<LinkId>> = demands
         .iter()
         .map(|&(src, dst, _)| {
@@ -253,7 +253,7 @@ pub fn absorb_link_failure(
             }
         }
     }
-    displaced.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN demand"));
+    displaced.sort_by(|a, b| b.2.total_cmp(&a.2));
     for (src, dst, gbps) in displaced {
         reroute_demand(&mut g, topo, src, dst, gbps, &HashSet::new())?;
     }
@@ -261,10 +261,7 @@ pub fn absorb_link_failure(
 }
 
 fn primary_of(flow: &FlowRoute) -> Option<&[LinkId]> {
-    flow.paths
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN share"))
-        .map(|(p, _)| p.as_slice())
+    flow.paths.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(p, _)| p.as_slice())
 }
 
 /// Convenience wrapper running the base routing then the Constraint #2

@@ -206,7 +206,7 @@ impl PartialEq for MinItem {
 impl Eq for MinItem {}
 impl Ord for MinItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.cost.partial_cmp(&self.cost).expect("NaN edge cost")
+        other.cost.total_cmp(&self.cost)
     }
 }
 impl PartialOrd for MinItem {

@@ -103,8 +103,7 @@ pub fn k_shortest_paths(
         }
         // Pop the cheapest candidate (ties: lexicographic links for
         // determinism).
-        candidates
-            .sort_by(|a, b| a.km.partial_cmp(&b.km).expect("NaN km").then(a.links.cmp(&b.links)));
+        candidates.sort_by(|a, b| a.km.total_cmp(&b.km).then(a.links.cmp(&b.links)));
         found.push(candidates.remove(0));
     }
     found

@@ -42,7 +42,7 @@ impl Routing {
             .find(|f| f.src == src && f.dst == dst)?
             .paths
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN path share"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(p, _)| p.as_slice())
     }
 
@@ -163,7 +163,7 @@ fn route_tm_on(
     let topo = g.topo();
     // Largest-first ordering: big demands are hardest to place.
     let mut demands: Vec<(RouterId, RouterId, f64)> = tm.iter_demands().collect();
-    demands.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN demand"));
+    demands.sort_by(|a, b| b.2.total_cmp(&a.2));
 
     let mut routing = Routing {
         flows: Vec::with_capacity(demands.len()),

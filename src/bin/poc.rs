@@ -6,8 +6,11 @@
 //!                                     one VCG round + PoB table (E-F2)
 //! poc welfare                         §4 regime comparison (E-W1)
 //! poc drill [--failures N]            failure drill (E-R1)
-//! poc serve [--addr HOST:PORT]        run the control-plane server
+//! poc serve [--addr HOST:PORT] [--max-conns N]
+//!           [--idle-timeout-ms N] [--write-timeout-ms N]
+//!                                     run the control-plane server
 //! poc metrics [--addr HOST:PORT] [--json]
+//!             [--timeout-ms N] [--retries N] [--backoff-ms N]
 //!                                     scrape a running server's metrics
 //! ```
 //!
@@ -64,7 +67,13 @@ commands:
   welfare                              §4 regime comparison (E-W1)
   drill [--failures N]                 failure drill on the leased fabric (E-R1)
   serve [--addr HOST:PORT]             run the control-plane server
+        [--max-conns N]                  connection cap (default 256)
+        [--idle-timeout-ms N]            evict silent peers after N ms (default 30000)
+        [--write-timeout-ms N]           per-response write deadline (default 10000)
   metrics [--addr HOST:PORT] [--json]  scrape a running server's metrics
+          [--timeout-ms N]               read deadline for the scrape (default 30000)
+          [--retries N]                  reconnect-and-retry budget (default 3)
+          [--backoff-ms N]               base retry backoff (default 50)
   help                                 this message";
 
 fn flag(rest: &[String], name: &str) -> bool {
@@ -73,6 +82,13 @@ fn flag(rest: &[String], name: &str) -> bool {
 
 fn opt<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
     rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1)).map(|s| s.as_str())
+}
+
+/// Parse `--name N` as a number, with a CLI-friendly error.
+fn num_opt<T: std::str::FromStr>(rest: &[String], name: &str) -> Result<Option<T>, String> {
+    opt(rest, name)
+        .map(|raw| raw.parse().map_err(|_| format!("{name} wants a number, got {raw:?}")))
+        .transpose()
 }
 
 fn build_instance(paper: bool) -> (PocTopology, TrafficMatrix) {
@@ -174,10 +190,21 @@ fn cmd_drill(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_metrics(rest: &[String]) -> Result<(), String> {
+    use public_option_core::ctrlplane::ClientConfig;
     let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7700");
     let addr: std::net::SocketAddr =
         addr.parse().map_err(|e| format!("bad --addr {addr:?}: {e}"))?;
-    let mut client = public_option_core::ctrlplane::PocClient::connect(addr)
+    let mut config = ClientConfig::default();
+    if let Some(ms) = num_opt::<u64>(rest, "--timeout-ms")? {
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = num_opt::<u32>(rest, "--retries")? {
+        config.retry.max_retries = n;
+    }
+    if let Some(ms) = num_opt::<u64>(rest, "--backoff-ms")? {
+        config.retry.base_backoff = std::time::Duration::from_millis(ms);
+    }
+    let mut client = public_option_core::ctrlplane::PocClient::connect_with(addr, config)
         .map_err(|e| format!("connect {addr}: {e} (is `poc serve` running?)"))?;
     let snap = client.metrics().map_err(|e| format!("scrape: {e}"))?;
     if flag(rest, "--json") {
@@ -217,12 +244,31 @@ fn cmd_metrics(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    use public_option_core::ctrlplane::ServerConfig;
     let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7700").to_string();
+    let mut config = ServerConfig::default();
+    if let Some(n) = num_opt::<usize>(rest, "--max-conns")? {
+        if n == 0 {
+            return Err("--max-conns must be at least 1".into());
+        }
+        config.max_connections = n;
+    }
+    if let Some(ms) = num_opt::<u64>(rest, "--idle-timeout-ms")? {
+        config.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = num_opt::<u64>(rest, "--write-timeout-ms")? {
+        config.write_timeout = std::time::Duration::from_millis(ms);
+    }
     let (topo, tm) = build_instance(flag(rest, "--paper"));
     let poc = Poc::new(topo, PocConfig::default());
-    let (server, handle) = public_option_core::ctrlplane::PocServer::bind(&addr, poc, tm)
-        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let (server, handle) =
+        public_option_core::ctrlplane::PocServer::bind_with(&addr, poc, tm, config.clone())
+            .map_err(|e| format!("bind {addr}: {e}"))?;
     println!("POC control plane listening on {}", handle.local_addr);
+    println!(
+        "limits: {} connections, idle eviction after {:?}, write deadline {:?}",
+        config.max_connections, config.idle_timeout, config.write_timeout
+    );
     println!("press Ctrl-C to stop");
     // Blocks in the accept loop; Ctrl-C terminates the process.
     server.run();
