@@ -63,8 +63,9 @@ impl BpSettlement {
     }
 }
 
-/// A complete auction round result.
-#[derive(Clone, Debug)]
+/// A complete auction round result. Serializable so the control plane
+/// can checkpoint the last outcome into its recovery snapshots.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AuctionOutcome {
     pub constraint: Constraint,
     /// The selected set `SL`.

@@ -22,6 +22,7 @@ use poc_auction::{run_auction, AuctionOutcome, GreedySelector, Market};
 use poc_flow::Constraint;
 use poc_topology::{PocTopology, RouterId};
 use poc_traffic::TrafficMatrix;
+use serde::{Deserialize, Serialize};
 
 /// POC operating parameters.
 #[derive(Clone, Debug)]
@@ -91,6 +92,45 @@ impl From<RegistryError> for PocError {
     fn from(e: RegistryError) -> Self {
         PocError::Registry(e)
     }
+}
+
+/// Everything a controller must persist to survive a restart: the
+/// registry (who attached, ToS signatures), the money (ledger), the
+/// lease book, recorded violations, the last auction outcome, and the
+/// period counter. Deliberately excludes everything derivable at
+/// restore time from the topology and config — the forwarding fabric is
+/// reinstalled from `last_outcome`, and the neutrality engine is
+/// stateless.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PocState {
+    pub registry: Registry,
+    pub ledger: Ledger,
+    pub leases: LeaseBook,
+    pub violations: Vec<(EntityId, Verdict)>,
+    pub last_outcome: Option<AuctionOutcome>,
+    pub period: u32,
+}
+
+/// A cheap structural fingerprint of the instance a [`PocState`] was
+/// taken against. Recovery refuses to load state into a facade built on
+/// a different topology (replaying leases/routes against the wrong link
+/// universe would corrupt everything downstream).
+pub fn topology_fingerprint(topo: &PocTopology) -> u64 {
+    // FNV-1a over the structural counts and link endpoints; not
+    // cryptographic, just a cheap "same instance?" check.
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(topo.n_routers() as u64);
+    mix(topo.n_links() as u64);
+    mix(topo.bps.len() as u64);
+    for l in &topo.links {
+        mix(l.a.0 as u64);
+        mix(l.b.0 as u64);
+    }
+    h
 }
 
 /// The Public Option for the Core.
@@ -337,6 +377,36 @@ impl Poc {
         &self.violations
     }
 
+    /// Export the persistent state (for snapshots). The forwarding
+    /// fabric and neutrality engine are excluded: both are rebuilt by
+    /// [`Poc::restore_state`].
+    pub fn export_state(&self) -> PocState {
+        PocState {
+            registry: self.registry.clone(),
+            ledger: self.ledger.clone(),
+            leases: self.leases.clone(),
+            violations: self.violations.clone(),
+            last_outcome: self.last_outcome.clone(),
+            period: self.period,
+        }
+    }
+
+    /// Replace the persistent state wholesale (recovery). The fabric is
+    /// reinstalled from the restored outcome's selected set, so a
+    /// recovered controller answers `GetPath` identically to the
+    /// pre-crash one.
+    pub fn restore_state(&mut self, state: PocState) {
+        let PocState { registry, ledger, leases, violations, last_outcome, period } = state;
+        self.registry = registry;
+        self.ledger = ledger;
+        self.leases = leases;
+        self.violations = violations;
+        self.fabric =
+            last_outcome.as_ref().map(|o| ForwardingState::install(&self.topo, &o.selected));
+        self.last_outcome = last_outcome;
+        self.period = period;
+    }
+
     /// Path through the installed fabric between two members' routers.
     pub fn member_path(
         &self,
@@ -459,6 +529,57 @@ mod tests {
         assert_eq!(expired, vec![lease.link]);
         // Unknown recall is a no-op.
         assert!(!p.recall_link(poc_topology::BpId(42), poc_topology::LinkId(0), 1));
+    }
+
+    #[test]
+    fn state_export_restore_round_trips_through_json() {
+        let mut p = poc();
+        let tm = demand(p.topo().n_routers());
+        p.run_auction_round(&tm).unwrap();
+        let lmp1 = p.attach_lmp("lmp-west", RouterId(0)).unwrap();
+        let lmp2 = p.attach_lmp("lmp-east", RouterId(1)).unwrap();
+        p.billing_cycle(&[(lmp1, 12.0), (lmp2, 8.0)]).unwrap();
+        let lease = p.leases().leases()[0].clone();
+        p.recall_link(lease.bp, lease.link, 1);
+
+        let exported = p.export_state();
+        let json = serde_json::to_vec(&exported).unwrap();
+        let back: PocState = serde_json::from_slice(&json).unwrap();
+
+        // Restore into a fresh facade over the same topology.
+        let mut fresh = poc();
+        fresh.restore_state(back);
+        assert_eq!(fresh.period(), p.period());
+        assert_eq!(
+            fresh.ledger().balance(Account::Entity(lmp1)),
+            p.ledger().balance(Account::Entity(lmp1))
+        );
+        assert_eq!(fresh.leases().leases().len(), p.leases().leases().len());
+        assert!(fresh.reauction_needed());
+        assert!(fresh.fabric().is_some(), "fabric reinstalled from the restored outcome");
+        assert_eq!(
+            fresh.last_outcome().unwrap().selected,
+            p.last_outcome().unwrap().selected,
+            "identical selected set after restore"
+        );
+        // The restored registry still rejects duplicate names minted
+        // before the snapshot.
+        assert!(fresh.attach_lmp("lmp-west", RouterId(0)).is_err());
+        // And the restored fabric answers paths like the original.
+        assert_eq!(fresh.member_path(lmp1, lmp2).unwrap(), p.member_path(lmp1, lmp2).unwrap());
+    }
+
+    #[test]
+    fn topology_fingerprint_distinguishes_instances() {
+        let small = two_bp_square();
+        assert_eq!(topology_fingerprint(&small), topology_fingerprint(&two_bp_square()));
+        let mut bigger = two_bp_square();
+        attach_external_isps(
+            &mut bigger,
+            &ExternalIspConfig { n_isps: 1, attach_points: 4, ..Default::default() },
+            &CostModel::default(),
+        );
+        assert_ne!(topology_fingerprint(&small), topology_fingerprint(&bigger));
     }
 
     #[test]

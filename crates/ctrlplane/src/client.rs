@@ -299,6 +299,15 @@ impl PocClient {
             other => Err(ClientError::Protocol(format!("expected Metrics, got {other:?}"))),
         }
     }
+
+    /// How the server recovered its state at startup (`None` when it
+    /// runs without a state directory).
+    pub fn recovery_info(&mut self) -> Result<Option<crate::recovery::RecoveryInfo>, ClientError> {
+        match self.call(Request::GetRecovery)? {
+            Response::Recovery(info) => Ok(info),
+            other => Err(ClientError::Protocol(format!("expected Recovery, got {other:?}"))),
+        }
+    }
 }
 
 /// Capped exponential backoff with jitter in `[0.5, 1.0)` of the nominal

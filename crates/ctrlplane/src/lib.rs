@@ -28,14 +28,31 @@
 //!   apart);
 //! * [`client`] — a typed blocking client with deadlines and retry;
 //! * [`fault`] — test-only fault injection (frame truncation, garbage,
-//!   oversized prefixes, drops, delays).
+//!   oversized prefixes, drops, delays);
+//! * [`journal`] — CRC-framed write-ahead journal of mutating events,
+//!   with crash injection ([`journal::CrashSwitch`]);
+//! * [`snapshot`] — atomic (tmp + fsync + rename) snapshot checkpoints;
+//! * [`recovery`] — startup recovery: newest valid snapshot + journal
+//!   replay, exactly-once by sequence number.
+//!
+//! By default the controller keeps state in memory only. Give
+//! [`server::ServerConfig`] a [`recovery::DurabilityConfig`] (CLI:
+//! `poc serve --state-dir`) and every mutating request is journaled
+//! before it is applied, snapshots are cut periodically, and a restart
+//! from the same state directory rebuilds the ledger, lease book, and
+//! last auction outcome exactly.
 
 pub mod client;
 pub mod codec;
 pub mod fault;
+pub mod journal;
 pub mod proto;
+pub mod recovery;
 pub mod server;
+pub mod snapshot;
 
 pub use client::{ClientConfig, ClientError, PocClient, RetryPolicy};
+pub use journal::{CrashPoint, CrashSwitch, FsyncPolicy};
 pub use proto::{AttachRole, Request, Response};
+pub use recovery::{DurabilityConfig, RecoveryInfo};
 pub use server::{PocServer, ServerConfig, ServerHandle};

@@ -51,6 +51,9 @@ pub enum Request {
     /// Scrape the controller's live metrics (the global `poc-obs`
     /// registry snapshot, JSON on the wire like every other message).
     Metrics,
+    /// How the server recovered its state at startup (`None` when it
+    /// runs without a state directory).
+    GetRecovery,
 }
 
 impl Request {
@@ -70,6 +73,7 @@ impl Request {
             Request::RecallLink { .. } => "recall_link",
             Request::GetLeases => "get_leases",
             Request::Metrics => "metrics",
+            Request::GetRecovery => "get_recovery",
         }
     }
 
@@ -88,6 +92,7 @@ impl Request {
                 | Request::GetPath { .. }
                 | Request::GetLeases
                 | Request::Metrics
+                | Request::GetRecovery
         )
     }
 }
@@ -150,6 +155,9 @@ pub enum Response {
     Leases(Vec<LeaseWire>),
     /// The controller's metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// Startup recovery report (`None` when the server keeps state in
+    /// memory only).
+    Recovery(Option<crate::recovery::RecoveryInfo>),
     Error {
         message: String,
     },
@@ -209,6 +217,7 @@ mod tests {
         assert!(Request::GetPath { from: EntityId(1), to: EntityId(2) }.is_idempotent());
         assert!(Request::GetLeases.is_idempotent());
         assert!(Request::Metrics.is_idempotent());
+        assert!(Request::GetRecovery.is_idempotent());
         assert!(!Request::RunAuction.is_idempotent());
         assert!(!Request::RunBilling.is_idempotent());
         assert!(!Request::ReportUsage { entity: EntityId(1), gbps: 1.0 }.is_idempotent());

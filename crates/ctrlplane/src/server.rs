@@ -32,7 +32,9 @@
 //!   (`ctrl.accept.errors`).
 
 use crate::codec::{read_frame, write_frame, CodecError};
+use crate::journal::{CrashPoint, CrashSwitch, JournalError, JournalEvent};
 use crate::proto::{AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response};
+use crate::recovery::{Durability, DurabilityConfig, RecoveryInfo};
 use parking_lot::Mutex;
 use poc_core::entity::EntityId;
 use poc_core::poc::Poc;
@@ -67,6 +69,12 @@ pub struct ServerConfig {
     /// Per-write deadline on responses (protects workers from a peer
     /// that never drains its socket).
     pub write_timeout: Duration,
+    /// Persist state to a directory (write-ahead journal + snapshot
+    /// checkpoints); `None` — the default — keeps everything in memory.
+    pub durability: Option<DurabilityConfig>,
+    /// Crash-injection switch checked along the durability path. Tests
+    /// keep a clone and arm it; production leaves it unarmed.
+    pub crash: CrashSwitch,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +83,8 @@ impl Default for ServerConfig {
             max_connections: 256,
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
+            durability: None,
+            crash: CrashSwitch::new(),
         }
     }
 }
@@ -86,6 +96,10 @@ struct State {
     tm: TrafficMatrix,
     /// Usage reported since the last billing cycle.
     usage: BTreeMap<EntityId, f64>,
+    /// Journal + snapshot handle when the server persists state.
+    durability: Option<Durability>,
+    /// How startup recovery went (served via `GetRecovery`).
+    recovery: Option<RecoveryInfo>,
 }
 
 /// The server. Construct with [`PocServer::bind`] (default limits) or
@@ -145,7 +159,11 @@ impl PocServer {
         Self::bind_with(addr, poc, tm, ServerConfig::default())
     }
 
-    /// Bind with explicit resource limits.
+    /// Bind with explicit resource limits. When the config carries a
+    /// [`DurabilityConfig`], the state directory is recovered *before*
+    /// the first connection is accepted: the newest valid snapshot is
+    /// restored wholesale and the journal suffix replayed through the
+    /// same application path live requests take.
     pub fn bind_with(
         addr: &str,
         poc: Poc,
@@ -156,7 +174,12 @@ impl PocServer {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicI64::new(0));
-        let state = Arc::new(Mutex::new(State { poc, tm, usage: BTreeMap::new() }));
+        let mut state = State { poc, tm, usage: BTreeMap::new(), durability: None, recovery: None };
+        if let Some(dcfg) = &config.durability {
+            recover(&mut state, dcfg, config.crash.clone())
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        let state = Arc::new(Mutex::new(state));
         Ok((
             Self {
                 listener,
@@ -227,7 +250,37 @@ impl PocServer {
             let _ = w.join();
         }
         poc_obs::histogram!("ctrl.shutdown.drain").record_duration(drain_started.elapsed());
+        // Shutdown barrier: whatever the fsync policy deferred reaches
+        // the platter before the process exits cleanly.
+        if let Some(d) = self.state.lock().durability.as_mut() {
+            let _ = d.sync();
+        }
     }
+}
+
+/// Rebuild in-memory state from a state directory: restore the newest
+/// valid snapshot, then replay the journal suffix through [`apply`] —
+/// the same path live requests take, so an event that failed validation
+/// live fails identically on replay.
+fn recover(
+    state: &mut State,
+    config: &DurabilityConfig,
+    crash: CrashSwitch,
+) -> Result<(), crate::recovery::RecoveryError> {
+    let started = Instant::now();
+    let fingerprint = poc_core::poc::topology_fingerprint(state.poc.topo());
+    let recovered = Durability::open(config, fingerprint, crash)?;
+    if let Some(snapshot) = recovered.snapshot {
+        state.poc.restore_state(snapshot.poc);
+        state.usage = snapshot.usage;
+    }
+    for event in recovered.replay {
+        let _ = apply(state, event.into_request());
+    }
+    state.durability = Some(recovered.durability);
+    state.recovery = Some(recovered.info);
+    poc_obs::histogram!("ctrl.recovery.time").record_duration(started.elapsed());
+    Ok(())
 }
 
 /// Turn away a connection over the cap: one best-effort typed error
@@ -333,8 +386,25 @@ fn serve_connection(
         // pivot path, not here).
         let latency = poc_obs::global().histogram(&format!("ctrl.request.{}", request.name()));
         let started = Instant::now();
-        let response = handle(&state, request);
+        let outcome = handle(&state, request);
         latency.record_duration(started.elapsed());
+        let response = match outcome {
+            Ok(response) => response,
+            Err(_crash) => {
+                // An injected crash fired on the durability path: the
+                // simulated process is dead. Stop the whole server and
+                // drop this connection without a reply — the client sees
+                // a transport error, leaving the outcome ambiguous,
+                // exactly as a real mid-request crash would.
+                poc_obs::counter!("ctrl.crash.injected").inc();
+                flag.store(true, Ordering::SeqCst);
+                if let Ok(addr) = stream.local_addr() {
+                    // Wake the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+        };
         match write_frame(&mut stream, &response) {
             Ok(()) => {}
             Err(CodecError::TimedOut) => {
@@ -349,8 +419,48 @@ fn serve_connection(
     }
 }
 
-fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
+/// Handle one request end-to-end: journal mutating events *before*
+/// applying them (write-ahead discipline), apply, then cut a checkpoint
+/// if the cadence says so. `Err(point)` means an armed [`CrashPoint`]
+/// fired — the simulated process is dead and the caller must stop the
+/// server without replying.
+fn handle(state: &Arc<Mutex<State>>, request: Request) -> Result<Response, CrashPoint> {
     let mut st = state.lock();
+    if st.durability.is_some() {
+        if let Some(event) = JournalEvent::from_request(&request) {
+            match st.durability.as_mut().expect("checked above").record(event) {
+                Ok(_seq) => {}
+                Err(JournalError::Crashed(p)) => return Err(p),
+                Err(e) => {
+                    // The write-ahead append failed: applying anyway
+                    // would let memory diverge from disk, so refuse the
+                    // mutation instead.
+                    poc_obs::counter!("ctrl.journal.errors").inc();
+                    return Ok(Response::Error { message: format!("durability failure: {e}") });
+                }
+            }
+        }
+    }
+    let response = apply(&mut st, request);
+    if st.durability.as_ref().is_some_and(Durability::wants_checkpoint) {
+        let poc_state = st.poc.export_state();
+        let usage = st.usage.clone();
+        match st.durability.as_mut().expect("checked above").checkpoint(poc_state, usage) {
+            Ok(()) => {}
+            Err(JournalError::Crashed(p)) => return Err(p),
+            Err(_) => {
+                // A failed checkpoint is not fatal: the journal still
+                // holds every event, recovery just replays more of them.
+                poc_obs::counter!("ctrl.snapshot.errors").inc();
+            }
+        }
+    }
+    Ok(response)
+}
+
+/// Apply one request to in-memory state. Both live requests and journal
+/// replay come through here, which is what makes replay deterministic.
+fn apply(st: &mut State, request: Request) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::Attach { name, role } => {
@@ -434,6 +544,7 @@ fn handle(state: &Arc<Mutex<State>>, request: Request) -> Response {
         // control-plane instruments all land there, so one scrape shows
         // the whole controller.
         Request::Metrics => Response::Metrics(poc_obs::global().snapshot()),
+        Request::GetRecovery => Response::Recovery(st.recovery.clone()),
         Request::GetLeases => Response::Leases(
             st.poc
                 .leases()
@@ -477,25 +588,26 @@ mod tests {
         let tm = TrafficMatrix::zero(topo.n_routers());
         let mut poc = Poc::new(topo, PocConfig::default());
         let lmp = poc.attach_lmp("lmp", RouterId(0)).unwrap();
-        (Arc::new(Mutex::new(State { poc, tm, usage: BTreeMap::new() })), lmp)
+        let state = State { poc, tm, usage: BTreeMap::new(), durability: None, recovery: None };
+        (Arc::new(Mutex::new(state)), lmp)
     }
 
     #[test]
     fn usage_accumulation_rejects_overflow_to_inf() {
         let (state, lmp) = test_state();
         // Each report is individually finite...
-        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: f64::MAX });
+        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: f64::MAX }).unwrap();
         assert_eq!(resp, Response::Ack);
         // ...but the one that would push the running sum to +inf is
         // rejected, and the stored total stays finite and unchanged.
-        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: f64::MAX });
+        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: f64::MAX }).unwrap();
         let Response::Error { message } = resp else { panic!("expected overflow error: {resp:?}") };
         assert!(message.contains("overflow"), "{message}");
         let total = state.lock().usage[&lmp];
         assert!(total.is_finite());
         assert_eq!(total, f64::MAX);
         // Reports that keep the total finite still go through.
-        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: 0.0 });
+        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: 0.0 }).unwrap();
         assert_eq!(resp, Response::Ack);
     }
 
@@ -503,7 +615,7 @@ mod tests {
     fn usage_rejects_nonfinite_and_negative_reports() {
         let (state, lmp) = test_state();
         for bad in [f64::NAN, f64::INFINITY, -1.0] {
-            let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: bad });
+            let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: bad }).unwrap();
             assert!(matches!(resp, Response::Error { .. }), "{bad} accepted: {resp:?}");
         }
         assert!(state.lock().usage.is_empty());

@@ -39,6 +39,40 @@ pub struct DrillReport {
     pub sim: SimReport,
 }
 
+/// Errors from [`run_drill`]. A bad [`DrillSpec`] is a caller
+/// configuration problem and must surface as a value, not a panic —
+/// library callers (the CLI, benches, remote drivers) feed specs from
+/// user input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DrillError {
+    /// `n_failures == 0` or a non-positive/non-finite outage window:
+    /// the drill would fail nothing or never end.
+    DegenerateSpec { n_failures: usize, outage_hours: f64 },
+    /// The base traffic matrix could not be routed over the active set.
+    Route(poc_flow::RouteError),
+}
+
+impl std::fmt::Display for DrillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrillError::DegenerateSpec { n_failures, outage_hours } => write!(
+                f,
+                "degenerate drill spec: n_failures {n_failures}, outage_hours {outage_hours} \
+                 (need >= 1 failure and a positive finite outage)"
+            ),
+            DrillError::Route(e) => write!(f, "drill unroutable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DrillError {}
+
+impl From<poc_flow::RouteError> for DrillError {
+    fn from(e: poc_flow::RouteError) -> Self {
+        DrillError::Route(e)
+    }
+}
+
 /// Run a drill: route the matrix over `active` to find the busiest links,
 /// then fail the top `spec.n_failures` of them one after another while the
 /// matrix's flows run continuously.
@@ -47,15 +81,20 @@ pub fn run_drill(
     active: &LinkSet,
     tm: &TrafficMatrix,
     spec: &DrillSpec,
-) -> Result<DrillReport, poc_flow::RouteError> {
-    assert!(spec.n_failures >= 1 && spec.outage_hours > 0.0, "degenerate drill spec");
+) -> Result<DrillReport, DrillError> {
+    if spec.n_failures == 0 || !spec.outage_hours.is_finite() || spec.outage_hours <= 0.0 {
+        return Err(DrillError::DegenerateSpec {
+            n_failures: spec.n_failures,
+            outage_hours: spec.outage_hours,
+        });
+    }
     let base = route_tm(topo, active, tm)?;
     // Busiest links by total directed load.
     let mut by_load: Vec<(f64, LinkId)> = (0..topo.n_links())
         .filter(|&i| active.contains(LinkId::from_index(i)))
         .map(|i| (base.load_fwd[i] + base.load_rev[i], LinkId::from_index(i)))
         .collect();
-    by_load.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN load").then(a.1.cmp(&b.1)));
+    by_load.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let failed_links: Vec<LinkId> = by_load.iter().take(spec.n_failures).map(|&(_, l)| l).collect();
 
     let window = spec.outage_hours + spec.gap_hours;
@@ -135,6 +174,23 @@ mod tests {
         )
         .unwrap();
         assert!(rep.availability < 1.0, "{rep:?}");
+    }
+
+    #[test]
+    fn degenerate_spec_is_a_typed_error_not_a_panic() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let tm = TrafficMatrix::zero(t.n_routers());
+        for spec in [
+            DrillSpec { n_failures: 0, outage_hours: 1.0, gap_hours: 0.5 },
+            DrillSpec { n_failures: 3, outage_hours: 0.0, gap_hours: 0.5 },
+            DrillSpec { n_failures: 3, outage_hours: -1.0, gap_hours: 0.5 },
+            DrillSpec { n_failures: 3, outage_hours: f64::NAN, gap_hours: 0.5 },
+            DrillSpec { n_failures: 3, outage_hours: f64::INFINITY, gap_hours: 0.5 },
+        ] {
+            let err = run_drill(&t, &all, &tm, &spec).unwrap_err();
+            assert!(matches!(err, DrillError::DegenerateSpec { .. }), "{spec:?} -> {err:?}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod sim;
 pub mod workload;
 
 pub use discrim::{detect_throttling, ThrottleSpec};
-pub use drill::{run_drill, DrillReport, DrillSpec};
+pub use drill::{run_drill, DrillError, DrillReport, DrillSpec};
 pub use fairness::max_min_rates;
 pub use sim::{FlowSpec, SimConfig, SimReport, Simulator};
 pub use workload::{diurnal_factor, generate_onoff, WorkloadConfig};

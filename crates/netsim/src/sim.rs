@@ -149,7 +149,7 @@ impl SimReport {
             .enumerate()
             .map(|(i, &l)| (LinkId::from_index(i), l))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN load").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v
     }
@@ -256,7 +256,7 @@ impl<'t> Simulator<'t> {
             times.push(o.down_at.min(self.config.horizon));
             times.push(o.up_at.min(self.config.horizon));
         }
-        times.sort_by(|a, b| a.partial_cmp(b).expect("NaN event time"));
+        times.sort_by(|a, b| a.total_cmp(b));
         times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
         let mut stats: Vec<FlowStats> = self

@@ -8,6 +8,8 @@
 //! poc drill [--failures N]            failure drill (E-R1)
 //! poc serve [--addr HOST:PORT] [--max-conns N]
 //!           [--idle-timeout-ms N] [--write-timeout-ms N]
+//!           [--state-dir PATH] [--fsync always|interval|never]
+//!           [--snapshot-every N]
 //!                                     run the control-plane server
 //! poc metrics [--addr HOST:PORT] [--json]
 //!             [--timeout-ms N] [--retries N] [--backoff-ms N]
@@ -70,6 +72,12 @@ commands:
         [--max-conns N]                  connection cap (default 256)
         [--idle-timeout-ms N]            evict silent peers after N ms (default 30000)
         [--write-timeout-ms N]           per-response write deadline (default 10000)
+        [--state-dir PATH]               journal + snapshots here; recover on start
+                                         (default: in-memory only, state dies with
+                                         the process)
+        [--fsync always|interval|never]  journal durability policy (default always)
+        [--snapshot-every N]             checkpoint every N events, 0 = never
+                                         (default 64)
   metrics [--addr HOST:PORT] [--json]  scrape a running server's metrics
           [--timeout-ms N]               read deadline for the scrape (default 30000)
           [--retries N]                  reconnect-and-retry budget (default 3)
@@ -259,6 +267,18 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     if let Some(ms) = num_opt::<u64>(rest, "--write-timeout-ms")? {
         config.write_timeout = std::time::Duration::from_millis(ms);
     }
+    if let Some(dir) = opt(rest, "--state-dir") {
+        let mut durability = public_option_core::ctrlplane::DurabilityConfig::new(dir);
+        if let Some(policy) = opt(rest, "--fsync") {
+            durability.fsync = public_option_core::ctrlplane::FsyncPolicy::parse(policy)?;
+        }
+        if let Some(n) = num_opt::<u64>(rest, "--snapshot-every")? {
+            durability.snapshot_every = n;
+        }
+        config.durability = Some(durability);
+    } else if opt(rest, "--fsync").is_some() || opt(rest, "--snapshot-every").is_some() {
+        return Err("--fsync/--snapshot-every require --state-dir".into());
+    }
     let (topo, tm) = build_instance(flag(rest, "--paper"));
     let poc = Poc::new(topo, PocConfig::default());
     let (server, handle) =
@@ -269,6 +289,15 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         "limits: {} connections, idle eviction after {:?}, write deadline {:?}",
         config.max_connections, config.idle_timeout, config.write_timeout
     );
+    match &config.durability {
+        Some(d) => println!(
+            "state: {} (fsync {:?}, snapshot every {} events) — recovered and journaling",
+            d.state_dir.display(),
+            d.fsync,
+            d.snapshot_every
+        ),
+        None => println!("state: in memory only (give --state-dir to survive restarts)"),
+    }
     println!("press Ctrl-C to stop");
     // Blocks in the accept loop; Ctrl-C terminates the process.
     server.run();
