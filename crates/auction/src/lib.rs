@@ -38,4 +38,7 @@ pub use select::{
     CompositeSelector, ExhaustiveSelector, ForwardGreedySelector, GreedySelector, SelectionResult,
     Selector,
 };
-pub use vcg::{run_auction, run_auction_with, AuctionOutcome, BpSettlement, PivotMode};
+pub use vcg::{
+    run_auction, run_auction_opts, run_auction_with, AuctionOutcome, BpSettlement, PivotMode,
+    PivotOracle, RoundOptions,
+};

@@ -22,7 +22,7 @@
 
 use crate::market::Market;
 use poc_flow::graph::{CapacityGraph, Dir};
-use poc_flow::{Constraint, FeasibilityOracle, LinkSet, Routing};
+use poc_flow::{AcceptabilityOracle, Constraint, LinkSet, Routing};
 use poc_topology::{LinkId, RouterId};
 use std::collections::HashSet;
 
@@ -47,7 +47,7 @@ pub trait Selector: Send + Sync {
     fn select(
         &self,
         market: &Market<'_>,
-        oracle: &FeasibilityOracle<'_>,
+        oracle: &dyn AcceptabilityOracle,
         available: &LinkSet,
     ) -> Option<SelectionResult>;
 }
@@ -83,7 +83,7 @@ impl GreedySelector {
     fn route_selecting(
         &self,
         market: &Market<'_>,
-        oracle: &FeasibilityOracle<'_>,
+        oracle: &dyn AcceptabilityOracle,
         available: &LinkSet,
         vetoes: Option<&[HashSet<LinkId>]>,
         selected: &mut LinkSet,
@@ -95,54 +95,155 @@ impl GreedySelector {
 
         let mut primaries = Vec::with_capacity(demands.len());
         for (fi, (src, dst, demand)) in demands.into_iter().enumerate() {
-            let mut remaining = demand;
-            let mut best_path: Option<(Vec<LinkId>, f64)> = None;
-            let mut splits = 0;
-            while remaining > 1e-9 {
-                let want = remaining;
-                let weight = |l: LinkId, _dir: Dir| {
-                    let base = if selected.contains(l) { 0.0 } else { market.unit_price(l) };
-                    base + self.epsilon_per_km * topo.link(l).distance_km
-                };
-                let veto_ok = |l: LinkId| match vetoes {
-                    Some(v) => !v[fi].contains(&l),
-                    None => true,
-                };
-                let path = g
-                    .shortest_path(src, dst, weight, |l, dir| {
-                        veto_ok(l) && g.residual(l, dir) >= want - 1e-9
+            let veto_ok = |l: LinkId| match vetoes {
+                Some(v) => !v[fi].contains(&l),
+                None => true,
+            };
+            let primary =
+                self.select_demand(market, topo, &mut g, selected, &veto_ok, src, dst, demand)?;
+            primaries.push((src, dst, primary));
+        }
+        Some(primaries)
+    }
+
+    /// Route one demand cost-aware over `g`, marking every used link as
+    /// selected. The shared kernel of [`Self::route_selecting`] and its
+    /// warm variant; returns the flow's primary (largest-share) path.
+    #[allow(clippy::too_many_arguments)]
+    fn select_demand(
+        &self,
+        market: &Market<'_>,
+        topo: &poc_topology::PocTopology,
+        g: &mut CapacityGraph,
+        selected: &mut LinkSet,
+        veto_ok: &dyn Fn(LinkId) -> bool,
+        src: RouterId,
+        dst: RouterId,
+        demand: f64,
+    ) -> Option<Vec<LinkId>> {
+        let mut remaining = demand;
+        let mut best_path: Option<(Vec<LinkId>, f64)> = None;
+        let mut splits = 0;
+        while remaining > 1e-9 {
+            let want = remaining;
+            let weight = |l: LinkId, _dir: Dir| {
+                let base = if selected.contains(l) { 0.0 } else { market.unit_price(l) };
+                base + self.epsilon_per_km * topo.link(l).distance_km
+            };
+            let path = g
+                .shortest_path(src, dst, weight, |l, dir| {
+                    veto_ok(l) && g.residual(l, dir) >= want - 1e-9
+                })
+                .or_else(|| {
+                    g.shortest_path(src, dst, weight, |l, dir| {
+                        veto_ok(l) && g.residual(l, dir) > 1e-9
                     })
-                    .or_else(|| {
-                        g.shortest_path(src, dst, weight, |l, dir| {
-                            veto_ok(l) && g.residual(l, dir) > 1e-9
-                        })
-                    })?;
-                let dirs = g.path_dirs(src, &path);
-                let bottleneck = path
-                    .iter()
-                    .zip(&dirs)
-                    .map(|(&l, &d)| g.residual(l, d))
-                    .fold(f64::INFINITY, f64::min);
-                let amount = remaining.min(bottleneck);
-                if amount <= 1e-9 {
-                    return None;
-                }
+                })?;
+            let dirs = g.path_dirs(src, &path);
+            let bottleneck = path
+                .iter()
+                .zip(&dirs)
+                .map(|(&l, &d)| g.residual(l, d))
+                .fold(f64::INFINITY, f64::min);
+            let amount = remaining.min(bottleneck);
+            if amount <= 1e-9 {
+                return None;
+            }
+            for (&l, &d) in path.iter().zip(&dirs) {
+                g.consume(l, d, amount);
+                selected.insert(l);
+            }
+            remaining -= amount;
+            splits += 1;
+            match &best_path {
+                Some((_, a)) if *a >= amount => {}
+                _ => best_path = Some((path, amount)),
+            }
+            if splits > self.max_splits && remaining > 1e-9 {
+                return None;
+            }
+        }
+        best_path.map(|(p, _)| p)
+    }
+
+    /// Warm-started phase 1: instead of cost-aware-routing the entire
+    /// matrix, reuse every witness flow whose paths are still active in
+    /// `available` (pre-consuming their capacity and marking their links
+    /// selected) and route only the invalidated flows with the normal
+    /// cost-aware kernel. Returns `None` — and the caller falls back to
+    /// the full [`Self::route_selecting`] — when the witness does not
+    /// match this instance's demands or an invalidated flow cannot be
+    /// placed on the residual capacities.
+    fn route_selecting_warm(
+        &self,
+        market: &Market<'_>,
+        oracle: &dyn AcceptabilityOracle,
+        available: &LinkSet,
+        witness: &Routing,
+        selected: &mut LinkSet,
+    ) -> Option<Vec<(RouterId, RouterId, Vec<LinkId>)>> {
+        let topo = oracle.topo();
+        // The witness must cover exactly this instance's demand list (same
+        // largest-first order the cold phase routes in). A witness from a
+        // different matrix cannot seed this selection.
+        let mut demands: Vec<(RouterId, RouterId, f64)> = oracle.tm().iter_demands().collect();
+        demands.sort_by(|a, b| b.2.total_cmp(&a.2));
+        if witness.flows.len() != demands.len() {
+            return None;
+        }
+        for (f, &(src, dst, demand)) in witness.flows.iter().zip(&demands) {
+            if f.src != src || f.dst != dst || (f.demand_gbps - demand).abs() > 1e-9 {
+                return None;
+            }
+        }
+
+        let mut g = CapacityGraph::new(topo, available);
+        let alive: Vec<bool> = witness
+            .flows
+            .iter()
+            .map(|f| f.paths.iter().all(|(path, _)| path.iter().all(|&l| available.contains(l))))
+            .collect();
+        // Survivors keep their witness paths: consume their capacity first
+        // (they were simultaneously feasible, so this cannot over-commit)
+        // and lease every link they ride.
+        for (f, &ok) in witness.flows.iter().zip(&alive) {
+            if !ok {
+                continue;
+            }
+            for (path, amount) in &f.paths {
+                let dirs = g.path_dirs(f.src, path);
                 for (&l, &d) in path.iter().zip(&dirs) {
-                    g.consume(l, d, amount);
+                    g.consume(l, d, *amount);
                     selected.insert(l);
                 }
-                remaining -= amount;
-                splits += 1;
-                match &best_path {
-                    Some((_, a)) if *a >= amount => {}
-                    _ => best_path = Some((path, amount)),
-                }
-                if splits > self.max_splits && remaining > 1e-9 {
-                    return None;
-                }
             }
-            let (primary, _) = best_path.expect("routed flow must have a path");
-            primaries.push((src, dst, primary));
+        }
+        // Invalidated flows are re-routed with the cost-aware kernel, in
+        // the same largest-first order the cold phase uses.
+        let mut primaries = Vec::with_capacity(witness.flows.len());
+        for (f, &ok) in witness.flows.iter().zip(&alive) {
+            let primary = if ok {
+                let mut best: Option<(&Vec<LinkId>, f64)> = None;
+                for (path, amount) in &f.paths {
+                    match &best {
+                        Some((_, a)) if *a >= *amount => {}
+                        _ => best = Some((path, *amount)),
+                    }
+                }
+                best.expect("witness flow has at least one path").0.clone()
+            } else {
+                self.select_demand(
+                    market,
+                    topo,
+                    &mut g,
+                    selected,
+                    &|_| true,
+                    f.src,
+                    f.dst,
+                    f.demand_gbps,
+                )?
+            };
+            primaries.push((f.src, f.dst, primary));
         }
         Some(primaries)
     }
@@ -155,7 +256,7 @@ impl GreedySelector {
     fn augment_pair(
         &self,
         market: &Market<'_>,
-        oracle: &FeasibilityOracle<'_>,
+        oracle: &dyn AcceptabilityOracle,
         available: &LinkSet,
         pair: (RouterId, RouterId),
         boost: f64,
@@ -218,7 +319,7 @@ impl GreedySelector {
     fn prune(
         &self,
         market: &Market<'_>,
-        oracle: &FeasibilityOracle<'_>,
+        oracle: &dyn AcceptabilityOracle,
         links: LinkSet,
     ) -> LinkSet {
         prune_links(market, oracle, links, self.prune_budget)
@@ -230,7 +331,7 @@ impl GreedySelector {
 /// strictly cheaper.
 fn prune_links(
     market: &Market<'_>,
-    oracle: &FeasibilityOracle<'_>,
+    oracle: &dyn AcceptabilityOracle,
     mut links: LinkSet,
     budget: usize,
 ) -> LinkSet {
@@ -271,7 +372,7 @@ impl Selector for ForwardGreedySelector {
     fn select(
         &self,
         market: &Market<'_>,
-        oracle: &FeasibilityOracle<'_>,
+        oracle: &dyn AcceptabilityOracle,
         available: &LinkSet,
     ) -> Option<SelectionResult> {
         if !oracle.acceptable(available) {
@@ -312,13 +413,27 @@ impl Selector for GreedySelector {
     fn select(
         &self,
         market: &Market<'_>,
-        oracle: &FeasibilityOracle<'_>,
+        oracle: &dyn AcceptabilityOracle,
         available: &LinkSet,
     ) -> Option<SelectionResult> {
         let mut selected = LinkSet::empty(available.universe());
 
-        // Phase 1: cost-aware base routing.
-        let primaries = self.route_selecting(market, oracle, available, None, &mut selected)?;
+        // Phase 1: cost-aware base routing. An oracle holding a routing
+        // witness (a warm pivot) seeds it: surviving flows keep their
+        // paths and only the invalidated ones are re-routed. Any warm
+        // mismatch falls back to routing the full matrix from scratch.
+        let mut primaries = None;
+        if let Some(w) = oracle.witness() {
+            primaries = self.route_selecting_warm(market, oracle, available, &w, &mut selected);
+            match primaries {
+                Some(_) => poc_obs::counter!("auction.select.warm_start").inc(),
+                None => selected = LinkSet::empty(available.universe()),
+            }
+        }
+        let primaries = match primaries {
+            Some(p) => p,
+            None => self.route_selecting(market, oracle, available, None, &mut selected)?,
+        };
 
         // Phase 2: blanket backup provisioning for the resilience
         // constraints — route every flow again avoiding its own primary
@@ -401,7 +516,7 @@ impl Selector for ExhaustiveSelector {
     fn select(
         &self,
         market: &Market<'_>,
-        oracle: &FeasibilityOracle<'_>,
+        oracle: &dyn AcceptabilityOracle,
         available: &LinkSet,
     ) -> Option<SelectionResult> {
         let links: Vec<LinkId> = available.iter().collect();
@@ -434,13 +549,14 @@ impl Selector for ExhaustiveSelector {
 }
 
 /// Convenience: the base routing witnessing a selection's feasibility.
-pub fn witness_routing(oracle: &FeasibilityOracle<'_>, sel: &SelectionResult) -> Option<Routing> {
+pub fn witness_routing(oracle: &dyn AcceptabilityOracle, sel: &SelectionResult) -> Option<Routing> {
     oracle.route(&sel.links)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use poc_flow::FeasibilityOracle;
     use poc_topology::builder::two_bp_square;
     use poc_topology::BpId;
     use poc_traffic::TrafficMatrix;
@@ -571,6 +687,7 @@ mod tests {
 #[cfg(test)]
 mod forward_greedy_tests {
     use super::*;
+    use poc_flow::FeasibilityOracle;
     use poc_topology::builder::two_bp_square;
     use poc_traffic::TrafficMatrix;
 
@@ -668,7 +785,7 @@ impl Selector for CompositeSelector {
     fn select(
         &self,
         market: &Market<'_>,
-        oracle: &FeasibilityOracle<'_>,
+        oracle: &dyn AcceptabilityOracle,
         available: &LinkSet,
     ) -> Option<SelectionResult> {
         let mut best: Option<SelectionResult> = None;
@@ -690,6 +807,7 @@ impl Selector for CompositeSelector {
 #[cfg(test)]
 mod composite_tests {
     use super::*;
+    use poc_flow::FeasibilityOracle;
     use poc_topology::builder::two_bp_square;
     use poc_traffic::TrafficMatrix;
 

@@ -19,7 +19,9 @@
 
 use crate::market::Market;
 use crate::select::{SelectionResult, Selector};
-use poc_flow::{Constraint, FeasibilityCache, FeasibilityOracle, LinkSet};
+use poc_flow::{
+    Constraint, FeasibilityCache, FeasibilityOracle, LinkSet, Routing, WarmConfig, WarmOracle,
+};
 use poc_topology::BpId;
 use poc_traffic::TrafficMatrix;
 use serde::{Deserialize, Serialize};
@@ -29,9 +31,10 @@ use serde::{Deserialize, Serialize};
 /// The pivot runs are independent of each other (each re-selects over
 /// `OL − L_α` with fixed inputs), so they parallelize without changing
 /// results: both modes produce bit-identical settlements, asserted by the
-/// `vcg_pivot_modes_agree` property test. Feasibility verdicts are
+/// `vcg_pivot_modes_agree` property test. Cold feasibility verdicts are
 /// memoized in a [`FeasibilityCache`] shared across the pivot runs in
-/// either mode.
+/// either mode; warm pivots ([`PivotOracle::Warm`]) keep per-pivot state
+/// instead, seeded identically in both modes, so parity still holds.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub enum PivotMode {
     /// One pivot at a time, ascending BP id.
@@ -39,6 +42,37 @@ pub enum PivotMode {
     /// One thread per participating BP (scoped threads).
     #[default]
     Parallel,
+}
+
+/// Which acceptability oracle the per-BP pivot re-selections use.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum PivotOracle {
+    /// From-scratch [`FeasibilityOracle`] sharing the round's verdict
+    /// cache. Every probe re-routes the full traffic matrix.
+    Cold,
+    /// Per-pivot [`WarmOracle`] seeded with the round's accepted routing:
+    /// probes re-route only the flows the candidate set invalidated,
+    /// falling back to a cold evaluation when more than
+    /// `max_invalid_frac` of them are hit (see
+    /// [`poc_flow::WarmConfig::max_invalid_frac`]). Warm accepts carry a
+    /// genuine routing witness, so verdicts may only be *more* complete
+    /// than cold ones, never less sound; each pivot's oracle is private
+    /// and deterministically seeded, keeping sequential and parallel
+    /// modes bit-identical.
+    Warm { max_invalid_frac: f64 },
+}
+
+impl Default for PivotOracle {
+    fn default() -> Self {
+        PivotOracle::Warm { max_invalid_frac: WarmConfig::default().max_invalid_frac }
+    }
+}
+
+/// Scheduling and oracle options for one auction round.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct RoundOptions {
+    pub mode: PivotMode,
+    pub pivot_oracle: PivotOracle,
 }
 
 /// One BP's auction settlement.
@@ -123,26 +157,19 @@ impl std::error::Error for AuctionError {}
 
 /// Run one auction round: select `SL`, then compute every BP's Clarke
 /// payment by re-selecting with that BP withdrawn. Pivot runs execute in
-/// parallel (see [`PivotMode`]); use [`run_auction_with`] to pick the
-/// scheduling explicitly.
+/// parallel with warm-started oracles (the defaults of [`RoundOptions`]);
+/// use [`run_auction_with`] to pick the scheduling or
+/// [`run_auction_opts`] for full control.
 pub fn run_auction(
     market: &Market<'_>,
     tm: &TrafficMatrix,
     constraint: Constraint,
     selector: &dyn Selector,
 ) -> Result<AuctionOutcome, AuctionError> {
-    run_auction_with(market, tm, constraint, selector, PivotMode::default())
+    run_auction_opts(market, tm, constraint, selector, RoundOptions::default())
 }
 
-/// As [`run_auction`], with explicit pivot scheduling.
-///
-/// Metrics (global `poc-obs` registry): round wall time lands in the
-/// `auction.round.sequential` / `auction.round.parallel` histogram for
-/// the chosen mode, each pivot re-selection in `auction.pivot`; a
-/// successful round bumps `auction.round.count` and refreshes the
-/// `auction.pob.mean` gauge, a failed one bumps
-/// `auction.round.infeasible`. Instrumentation is lock-free on the
-/// pivot threads (pre-resolved atomic handles).
+/// As [`run_auction`], with explicit pivot scheduling (warm pivots).
 pub fn run_auction_with(
     market: &Market<'_>,
     tm: &TrafficMatrix,
@@ -150,11 +177,32 @@ pub fn run_auction_with(
     selector: &dyn Selector,
     mode: PivotMode,
 ) -> Result<AuctionOutcome, AuctionError> {
-    let _round = match mode {
+    run_auction_opts(market, tm, constraint, selector, RoundOptions { mode, ..Default::default() })
+}
+
+/// As [`run_auction`], with explicit scheduling and pivot-oracle choice.
+///
+/// Metrics (global `poc-obs` registry): round wall time lands in the
+/// `auction.round.sequential` / `auction.round.parallel` histogram for
+/// the chosen mode, each pivot re-selection in `auction.pivot`; a
+/// successful round bumps `auction.round.count` and refreshes the
+/// `auction.pob.mean` gauge, a failed one bumps
+/// `auction.round.infeasible`. Warm pivots additionally feed the
+/// `flow.warm.reused_flows` / `flow.warm.rerouted_flows` /
+/// `flow.warm.fallbacks` counters. Instrumentation is lock-free on the
+/// pivot threads (pre-resolved atomic handles).
+pub fn run_auction_opts(
+    market: &Market<'_>,
+    tm: &TrafficMatrix,
+    constraint: Constraint,
+    selector: &dyn Selector,
+    opts: RoundOptions,
+) -> Result<AuctionOutcome, AuctionError> {
+    let _round = match opts.mode {
         PivotMode::Sequential => poc_obs::span!("auction.round.sequential"),
         PivotMode::Parallel => poc_obs::span!("auction.round.parallel"),
     };
-    let result = run_round(market, tm, constraint, selector, mode);
+    let result = run_round(market, tm, constraint, selector, opts);
     match &result {
         Ok(outcome) => {
             poc_obs::counter!("auction.round.count").inc();
@@ -169,20 +217,32 @@ pub fn run_auction_with(
     result
 }
 
-/// The uninstrumented round body of [`run_auction_with`].
+/// The uninstrumented round body of [`run_auction_opts`].
 fn run_round(
     market: &Market<'_>,
     tm: &TrafficMatrix,
     constraint: Constraint,
     selector: &dyn Selector,
-    mode: PivotMode,
+    opts: RoundOptions,
 ) -> Result<AuctionOutcome, AuctionError> {
     // One feasibility cache for the whole round: the initial selection and
-    // every pivot re-selection probe heavily overlapping link sets.
+    // every cold re-selection probe heavily overlapping link sets. (Warm
+    // pivot oracles never touch it — their verdicts depend on per-pivot
+    // witness state and must not leak into a cache assumed pure.)
     let cache = FeasibilityCache::new();
-    let oracle = FeasibilityOracle::with_cache(market.topo(), tm, constraint, &cache);
+    let oracle = FeasibilityOracle::with_cache(market.topo(), tm, constraint, &cache)
+        .expect("a fresh cache has no prior instance binding");
     let sl: SelectionResult =
         selector.select(market, &oracle, market.offered()).ok_or(AuctionError::Infeasible)?;
+
+    // Warm pivots start from the round's accepted routing: one extra full
+    // evaluation of SL buys every pivot its reuse baseline. If SL somehow
+    // fails to re-route (the selector accepted it, so it should not),
+    // pivots simply start unseeded and answer their first probe cold.
+    let pivot_seed: Option<Routing> = match opts.pivot_oracle {
+        PivotOracle::Warm { .. } => oracle.route(&sl.links),
+        PivotOracle::Cold => None,
+    };
 
     // Settle trivial BPs inline; queue a pivot job per BP with links in SL.
     let mut settlements: Vec<Option<BpSettlement>> = Vec::new();
@@ -211,14 +271,30 @@ fn run_round(
     let run_pivot = |bp: BpId, n_selected_links: usize, bid_cost: f64| {
         let _pivot = poc_obs::span!("auction.pivot", bp = bp.0);
         let without = market.offered_without(bp);
-        let sl_minus =
-            selector.select(market, &oracle, &without).ok_or(AuctionError::PivotInfeasible(bp))?;
+        let sl_minus = match opts.pivot_oracle {
+            PivotOracle::Cold => selector.select(market, &oracle, &without),
+            PivotOracle::Warm { max_invalid_frac } => {
+                // A private oracle per pivot: identical seeding in both
+                // modes keeps sequential/parallel bit-identical.
+                let warm = WarmOracle::with_config(
+                    market.topo(),
+                    tm,
+                    constraint,
+                    WarmConfig { max_invalid_frac },
+                );
+                if let Some(seed) = &pivot_seed {
+                    warm.seed(seed.clone());
+                }
+                selector.select(market, &warm, &without)
+            }
+        }
+        .ok_or(AuctionError::PivotInfeasible(bp))?;
         let raw_pivot = sl_minus.cost - sl.cost;
         let payment = bid_cost + raw_pivot.max(0.0);
         Ok(BpSettlement { bp, n_selected_links, bid_cost, raw_pivot, payment })
     };
 
-    let results: Vec<(usize, Result<BpSettlement, AuctionError>)> = match mode {
+    let results: Vec<(usize, Result<BpSettlement, AuctionError>)> = match opts.mode {
         PivotMode::Sequential => {
             jobs.iter().map(|&(slot, bp, n, cost)| (slot, run_pivot(bp, n, cost))).collect()
         }

@@ -35,7 +35,7 @@ fn print_gap() {
     let pairs = [(0u32, 1u32), (0, topo.n_routers() as u32 - 1)];
     for (a, b) in pairs {
         let (ra, rb) = (poc_topology::RouterId(a), poc_topology::RouterId(b));
-        let mf = max_flow_between(&topo, &all, ra, rb);
+        let mf = max_flow_between(&topo, &all, ra, rb).expect("routers in range");
         let mut tm = TrafficMatrix::zero(topo.n_routers());
         tm.set(ra, rb, mf * 0.95);
         let routable = route_tm(&topo, &all, &tm).is_ok();

@@ -15,6 +15,7 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use poc_auction::{run_auction_with, GreedySelector, Market, PivotMode};
+use poc_bench::report::{ModeSample, PivotModesReport, ScaleInfo};
 use poc_bench::{instance, paper_scale};
 use poc_flow::Constraint;
 use std::time::{Duration, Instant};
@@ -35,6 +36,7 @@ fn print_mode_comparison() {
     }
     println!("{:<12}{:>14}{:>14}{:>10}", "constraint", "sequential", "parallel", "speedup");
     let stride = if paper_scale() { 32 } else { 4 };
+    let mut mode_samples = Vec::new();
     for c in [Constraint::BaseLoad, Constraint::SinglePathFailure { sample_every: stride }] {
         let t0 = Instant::now();
         let seq = run_auction_with(&market, &tm, c, &selector, PivotMode::Sequential);
@@ -58,9 +60,33 @@ fn print_mode_comparison() {
                     s.selected.len(),
                     s.settlements.len(),
                 );
+                mode_samples.push(ModeSample {
+                    constraint: c.label().to_string(),
+                    sequential_ms: t_seq.as_secs_f64() * 1e3,
+                    parallel_ms: t_par.as_secs_f64() * 1e3,
+                    speedup: t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+                });
             }
             (Err(e), _) | (_, Err(e)) => println!("{:<12}infeasible: {e}", c.label()),
         }
+    }
+    // Emit the machine-readable artifact next to the printed table.
+    let report = PivotModesReport {
+        bench: "pivot_modes".into(),
+        scale: ScaleInfo {
+            preset: if paper_scale() { "paper" } else { "small" }.into(),
+            n_routers: topo.n_routers(),
+            n_links: topo.n_links(),
+            n_bps: topo.bps.len(),
+        },
+        cores,
+        samples: mode_samples,
+    };
+    let out =
+        std::env::var("POC_BENCH_MODES_OUT").unwrap_or_else(|_| "BENCH_pivot_modes.json".into());
+    match report.write(std::path::Path::new(&out)) {
+        Ok(()) => println!("mode comparison artifact -> {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
     }
 }
 

@@ -9,6 +9,8 @@ use poc_topology::zoo::{attach_external_isps, ExternalIspConfig};
 use poc_topology::{CostModel, PocTopology, ZooConfig, ZooGenerator};
 use poc_traffic::{TrafficMatrix, TrafficScenario};
 
+pub mod report;
+
 /// Whether to run experiment prints at the paper's full scale.
 pub fn paper_scale() -> bool {
     std::env::var_os("POC_PAPER_SCALE").is_some()
@@ -31,5 +33,17 @@ pub fn paper_instance() -> (PocTopology, TrafficMatrix) {
     let mut topo = ZooGenerator::new(ZooConfig::paper()).generate();
     attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
     let tm = TrafficScenario::paper_default().generate(&topo);
+    (topo, tm)
+}
+
+/// The ROADMAP's stress instance: 100+ BPs offering 10k+ links
+/// ([`ZooConfig::scale`]) plus the default external ISPs, with the
+/// paper's aggregate demand. This is where warm-started pivots are
+/// supposed to pay off — `bench_pivot` measures them here.
+pub fn scale_instance() -> (PocTopology, TrafficMatrix) {
+    let mut topo = ZooGenerator::new(ZooConfig::scale()).generate();
+    attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
+    let tm =
+        TrafficScenario { total_gbps: 24000.0, ..TrafficScenario::paper_default() }.generate(&topo);
     (topo, tm)
 }

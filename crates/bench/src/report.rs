@@ -1,0 +1,183 @@
+//! Machine-readable bench artifacts (`BENCH_*.json`).
+//!
+//! The ROADMAP asks for a perf trajectory across PRs; these types are the
+//! schema of the artifacts the pivot benches emit. They round-trip through
+//! serde so CI can re-read an emitted file and validate it structurally
+//! (see `bench_pivot --validate`).
+
+use serde::{Deserialize, Serialize};
+
+/// Instance shape a report was measured on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScaleInfo {
+    /// Generator preset: "small", "paper", or "scale".
+    pub preset: String,
+    pub n_routers: usize,
+    pub n_links: usize,
+    pub n_bps: usize,
+}
+
+/// One sampled Clarke-pivot re-selection, timed cold then warm.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PivotSample {
+    /// The withdrawn BP.
+    pub bp: u32,
+    /// Wall time of the from-scratch re-selection, milliseconds.
+    pub cold_ms: f64,
+    /// Wall time of the warm-started re-selection, milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+    /// Flows reused from the witness across the warm run's probes.
+    pub reused_flows: u64,
+    /// Flows re-routed incrementally across the warm run's probes.
+    pub rerouted_flows: u64,
+    /// Probes that fell back to a from-scratch evaluation.
+    pub fallbacks: u64,
+}
+
+/// The `BENCH_pivot.json` artifact: warm-vs-cold pivot re-selections on
+/// one instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PivotBenchReport {
+    /// Artifact discriminator; always "pivot".
+    pub bench: String,
+    pub scale: ScaleInfo,
+    /// Paper constraint label ("#1" / "#2" / "#3").
+    pub constraint: String,
+    /// Pivot scheduling the samples model ("sequential": each sample is
+    /// one pivot re-selection run on its own).
+    pub pivot_mode: String,
+    pub samples: Vec<PivotSample>,
+    pub total_cold_ms: f64,
+    pub total_warm_ms: f64,
+    /// `total_cold_ms / total_warm_ms` — the headline warm-start speedup.
+    pub speedup: f64,
+    /// Hit rate of the shared [`poc_flow::FeasibilityCache`] over the cold
+    /// runs (warm runs keep private memos and don't touch it).
+    pub cold_cache_hit_rate: f64,
+}
+
+impl PivotBenchReport {
+    /// Structural validation of an emitted artifact: the checks CI runs
+    /// against a freshly deserialized file.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench != "pivot" {
+            return Err(format!("bench discriminator must be \"pivot\", got {:?}", self.bench));
+        }
+        if self.samples.is_empty() {
+            return Err("no pivot samples recorded".into());
+        }
+        if self.scale.n_links == 0 || self.scale.n_routers == 0 || self.scale.n_bps == 0 {
+            return Err("scale info has zero-sized instance".into());
+        }
+        for s in &self.samples {
+            if !(s.cold_ms.is_finite()
+                && s.cold_ms >= 0.0
+                && s.warm_ms.is_finite()
+                && s.warm_ms >= 0.0)
+            {
+                return Err(format!("non-finite sample timing for bp {}", s.bp));
+            }
+        }
+        if !(self.speedup.is_finite() && self.speedup > 0.0) {
+            return Err(format!("speedup must be finite and positive, got {}", self.speedup));
+        }
+        if !(0.0..=1.0).contains(&self.cold_cache_hit_rate) {
+            return Err(format!("cache hit rate outside [0,1]: {}", self.cold_cache_hit_rate));
+        }
+        Ok(())
+    }
+
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).expect("report serializes"))
+    }
+
+    pub fn read(path: &std::path::Path) -> Result<Self, String> {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        serde_json::from_str(&raw).map_err(|e| format!("parse {path:?}: {e}"))
+    }
+}
+
+/// One constraint row of the sequential-vs-parallel mode comparison
+/// (`BENCH_pivot_modes.json`, emitted by the `pivot_parallel` bench).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModeSample {
+    pub constraint: String,
+    pub sequential_ms: f64,
+    pub parallel_ms: f64,
+    pub speedup: f64,
+}
+
+/// The `BENCH_pivot_modes.json` artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PivotModesReport {
+    /// Artifact discriminator; always "pivot_modes".
+    pub bench: String,
+    pub scale: ScaleInfo,
+    pub cores: usize,
+    pub samples: Vec<ModeSample>,
+}
+
+impl PivotModesReport {
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).expect("report serializes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PivotBenchReport {
+        PivotBenchReport {
+            bench: "pivot".into(),
+            scale: ScaleInfo { preset: "scale".into(), n_routers: 56, n_links: 13097, n_bps: 100 },
+            constraint: "#1".into(),
+            pivot_mode: "sequential".into(),
+            samples: vec![PivotSample {
+                bp: 3,
+                cold_ms: 100.0,
+                warm_ms: 40.0,
+                speedup: 2.5,
+                reused_flows: 1000,
+                rerouted_flows: 50,
+                fallbacks: 1,
+            }],
+            total_cold_ms: 100.0,
+            total_warm_ms: 40.0,
+            speedup: 2.5,
+            cold_cache_hit_rate: 0.3,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let r = sample_report();
+        r.validate().unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PivotBenchReport = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.samples.len(), 1);
+        assert_eq!(back.scale.n_links, 13097);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        let mut r = sample_report();
+        r.bench = "other".into();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.samples.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.speedup = f64::NAN;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.cold_cache_hit_rate = 1.5;
+        assert!(r.validate().is_err());
+    }
+}

@@ -116,21 +116,10 @@ pub struct PocState {
 /// a different topology (replaying leases/routes against the wrong link
 /// universe would corrupt everything downstream).
 pub fn topology_fingerprint(topo: &PocTopology) -> u64 {
-    // FNV-1a over the structural counts and link endpoints; not
+    // FNV-1a over the structural counts, link endpoints, and capacities
+    // (shared machinery in `poc_topology::PocTopology::fingerprint`); not
     // cryptographic, just a cheap "same instance?" check.
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x100000001b3);
-    };
-    mix(topo.n_routers() as u64);
-    mix(topo.n_links() as u64);
-    mix(topo.bps.len() as u64);
-    for l in &topo.links {
-        mix(l.a.0 as u64);
-        mix(l.b.0 as u64);
-    }
-    h
+    topo.fingerprint()
 }
 
 /// The Public Option for the Core.

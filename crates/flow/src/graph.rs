@@ -82,14 +82,20 @@ impl<'t> CapacityGraph<'t> {
     ///
     /// # Panics
     /// Panics (debug) if this would drive the residual more than epsilon
-    /// negative — the router must never over-commit.
+    /// negative — the router must never over-commit. Release builds do not
+    /// panic; they record the violation on the `flow.graph.overcommit`
+    /// counter instead, so a logic error in a routing pass shows up in
+    /// metrics rather than crashing or passing silently.
     pub fn consume(&mut self, link: LinkId, dir: Dir, gbps: f64) {
         let r = match dir {
             Dir::Fwd => &mut self.residual_fwd[link.index()],
             Dir::Rev => &mut self.residual_rev[link.index()],
         };
         *r -= gbps;
-        debug_assert!(*r >= -1e-6, "over-committed {link} by {}", -*r);
+        if *r < -1e-6 {
+            poc_obs::counter!("flow.graph.overcommit").inc();
+            debug_assert!(*r >= -1e-6, "over-committed {link} by {}", -*r);
+        }
     }
 
     /// Return `gbps` of residual along `link` in `dir` (used when undoing a

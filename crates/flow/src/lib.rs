@@ -16,7 +16,9 @@
 //! links, a capacity-aware [`graph::CapacityGraph`], a greedy
 //! multi-commodity router with flow splitting ([`route`]), Dinic max-flow
 //! ([`maxflow`]) as an exact single-commodity oracle, failure-scenario
-//! checking ([`failure`]), and the top-level [`oracle::FeasibilityOracle`].
+//! checking ([`failure`]), the top-level [`oracle::FeasibilityOracle`],
+//! and its incremental counterpart [`warm::WarmOracle`] that warm-starts
+//! the auction's Clarke-pivot probes from the previous accepted routing.
 
 pub mod failure;
 pub mod graph;
@@ -25,9 +27,15 @@ pub mod linkset;
 pub mod maxflow;
 pub mod oracle;
 pub mod route;
+pub mod warm;
 
 pub use graph::CapacityGraph;
 pub use kpaths::{disjoint_degree, k_shortest_paths, RankedPath};
 pub use linkset::LinkSet;
-pub use oracle::{Constraint, FeasibilityCache, FeasibilityOracle, Rejection};
+pub use maxflow::FlowError;
+pub use oracle::{
+    instance_fingerprint, AcceptabilityOracle, CacheMismatch, Constraint, FeasibilityCache,
+    FeasibilityOracle, Rejection,
+};
 pub use route::{route_tm, RouteError, Routing};
+pub use warm::{WarmConfig, WarmOracle, WarmOutcome};

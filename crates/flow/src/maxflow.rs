@@ -8,6 +8,27 @@
 use crate::linkset::LinkSet;
 use poc_topology::{PocTopology, RouterId};
 
+/// Typed error for max-flow queries. The library must not panic on bad
+/// caller input (ids can cross crate and process boundaries via the
+/// control plane), so out-of-range routers are reported, not asserted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// A queried router id is not a node of this graph.
+    RouterOutOfRange { router: RouterId, n_routers: usize },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::RouterOutOfRange { router, n_routers } => {
+                write!(f, "router {router} outside graph of {n_routers} routers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
 /// Internal directed-edge representation: every undirected full-duplex link
 /// becomes two independent directed arcs, each with the link's capacity
 /// (plus the usual residual reverse arcs).
@@ -47,18 +68,24 @@ impl MaxFlow {
         self.adj[to].push(a + 1);
     }
 
-    /// Maximum flow from `src` to `dst`, Gbit/s. Consumes the residual
-    /// state, so build a fresh solver per query.
+    /// Maximum flow from `src` to `dst`, Gbit/s, or
+    /// [`FlowError::RouterOutOfRange`] when either endpoint is not a node
+    /// of this graph. Consumes the residual state, so build a fresh solver
+    /// per query.
     ///
     /// Metrics: each call bumps `flow.maxflow.runs`, and the number of
     /// augmenting paths found is batched into `flow.maxflow.augment`
     /// (one atomic add per run, not per path).
-    pub fn max_flow(&mut self, src: RouterId, dst: RouterId) -> f64 {
+    pub fn max_flow(&mut self, src: RouterId, dst: RouterId) -> Result<f64, FlowError> {
         poc_obs::counter!("flow.maxflow.runs").inc();
         let (s, t) = (src.index(), dst.index());
-        assert!(s < self.n && t < self.n, "router outside graph");
+        for router in [src, dst] {
+            if router.index() >= self.n {
+                return Err(FlowError::RouterOutOfRange { router, n_routers: self.n });
+            }
+        }
         if s == t {
-            return 0.0;
+            return Ok(0.0);
         }
         let mut flow = 0.0;
         let mut augmenting_paths: u64 = 0;
@@ -78,7 +105,7 @@ impl MaxFlow {
             }
         }
         poc_obs::counter!("flow.maxflow.augment").add(augmenting_paths);
-        flow
+        Ok(flow)
     }
 
     fn bfs_levels(&self, s: usize) -> Vec<Option<u32>> {
@@ -129,7 +156,12 @@ impl MaxFlow {
 }
 
 /// Convenience: max flow between one pair over `active`.
-pub fn max_flow_between(topo: &PocTopology, active: &LinkSet, src: RouterId, dst: RouterId) -> f64 {
+pub fn max_flow_between(
+    topo: &PocTopology,
+    active: &LinkSet,
+    src: RouterId,
+    dst: RouterId,
+) -> Result<f64, FlowError> {
     MaxFlow::new(topo, active).max_flow(src, dst)
 }
 
@@ -147,7 +179,7 @@ mod tests {
         let t = two_bp_square();
         // Restrict to just the r0-r1 direct link (link 0, 100G).
         let one = LinkSet::from_links(t.n_links(), [poc_topology::LinkId(0)]);
-        assert!((max_flow_between(&t, &one, r(0), r(1)) - 100.0).abs() < 1e-9);
+        assert!((max_flow_between(&t, &one, r(0), r(1)).unwrap() - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -155,7 +187,7 @@ mod tests {
         let t = two_bp_square();
         let all = LinkSet::full(t.n_links());
         // r0→r1: direct 100 + via r2 min(100,100)=100 + via r3 min(40,40)=40.
-        let f = max_flow_between(&t, &all, r(0), r(1));
+        let f = max_flow_between(&t, &all, r(0), r(1)).unwrap();
         assert!((f - 240.0).abs() < 1e-6, "got {f}");
     }
 
@@ -163,7 +195,7 @@ mod tests {
     fn disconnected_pair_has_zero_flow() {
         let t = two_bp_square();
         let bp0 = LinkSet::from_links(t.n_links(), t.links_of_bp(poc_topology::BpId(0)));
-        assert_eq!(max_flow_between(&t, &bp0, r(0), r(3)), 0.0);
+        assert_eq!(max_flow_between(&t, &bp0, r(0), r(3)), Ok(0.0));
     }
 
     #[test]
@@ -171,14 +203,31 @@ mod tests {
         let t = two_bp_square();
         let all = LinkSet::full(t.n_links());
         // All r3 adjacency is BP1's three 40G links: cut = 120.
-        let f = max_flow_between(&t, &all, r(0), r(3));
+        let f = max_flow_between(&t, &all, r(0), r(3)).unwrap();
         assert!((f - 120.0).abs() < 1e-6, "got {f}");
     }
 
     #[test]
     fn self_flow_is_zero() {
         let t = two_bp_square();
-        assert_eq!(max_flow_between(&t, &LinkSet::full(t.n_links()), r(2), r(2)), 0.0);
+        assert_eq!(max_flow_between(&t, &LinkSet::full(t.n_links()), r(2), r(2)), Ok(0.0));
+    }
+
+    #[test]
+    fn out_of_range_router_is_typed_error_not_panic() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let n = t.n_routers();
+        assert_eq!(
+            max_flow_between(&t, &all, r(99), r(0)),
+            Err(FlowError::RouterOutOfRange { router: r(99), n_routers: n })
+        );
+        assert_eq!(
+            max_flow_between(&t, &all, r(0), r(99)),
+            Err(FlowError::RouterOutOfRange { router: r(99), n_routers: n })
+        );
+        let msg = FlowError::RouterOutOfRange { router: r(99), n_routers: n }.to_string();
+        assert!(msg.contains("outside graph"), "{msg}");
     }
 
     #[test]
@@ -193,7 +242,7 @@ mod tests {
             let mut tm = TrafficMatrix::zero(t.n_routers());
             tm.set(r(0), r(1), demand);
             let routed = route_tm(&t, &all, &tm).is_ok();
-            let mf = max_flow_between(&t, &all, r(0), r(1));
+            let mf = max_flow_between(&t, &all, r(0), r(1)).unwrap();
             if routed {
                 assert!(demand <= mf + 1e-6, "greedy packed {demand} > maxflow {mf}");
             }

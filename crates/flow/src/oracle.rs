@@ -54,27 +54,82 @@ impl Constraint {
     }
 }
 
+/// A cheap fingerprint of a whole oracle instance: the topology's
+/// structural fingerprint extended with the traffic matrix and the
+/// constraint level. Two oracles agree on every acceptability verdict iff
+/// they agree on this value (up to hash collisions), which is what lets
+/// [`FeasibilityCache`] refuse cross-instance reuse instead of silently
+/// serving stale verdicts.
+pub fn instance_fingerprint(topo: &PocTopology, tm: &TrafficMatrix, constraint: Constraint) -> u64 {
+    let mut h = poc_topology::Fnv1a::new();
+    h.mix(topo.fingerprint());
+    h.mix(tm.n_routers() as u64);
+    for (src, dst, demand) in tm.iter_demands() {
+        h.mix(src.0 as u64);
+        h.mix(dst.0 as u64);
+        h.mix(demand.to_bits());
+    }
+    match constraint {
+        Constraint::BaseLoad => h.mix(1),
+        Constraint::SinglePathFailure { sample_every } => {
+            h.mix(2);
+            h.mix(sample_every as u64);
+        }
+        Constraint::AllPairsBackup => h.mix(3),
+    }
+    h.finish()
+}
+
+/// A [`FeasibilityCache`] was offered to an oracle over a different
+/// `(topology, traffic matrix, constraint)` instance than the one it is
+/// bound to. Reusing it would silently serve verdicts computed for
+/// another instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheMismatch {
+    /// Fingerprint the cache is bound to.
+    pub bound: u64,
+    /// Fingerprint of the instance that tried to attach.
+    pub offered: u64,
+}
+
+impl std::fmt::Display for CacheMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "feasibility cache bound to instance {:#018x} offered to instance {:#018x}",
+            self.bound, self.offered
+        )
+    }
+}
+
+impl std::error::Error for CacheMismatch {}
+
 /// Shared memo of acceptability verdicts, keyed by the candidate
 /// [`LinkSet`].
 ///
 /// A verdict is a pure function of `(topo, tm, constraint, links)`, so a
-/// cache is only valid for oracles over the same instance — the intended
-/// use is one cache per auction round, shared by the round's per-BP
-/// Clarke-pivot re-selections (which probe heavily overlapping link sets,
-/// sequentially or from parallel threads). Thread-safe: reads take a
-/// shared lock, inserts an exclusive one; the oracle computation itself
-/// runs outside any lock, so concurrent probes of distinct sets never
-/// serialize on each other.
+/// cache is only valid for oracles over the same instance. The cache
+/// *enforces* that contract: it binds to the [`instance_fingerprint`] of
+/// the first instance that attaches (or the one given to
+/// [`FeasibilityCache::for_instance`]), and
+/// [`FeasibilityOracle::with_cache`] returns a typed [`CacheMismatch`] —
+/// and bumps the `flow.cache.mismatch` counter — when a different
+/// instance tries to reuse it. The intended use is one cache per auction
+/// round, shared by the round's per-BP Clarke-pivot re-selections (which
+/// probe heavily overlapping link sets, sequentially or from parallel
+/// threads). Thread-safe: reads take a shared lock, inserts an exclusive
+/// one; the oracle computation itself runs outside any lock, so
+/// concurrent probes of distinct sets never serialize on each other.
 ///
 /// Every lookup is bridged into the global metrics registry as the
 /// `flow.cache.hit` / `flow.cache.miss` counters (aggregated across all
 /// cache instances in the process); read those from a
-/// [`poc_obs::MetricsSnapshot`] instead of the per-instance
-/// [`FeasibilityCache::stats`] tuple.
+/// [`poc_obs::MetricsSnapshot`].
 pub struct FeasibilityCache {
     verdicts: parking_lot::RwLock<std::collections::HashMap<LinkSet, bool>>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    /// Fingerprint of the instance this cache serves; `None` until the
+    /// first oracle attaches.
+    binding: parking_lot::Mutex<Option<u64>>,
     /// Bridged process-wide counters (lock-free handles into the global
     /// registry, resolved once per cache).
     obs_hits: poc_obs::Counter,
@@ -85,8 +140,7 @@ impl Default for FeasibilityCache {
     fn default() -> Self {
         Self {
             verdicts: Default::default(),
-            hits: Default::default(),
-            misses: Default::default(),
+            binding: parking_lot::Mutex::new(None),
             obs_hits: poc_obs::counter!("flow.cache.hit").clone(),
             obs_misses: poc_obs::counter!("flow.cache.miss").clone(),
         }
@@ -94,23 +148,48 @@ impl Default for FeasibilityCache {
 }
 
 impl FeasibilityCache {
+    /// An unbound cache: it binds to the first instance that attaches via
+    /// [`FeasibilityOracle::with_cache`].
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A cache pre-bound to `(topo, tm, constraint)`; attaching an oracle
+    /// over any other instance is a [`CacheMismatch`].
+    pub fn for_instance(topo: &PocTopology, tm: &TrafficMatrix, constraint: Constraint) -> Self {
+        let cache = Self::new();
+        *cache.binding.lock() = Some(instance_fingerprint(topo, tm, constraint));
+        cache
+    }
+
+    /// The instance fingerprint this cache is bound to, if any.
+    pub fn bound_to(&self) -> Option<u64> {
+        *self.binding.lock()
+    }
+
+    /// Bind to `fingerprint`, or verify an existing binding. A mismatch is
+    /// recorded on the `flow.cache.mismatch` counter.
+    fn attach(&self, fingerprint: u64) -> Result<(), CacheMismatch> {
+        let mut binding = self.binding.lock();
+        match *binding {
+            None => {
+                *binding = Some(fingerprint);
+                Ok(())
+            }
+            Some(bound) if bound == fingerprint => Ok(()),
+            Some(bound) => {
+                poc_obs::counter!("flow.cache.mismatch").inc();
+                Err(CacheMismatch { bound, offered: fingerprint })
+            }
+        }
+    }
+
     /// Cached verdict for `links`, or `None` when it has not been computed.
     pub fn lookup(&self, links: &LinkSet) -> Option<bool> {
-        use std::sync::atomic::Ordering;
         let got = self.verdicts.read().get(links).copied();
         match got {
-            Some(_) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.obs_hits.inc();
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.obs_misses.inc();
-            }
+            Some(_) => self.obs_hits.inc(),
+            None => self.obs_misses.inc(),
         };
         got
     }
@@ -129,13 +208,49 @@ impl FeasibilityCache {
     pub fn is_empty(&self) -> bool {
         self.verdicts.read().is_empty()
     }
+}
 
-    /// `(hits, misses)` over all lookups on this instance.
-    #[deprecated(note = "read the flow.cache.hit / flow.cache.miss counters from the \
-                poc-obs registry snapshot instead of this tuple")]
-    pub fn stats(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering;
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+/// The interface the auction's selectors program against: an acceptability
+/// oracle `A(OL)` over one `(topology, traffic matrix, constraint)`
+/// instance. [`FeasibilityOracle`] is the from-scratch implementation;
+/// [`crate::WarmOracle`] layers incremental re-routing on top of it for
+/// the auction's Clarke pivots.
+///
+/// `Sync` is a supertrait because the auction probes oracles from parallel
+/// pivot threads.
+pub trait AcceptabilityOracle: Sync {
+    fn topo(&self) -> &PocTopology;
+
+    fn tm(&self) -> &TrafficMatrix;
+
+    fn constraint(&self) -> Constraint;
+
+    /// Whether `links ∈ A(OL)`: the subset carries the matrix under the
+    /// constraint.
+    fn acceptable(&self, links: &LinkSet) -> bool;
+
+    /// Full evaluation: the base routing on success, or the reason the set
+    /// was rejected.
+    fn evaluate(&self, links: &LinkSet) -> Result<Routing, Rejection>;
+
+    /// Up to `max` failing resilience scenarios for `links` (empty when the
+    /// set is acceptable).
+    fn failing_scenarios(&self, links: &LinkSet, max: usize)
+        -> Vec<((RouterId, RouterId), String)>;
+
+    /// As [`Self::acceptable`], but returns the base routing on success.
+    fn route(&self, links: &LinkSet) -> Option<Routing> {
+        self.evaluate(links).ok()
+    }
+
+    /// A known-feasible routing the caller may warm-start from (the last
+    /// accepted routing of a [`crate::WarmOracle`]), or `None` for
+    /// stateless oracles. Any routing returned here is a genuine
+    /// feasibility witness over *some* link set of this instance's traffic
+    /// matrix; callers must still re-validate its paths against their own
+    /// candidate set before reusing them.
+    fn witness(&self) -> Option<Routing> {
+        None
     }
 }
 
@@ -158,16 +273,18 @@ impl<'a> FeasibilityOracle<'a> {
     }
 
     /// As [`Self::new`], with acceptability verdicts memoized in `cache`.
-    /// The cache must be dedicated to this `(topo, tm, constraint)`
-    /// instance; sharing one across different instances returns wrong
-    /// verdicts.
+    /// Binds the cache to this `(topo, tm, constraint)` instance (or
+    /// verifies an existing binding); a cache already bound to a different
+    /// instance is rejected with [`CacheMismatch`] instead of silently
+    /// serving its stale verdicts.
     pub fn with_cache(
         topo: &'a PocTopology,
         tm: &'a TrafficMatrix,
         constraint: Constraint,
         cache: &'a FeasibilityCache,
-    ) -> Self {
-        Self { cache: Some(cache), ..Self::new(topo, tm, constraint) }
+    ) -> Result<Self, CacheMismatch> {
+        cache.attach(instance_fingerprint(topo, tm, constraint))?;
+        Ok(Self { cache: Some(cache), ..Self::new(topo, tm, constraint) })
     }
 
     pub fn constraint(&self) -> Constraint {
@@ -268,6 +385,36 @@ impl<'a> FeasibilityOracle<'a> {
     }
 }
 
+impl AcceptabilityOracle for FeasibilityOracle<'_> {
+    fn topo(&self) -> &PocTopology {
+        FeasibilityOracle::topo(self)
+    }
+
+    fn tm(&self) -> &TrafficMatrix {
+        FeasibilityOracle::tm(self)
+    }
+
+    fn constraint(&self) -> Constraint {
+        FeasibilityOracle::constraint(self)
+    }
+
+    fn acceptable(&self, links: &LinkSet) -> bool {
+        FeasibilityOracle::acceptable(self, links)
+    }
+
+    fn evaluate(&self, links: &LinkSet) -> Result<Routing, Rejection> {
+        FeasibilityOracle::evaluate(self, links)
+    }
+
+    fn failing_scenarios(
+        &self,
+        links: &LinkSet,
+        max: usize,
+    ) -> Vec<((RouterId, RouterId), String)> {
+        FeasibilityOracle::failing_scenarios(self, links, max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,7 +487,11 @@ mod tests {
         for c in Constraint::paper_suite(1) {
             let plain = FeasibilityOracle::new(&t, &tm, c);
             let cache = FeasibilityCache::new();
-            let cached = FeasibilityOracle::with_cache(&t, &tm, c, &cache);
+            let cached = FeasibilityOracle::with_cache(&t, &tm, c, &cache).unwrap();
+            // The registry counters aggregate across every cache in the
+            // process (tests run concurrently), so measure deltas and
+            // assert ≥ this cache's contribution.
+            let before = poc_obs::global().snapshot();
             // Two passes: the second must be served from the cache.
             for _ in 0..2 {
                 for s in probe_sets(&t) {
@@ -352,12 +503,13 @@ mod tests {
                     );
                 }
             }
+            let after = poc_obs::global().snapshot();
+            let delta =
+                |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
             let n_sets = probe_sets(&t).len() as u64;
-            #[allow(deprecated)]
-            let (hits, misses) = cache.stats();
             assert_eq!(cache.len() as u64, n_sets);
-            assert_eq!(misses, n_sets, "first pass misses every set");
-            assert_eq!(hits, n_sets, "second pass hits every set");
+            assert!(delta("flow.cache.miss") >= n_sets, "first pass misses every set");
+            assert!(delta("flow.cache.hit") >= n_sets, "second pass hits every set");
         }
     }
 
@@ -370,7 +522,7 @@ mod tests {
         let tm = tm_for(&t);
         let before = poc_obs::global().snapshot();
         let cache = FeasibilityCache::new();
-        let oracle = FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &cache);
+        let oracle = FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &cache).unwrap();
         let full = LinkSet::full(t.n_links());
         for _ in 0..3 {
             oracle.acceptable(&full);
@@ -381,9 +533,45 @@ mod tests {
         assert!(delta("flow.cache.miss") >= 1, "first probe misses");
         assert!(delta("flow.cache.hit") >= 2, "repeat probes hit");
         assert!(delta("flow.oracle.check") >= 3, "every acceptable() call counted");
-        #[allow(deprecated)]
-        let (hits, misses) = cache.stats();
-        assert_eq!((hits, misses), (2, 1), "per-instance tuple still works");
+    }
+
+    #[test]
+    fn cache_rejects_cross_instance_reuse() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let cache = FeasibilityCache::new();
+        assert_eq!(cache.bound_to(), None, "fresh cache is unbound");
+        let _bound = FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &cache).unwrap();
+        let fp = instance_fingerprint(&t, &tm, Constraint::BaseLoad);
+        assert_eq!(cache.bound_to(), Some(fp), "first attach binds the cache");
+
+        // Same instance re-attaches fine (the round's per-pivot oracles).
+        assert!(FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &cache).is_ok());
+
+        let before = poc_obs::global().snapshot();
+        // Different constraint: different verdict function, must be refused.
+        let err = match FeasibilityOracle::with_cache(&t, &tm, Constraint::AllPairsBackup, &cache) {
+            Err(e) => e,
+            Ok(_) => panic!("cross-constraint reuse must be refused"),
+        };
+        assert_eq!(err.bound, fp);
+        assert_ne!(err.offered, fp);
+        // Different traffic matrix: also refused.
+        let mut tm2 = tm_for(&t);
+        tm2.set(RouterId(0), RouterId(1), 999.0);
+        assert!(FeasibilityOracle::with_cache(&t, &tm2, Constraint::BaseLoad, &cache).is_err());
+        let after = poc_obs::global().snapshot();
+        let delta = after.counter("flow.cache.mismatch").unwrap_or(0)
+            - before.counter("flow.cache.mismatch").unwrap_or(0);
+        assert!(delta >= 2, "mismatches are recorded on flow.cache.mismatch");
+
+        // The binding (and the memoized verdicts) survive a rejection.
+        assert_eq!(cache.bound_to(), Some(fp));
+
+        // A pre-bound cache refuses a foreign instance outright.
+        let pre = FeasibilityCache::for_instance(&t, &tm, Constraint::AllPairsBackup);
+        assert!(FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &pre).is_err());
+        assert!(FeasibilityOracle::with_cache(&t, &tm, Constraint::AllPairsBackup, &pre).is_ok());
     }
 
     #[test]
@@ -395,7 +583,8 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
-                    let o = FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &cache);
+                    let o = FeasibilityOracle::with_cache(&t, &tm, Constraint::BaseLoad, &cache)
+                        .unwrap();
                     for s in &sets {
                         o.acceptable(s);
                     }

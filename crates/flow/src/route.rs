@@ -154,6 +154,16 @@ pub fn route_tm_with_veto(
     }
 }
 
+/// The demand ordering every router in this crate processes flows in:
+/// largest-first (big demands are hardest to place). The warm oracle's
+/// partial re-route must follow the same ordering to stay behaviorally
+/// aligned with the from-scratch router.
+pub(crate) fn sorted_demands(tm: &TrafficMatrix) -> Vec<(RouterId, RouterId, f64)> {
+    let mut demands: Vec<(RouterId, RouterId, f64)> = tm.iter_demands().collect();
+    demands.sort_by(|a, b| b.2.total_cmp(&a.2));
+    demands
+}
+
 fn route_tm_on(
     g: &mut CapacityGraph<'_>,
     tm: &TrafficMatrix,
@@ -161,9 +171,7 @@ fn route_tm_on(
     virtual_penalty: f64,
 ) -> Result<Routing, RouteError> {
     let topo = g.topo();
-    // Largest-first ordering: big demands are hardest to place.
-    let mut demands: Vec<(RouterId, RouterId, f64)> = tm.iter_demands().collect();
-    demands.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let demands = sorted_demands(tm);
 
     let mut routing = Routing {
         flows: Vec::with_capacity(demands.len()),
@@ -171,71 +179,92 @@ fn route_tm_on(
         load_rev: vec![0.0; topo.n_links()],
     };
 
+    for (fi, (src, dst, demand)) in demands.into_iter().enumerate() {
+        let flow = place_flow(g, &mut routing, fi, src, dst, demand, &allowed, virtual_penalty)?;
+        routing.flows.push(flow);
+    }
+    Ok(routing)
+}
+
+/// Place one `src → dst` demand on `g`: consume residuals, record the
+/// per-link loads in `routing`, and return the resulting [`FlowRoute`]
+/// (not yet pushed into `routing.flows`). Shared by the full-matrix
+/// router above and the warm oracle's partial re-route — the path choice,
+/// split policy, and error reporting must stay identical between the two.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn place_flow(
+    g: &mut CapacityGraph<'_>,
+    routing: &mut Routing,
+    fi: usize,
+    src: RouterId,
+    dst: RouterId,
+    demand: f64,
+    allowed: &impl Fn(usize, LinkId) -> bool,
+    virtual_penalty: f64,
+) -> Result<FlowRoute, RouteError> {
+    let topo = g.topo();
     let metric = |l: LinkId| {
         let link = topo.link(l);
         link.distance_km * if link.owner.is_virtual() { virtual_penalty } else { 1.0 }
     };
-    for (fi, (src, dst, demand)) in demands.into_iter().enumerate() {
-        let mut remaining = demand;
-        let mut paths: Vec<(Vec<LinkId>, f64)> = Vec::new();
-        let mut splits = 0;
-        while remaining > 1e-9 {
-            // Shortest path with residual >= remaining; if none, accept the
-            // best path with any residual and split.
-            let want = remaining;
-            let path = g.shortest_path(
-                src,
-                dst,
-                |l, _| metric(l),
-                |l, dir| allowed(fi, l) && g.residual(l, dir) >= want - 1e-9,
-            );
-            let (path, amount) = match path {
-                Some(p) => (p, remaining),
-                None => {
-                    // Split: find the max-residual (widest) usable path.
-                    let p = g.shortest_path(
-                        src,
-                        dst,
-                        |l, _| metric(l),
-                        |l, dir| allowed(fi, l) && g.residual(l, dir) > 1e-9,
-                    );
-                    let Some(p) = p else {
-                        return Err(if paths.is_empty() && !has_any_path(g, src, dst) {
-                            RouteError::Disconnected { src, dst }
-                        } else {
-                            RouteError::Unroutable { src, dst, remaining_gbps: remaining }
-                        });
-                    };
-                    let dirs = g.path_dirs(src, &p);
-                    let bottleneck = p
-                        .iter()
-                        .zip(&dirs)
-                        .map(|(&l, &d)| g.residual(l, d))
-                        .fold(f64::INFINITY, f64::min);
-                    (p, remaining.min(bottleneck))
-                }
-            };
-            if amount <= 1e-9 {
-                return Err(RouteError::Unroutable { src, dst, remaining_gbps: remaining });
+    let mut remaining = demand;
+    let mut paths: Vec<(Vec<LinkId>, f64)> = Vec::new();
+    let mut splits = 0;
+    while remaining > 1e-9 {
+        // Shortest path with residual >= remaining; if none, accept the
+        // best path with any residual and split.
+        let want = remaining;
+        let path = g.shortest_path(
+            src,
+            dst,
+            |l, _| metric(l),
+            |l, dir| allowed(fi, l) && g.residual(l, dir) >= want - 1e-9,
+        );
+        let (path, amount) = match path {
+            Some(p) => (p, remaining),
+            None => {
+                // Split: find the max-residual (widest) usable path.
+                let p = g.shortest_path(
+                    src,
+                    dst,
+                    |l, _| metric(l),
+                    |l, dir| allowed(fi, l) && g.residual(l, dir) > 1e-9,
+                );
+                let Some(p) = p else {
+                    return Err(if paths.is_empty() && !has_any_path(g, src, dst) {
+                        RouteError::Disconnected { src, dst }
+                    } else {
+                        RouteError::Unroutable { src, dst, remaining_gbps: remaining }
+                    });
+                };
+                let dirs = g.path_dirs(src, &p);
+                let bottleneck = p
+                    .iter()
+                    .zip(&dirs)
+                    .map(|(&l, &d)| g.residual(l, d))
+                    .fold(f64::INFINITY, f64::min);
+                (p, remaining.min(bottleneck))
             }
-            let dirs = g.path_dirs(src, &path);
-            for (&l, &d) in path.iter().zip(&dirs) {
-                g.consume(l, d, amount);
-                match d {
-                    Dir::Fwd => routing.load_fwd[l.index()] += amount,
-                    Dir::Rev => routing.load_rev[l.index()] += amount,
-                }
-            }
-            remaining -= amount;
-            paths.push((path, amount));
-            splits += 1;
-            if splits > MAX_SPLITS && remaining > 1e-9 {
-                return Err(RouteError::Unroutable { src, dst, remaining_gbps: remaining });
+        };
+        if amount <= 1e-9 {
+            return Err(RouteError::Unroutable { src, dst, remaining_gbps: remaining });
+        }
+        let dirs = g.path_dirs(src, &path);
+        for (&l, &d) in path.iter().zip(&dirs) {
+            g.consume(l, d, amount);
+            match d {
+                Dir::Fwd => routing.load_fwd[l.index()] += amount,
+                Dir::Rev => routing.load_rev[l.index()] += amount,
             }
         }
-        routing.flows.push(FlowRoute { src, dst, demand_gbps: demand, paths });
+        remaining -= amount;
+        paths.push((path, amount));
+        splits += 1;
+        if splits > MAX_SPLITS && remaining > 1e-9 {
+            return Err(RouteError::Unroutable { src, dst, remaining_gbps: remaining });
+        }
     }
-    Ok(routing)
+    Ok(FlowRoute { src, dst, demand_gbps: demand, paths })
 }
 
 fn has_any_path(g: &CapacityGraph<'_>, src: RouterId, dst: RouterId) -> bool {

@@ -1,0 +1,474 @@
+//! Incremental ("warm-started") acceptability oracle for Clarke pivots.
+//!
+//! The auction's per-BP pivot re-selections probe link sets that differ
+//! from the round's accepted set by one BP's links — and from each other
+//! by one link at a time inside the greedy selector's prune loop. A
+//! from-scratch [`FeasibilityOracle`] re-routes the *entire* traffic
+//! matrix for every probe. [`WarmOracle`] instead keeps the last accepted
+//! routing as a *witness* and, for each new candidate set, reuses every
+//! flow whose paths survived the change, re-routing only the invalidated
+//! flows on the witness's residual capacities.
+//!
+//! ## Verdict semantics
+//!
+//! The greedy router is a conservative, order-dependent heuristic, so a
+//! warm re-route is not guaranteed to reproduce the cold router's packing
+//! bit-for-bit. The warm oracle is therefore *layered* on the cold one:
+//!
+//! - **Warm accept** is final: the warm routing is a genuine feasibility
+//!   witness (capacities respected, all demands placed, resilience checked
+//!   on the warm base), so accepting on it is sound.
+//! - **Warm failure is never a rejection**: if the warm re-route fails, the
+//!   delta exceeds [`WarmConfig::max_invalid_frac`], or the warm base
+//!   fails its resilience check, the oracle falls back to a full
+//!   from-scratch evaluation and returns *its* verdict.
+//!
+//! Consequently `warm-accepts ⊇ cold-accepts`: the only possible
+//! divergence from [`FeasibilityOracle`] is a warm accept on a set the
+//! cold heuristic fails to pack — i.e. the warm oracle is (weakly) more
+//! complete with respect to true feasibility, never less sound.
+//!
+//! ## Determinism and pivot parallelism
+//!
+//! Warm verdicts depend on the witness chain, i.e. on the probe history,
+//! so a `WarmOracle` must be *private to one pivot*: the auction seeds one
+//! oracle per pivot from the round's initial accepted routing, and the
+//! selector drives it sequentially. Because every pivot starts from the
+//! same seed and replays a deterministic probe sequence, sequential and
+//! parallel pivot modes stay bit-identical. For the same reason the warm
+//! oracle never reads or writes the round-shared [`FeasibilityCache`]
+//! (whose entries must be pure functions of the instance); it memoizes its
+//! own verdicts privately.
+//!
+//! [`FeasibilityCache`]: crate::FeasibilityCache
+
+use crate::failure::{survives_all_pairs_backup, survives_single_path_failures, ResilienceResult};
+use crate::graph::{CapacityGraph, Dir};
+use crate::linkset::LinkSet;
+use crate::oracle::{AcceptabilityOracle, Constraint, FeasibilityOracle, Rejection};
+use crate::route::{place_flow, FlowRoute, Routing};
+use poc_topology::{PocTopology, RouterId};
+use poc_traffic::TrafficMatrix;
+use std::collections::HashMap;
+
+/// Tuning for the warm start's fallback policy.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmConfig {
+    /// Fall back to a from-scratch evaluation when more than this fraction
+    /// of the witness's flows is invalidated by the candidate set: with
+    /// little left to reuse, a warm attempt only adds overhead before the
+    /// inevitable full re-route.
+    pub max_invalid_frac: f64,
+}
+
+impl Default for WarmConfig {
+    fn default() -> Self {
+        // A pivot removes one BP's links (a few percent of a paper-scale
+        // instance), so genuine pivot probes invalidate a small fraction;
+        // at half the flows invalidated, warm reuse stops paying for
+        // itself.
+        Self { max_invalid_frac: 0.5 }
+    }
+}
+
+/// What the warm path did for one probe (exposed for tests and metrics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmOutcome {
+    /// Verdict produced from the reused witness routing.
+    Warm { reused: usize, rerouted: usize },
+    /// Fell back to a from-scratch evaluation.
+    Cold,
+}
+
+/// An [`AcceptabilityOracle`] that warm-starts each probe from the last
+/// accepted routing. See the module docs for semantics; see
+/// [`WarmOracle::seed`] for how the auction primes it.
+pub struct WarmOracle<'a> {
+    inner: FeasibilityOracle<'a>,
+    cfg: WarmConfig,
+    /// Last accepted routing (the warm-start witness).
+    witness: parking_lot::Mutex<Option<Routing>>,
+    /// Private verdict memo. Not the shared [`crate::FeasibilityCache`]:
+    /// warm verdicts are witness-chain-dependent and must not leak into a
+    /// cache whose entries are assumed pure.
+    memo: parking_lot::Mutex<HashMap<LinkSet, bool>>,
+}
+
+impl<'a> WarmOracle<'a> {
+    pub fn new(topo: &'a PocTopology, tm: &'a TrafficMatrix, constraint: Constraint) -> Self {
+        Self::with_config(topo, tm, constraint, WarmConfig::default())
+    }
+
+    pub fn with_config(
+        topo: &'a PocTopology,
+        tm: &'a TrafficMatrix,
+        constraint: Constraint,
+        cfg: WarmConfig,
+    ) -> Self {
+        Self {
+            inner: FeasibilityOracle::new(topo, tm, constraint),
+            cfg,
+            witness: parking_lot::Mutex::new(None),
+            memo: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Prime the witness with a known-feasible routing (typically the
+    /// round's initial accepted routing). Unseeded oracles simply answer
+    /// their first probe cold and warm-start from its result.
+    pub fn seed(&self, routing: Routing) {
+        *self.witness.lock() = Some(routing);
+    }
+
+    /// Whether a witness routing is currently held.
+    pub fn is_seeded(&self) -> bool {
+        self.witness.lock().is_some()
+    }
+
+    /// Evaluate `links`, reporting whether the warm path or the cold
+    /// fallback produced the verdict. This is the primitive behind the
+    /// trait's `evaluate`; tests and benches use it to observe reuse.
+    pub fn evaluate_traced(&self, links: &LinkSet) -> (Result<Routing, Rejection>, WarmOutcome) {
+        let witness = self.witness.lock().clone();
+        if let Some(prev) = witness {
+            if let Some((routing, reused, rerouted)) = self.try_warm(links, &prev) {
+                poc_obs::counter!("flow.warm.reused_flows").add(reused as u64);
+                poc_obs::counter!("flow.warm.rerouted_flows").add(rerouted as u64);
+                *self.witness.lock() = Some(routing.clone());
+                return (Ok(routing), WarmOutcome::Warm { reused, rerouted });
+            }
+        }
+        poc_obs::counter!("flow.warm.fallbacks").inc();
+        let res = self.inner.evaluate(links);
+        if let Ok(routing) = &res {
+            *self.witness.lock() = Some(routing.clone());
+        }
+        (res, WarmOutcome::Cold)
+    }
+
+    /// Attempt a warm evaluation of `links` against witness `prev`:
+    /// `Some((routing, reused, rerouted))` only when the re-route succeeds
+    /// *and* the warm base passes the constraint's resilience check. Any
+    /// failure returns `None` and the caller falls back to cold.
+    fn try_warm(&self, links: &LinkSet, prev: &Routing) -> Option<(Routing, usize, usize)> {
+        let topo = self.inner.topo();
+        let n_flows = prev.flows.len();
+
+        // Partition the witness's flows: a flow survives iff every link of
+        // every path it uses is still active in the candidate set. This
+        // works for arbitrary candidate sets, not just subsets of the
+        // witness's set — links the witness never used are irrelevant.
+        let mut survivors: Vec<&FlowRoute> = Vec::with_capacity(n_flows);
+        let mut invalidated: Vec<&FlowRoute> = Vec::new();
+        for flow in &prev.flows {
+            let alive = flow.paths.iter().all(|(path, _)| path.iter().all(|&l| links.contains(l)));
+            if alive {
+                survivors.push(flow);
+            } else {
+                invalidated.push(flow);
+            }
+        }
+        if n_flows > 0 && invalidated.len() as f64 > self.cfg.max_invalid_frac * n_flows as f64 {
+            return None;
+        }
+
+        // Rebuild residuals with the survivors' loads pre-consumed. The
+        // survivors were simultaneously feasible in the witness, so this
+        // can never over-commit.
+        let mut g = CapacityGraph::new(topo, links);
+        let mut routing = Routing {
+            flows: Vec::with_capacity(n_flows),
+            load_fwd: vec![0.0; topo.n_links()],
+            load_rev: vec![0.0; topo.n_links()],
+        };
+        for flow in &survivors {
+            for (path, amount) in &flow.paths {
+                let dirs = g.path_dirs(flow.src, path);
+                for (&l, &d) in path.iter().zip(&dirs) {
+                    g.consume(l, d, *amount);
+                    match d {
+                        Dir::Fwd => routing.load_fwd[l.index()] += *amount,
+                        Dir::Rev => routing.load_rev[l.index()] += *amount,
+                    }
+                }
+            }
+        }
+
+        // Re-route the invalidated flows on the residual capacities, in
+        // witness order (which descends from the router's largest-first
+        // ordering), with the same per-flow placement the full router
+        // uses. Any placement failure aborts the warm attempt.
+        let (reused, rerouted) = (survivors.len(), invalidated.len());
+        let mut placed: Vec<FlowRoute> = Vec::with_capacity(rerouted);
+        for (fi, flow) in invalidated.into_iter().enumerate() {
+            match place_flow(
+                &mut g,
+                &mut routing,
+                fi,
+                flow.src,
+                flow.dst,
+                flow.demand_gbps,
+                &|_, _| true,
+                1.0,
+            ) {
+                Ok(f) => placed.push(f),
+                Err(_) => return None,
+            }
+        }
+        routing.flows.extend(survivors.into_iter().cloned());
+        routing.flows.extend(placed);
+
+        // The warm base must still satisfy the constraint; resilience
+        // failures are not final (the cold pass may find a base routing
+        // whose scenarios all survive), so they also abort to fallback.
+        let ok = match self.inner.constraint() {
+            Constraint::BaseLoad => true,
+            Constraint::SinglePathFailure { sample_every } => {
+                survives_single_path_failures(topo, links, self.inner.tm(), &routing, sample_every)
+                    .survives()
+            }
+            Constraint::AllPairsBackup => {
+                matches!(
+                    survives_all_pairs_backup(topo, links, self.inner.tm(), &routing),
+                    ResilienceResult::Survives
+                )
+            }
+        };
+        ok.then_some((routing, reused, rerouted))
+    }
+}
+
+impl AcceptabilityOracle for WarmOracle<'_> {
+    fn topo(&self) -> &PocTopology {
+        self.inner.topo()
+    }
+
+    fn tm(&self) -> &TrafficMatrix {
+        self.inner.tm()
+    }
+
+    fn constraint(&self) -> Constraint {
+        self.inner.constraint()
+    }
+
+    fn acceptable(&self, links: &LinkSet) -> bool {
+        poc_obs::counter!("flow.oracle.check").inc();
+        if let Some(v) = self.memo.lock().get(links) {
+            return *v;
+        }
+        let verdict = self.evaluate_traced(links).0.is_ok();
+        self.memo.lock().insert(links.clone(), verdict);
+        verdict
+    }
+
+    fn evaluate(&self, links: &LinkSet) -> Result<Routing, Rejection> {
+        self.evaluate_traced(links).0
+    }
+
+    /// A warm accept is a proof that no scenario fails, so the expensive
+    /// cold scan (which re-routes the full matrix) only runs for sets the
+    /// warm path cannot vouch for. Rejections still delegate to the cold
+    /// oracle, keeping the explanations consistent with the verdicts
+    /// (warm failures fall back, so warm rejects exactly when cold does).
+    fn failing_scenarios(
+        &self,
+        links: &LinkSet,
+        max: usize,
+    ) -> Vec<((RouterId, RouterId), String)> {
+        if self.memo.lock().get(links) == Some(&true) {
+            return Vec::new();
+        }
+        let witness = self.witness.lock().clone();
+        if let Some(prev) = witness {
+            if let Some((routing, reused, rerouted)) = self.try_warm(links, &prev) {
+                poc_obs::counter!("flow.warm.reused_flows").add(reused as u64);
+                poc_obs::counter!("flow.warm.rerouted_flows").add(rerouted as u64);
+                *self.witness.lock() = Some(routing);
+                self.memo.lock().insert(links.clone(), true);
+                return Vec::new();
+            }
+        }
+        self.inner.failing_scenarios(links, max)
+    }
+
+    /// The current warm witness: selectors use it to warm-start their own
+    /// routing phase (reusing surviving flows, re-routing only the
+    /// invalidated ones) instead of re-routing the whole matrix.
+    fn witness(&self) -> Option<Routing> {
+        self.witness.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poc_topology::builder::two_bp_square;
+    use poc_topology::{BpId, LinkId};
+
+    fn tm_for(t: &PocTopology) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(RouterId(0), RouterId(1), 10.0);
+        tm.set(RouterId(2), RouterId(3), 10.0);
+        tm
+    }
+
+    #[test]
+    fn unseeded_first_probe_goes_cold_then_warm() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let o = WarmOracle::new(&t, &tm, Constraint::BaseLoad);
+        assert!(!o.is_seeded());
+        let full = LinkSet::full(t.n_links());
+        let (res, outcome) = o.evaluate_traced(&full);
+        assert!(res.is_ok());
+        assert_eq!(outcome, WarmOutcome::Cold, "no witness yet");
+        assert!(o.is_seeded());
+        // Identical set again: everything survives, nothing re-routed.
+        let (res, outcome) = o.evaluate_traced(&full);
+        assert!(res.is_ok());
+        assert_eq!(outcome, WarmOutcome::Warm { reused: 2, rerouted: 0 });
+    }
+
+    #[test]
+    fn removing_an_unused_bp_reuses_every_flow() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let full = LinkSet::full(t.n_links());
+        let o = WarmOracle::new(&t, &tm, Constraint::BaseLoad);
+        let seed = FeasibilityOracle::new(&t, &tm, Constraint::BaseLoad).route(&full).unwrap();
+        // Find a BP whose links carry nothing in the seed routing.
+        let used = seed.used_links(t.n_links());
+        let unused_bp = t
+            .bps
+            .iter()
+            .map(|b| b.id)
+            .find(|&b| t.links_of_bp(b).iter().all(|&l| !used.contains(l)));
+        o.seed(seed);
+        if let Some(bp) = unused_bp {
+            let mut cand = full.clone();
+            for l in t.links_of_bp(bp) {
+                cand.remove(l);
+            }
+            let (res, outcome) = o.evaluate_traced(&cand);
+            assert!(res.is_ok());
+            assert_eq!(outcome, WarmOutcome::Warm { reused: 2, rerouted: 0 });
+        }
+    }
+
+    #[test]
+    fn invalidated_flow_is_rerouted_and_verdict_matches_cold() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let full = LinkSet::full(t.n_links());
+        let cold = FeasibilityOracle::new(&t, &tm, Constraint::BaseLoad);
+        let seed = cold.route(&full).unwrap();
+        // Remove the direct link the r0→r1 flow rides: that flow must be
+        // re-routed onto a detour, the other reused.
+        let direct = seed.primary_path(RouterId(0), RouterId(1)).unwrap()[0];
+        let mut cand = full.clone();
+        cand.remove(direct);
+
+        let o = WarmOracle::new(&t, &tm, Constraint::BaseLoad);
+        o.seed(seed);
+        let (res, outcome) = o.evaluate_traced(&cand);
+        let warm_routing = res.unwrap();
+        assert_eq!(outcome, WarmOutcome::Warm { reused: 1, rerouted: 1 });
+        assert!(cold.acceptable(&cand), "cold agrees the set is acceptable");
+
+        // The warm routing is a genuine witness: demands covered, loads
+        // within capacity, and only active links used.
+        assert_eq!(warm_routing.flows.len(), 2);
+        for f in &warm_routing.flows {
+            let total: f64 = f.paths.iter().map(|(_, g)| g).sum();
+            assert!((total - f.demand_gbps).abs() < 1e-6);
+            for (path, _) in &f.paths {
+                assert!(path.iter().all(|&l| cand.contains(l)));
+            }
+        }
+        for (i, l) in t.links.iter().enumerate() {
+            assert!(warm_routing.load_fwd[i] <= l.capacity_gbps + 1e-6);
+            assert!(warm_routing.load_rev[i] <= l.capacity_gbps + 1e-6);
+        }
+    }
+
+    #[test]
+    fn warm_reject_always_confirmed_by_cold() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let o = WarmOracle::new(&t, &tm, Constraint::BaseLoad);
+        let full = LinkSet::full(t.n_links());
+        o.seed(FeasibilityOracle::new(&t, &tm, Constraint::BaseLoad).route(&full).unwrap());
+        // Only BP0's links: r2→r3 has no capacity at all, cold rejects too.
+        let bp0 = LinkSet::from_links(t.n_links(), t.links_of_bp(BpId(0)));
+        let (res, _) = o.evaluate_traced(&bp0);
+        assert!(res.is_err());
+        assert!(!FeasibilityOracle::new(&t, &tm, Constraint::BaseLoad).acceptable(&bp0));
+    }
+
+    #[test]
+    fn delta_guard_forces_fallback() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let full = LinkSet::full(t.n_links());
+        let seed = FeasibilityOracle::new(&t, &tm, Constraint::BaseLoad).route(&full).unwrap();
+        // Every flow invalidated (empty candidate intersects no witness
+        // path) → 100% invalid > any sane threshold → cold fallback.
+        let o = WarmOracle::with_config(
+            &t,
+            &tm,
+            Constraint::BaseLoad,
+            WarmConfig { max_invalid_frac: 0.4 },
+        );
+        o.seed(seed.clone());
+        // Drop every link the witness uses.
+        let mut cand = full.clone();
+        for l in seed.used_links(t.n_links()).iter() {
+            cand.remove(l);
+        }
+        let (_, outcome) = o.evaluate_traced(&cand);
+        assert_eq!(outcome, WarmOutcome::Cold, "delta guard must trip");
+    }
+
+    #[test]
+    fn warm_verdicts_match_cold_across_constraints_on_pivot_sequence() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let full = LinkSet::full(t.n_links());
+        for c in Constraint::paper_suite(1) {
+            let cold = FeasibilityOracle::new(&t, &tm, c);
+            let warm = WarmOracle::new(&t, &tm, c);
+            if let Some(seed) = cold.route(&full) {
+                warm.seed(seed);
+            }
+            // Pivot-shaped probes: drop each BP's links, then each single
+            // link, from the full set.
+            let mut probes = vec![full.clone()];
+            for bp in t.bps.iter().map(|b| b.id) {
+                let mut s = full.clone();
+                for l in t.links_of_bp(bp) {
+                    s.remove(l);
+                }
+                probes.push(s);
+            }
+            for l in 0..t.n_links() {
+                let mut s = full.clone();
+                s.remove(LinkId::from_index(l));
+                probes.push(s);
+            }
+            for p in &probes {
+                let wv = warm.acceptable(p);
+                let cv = cold.acceptable(p);
+                if wv != cv {
+                    // Only legal divergence: warm accepts with a genuine
+                    // witness where the cold heuristic failed to pack.
+                    assert!(wv && !cv, "warm may only be more complete ({})", c.label());
+                    let routing = warm.evaluate(p).unwrap();
+                    for f in &routing.flows {
+                        let total: f64 = f.paths.iter().map(|(_, g)| g).sum();
+                        assert!((total - f.demand_gbps).abs() < 1e-6);
+                    }
+                }
+            }
+        }
+    }
+}

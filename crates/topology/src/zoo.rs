@@ -106,6 +106,23 @@ impl ZooConfig {
         Self { n_cities: 24, n_bps: 6, coverage_min: 0.3, coverage_max: 0.8, ..Self::paper() }
     }
 
+    /// The ROADMAP's past-paper-scale point: ~100 BPs offering well over
+    /// 10k logical links. The colocation threshold rises with BP density
+    /// so the router count — and with it the traffic matrix every oracle
+    /// probe must route — stays moderate while the *market* (BPs × links)
+    /// is several times the paper's.
+    pub fn scale() -> Self {
+        Self {
+            n_cities: 150,
+            plane_km: 6000.0,
+            n_bps: 100,
+            colocation_threshold: 24,
+            coverage_min: 0.10,
+            coverage_max: 0.45,
+            ..Self::paper()
+        }
+    }
+
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -784,5 +801,25 @@ mod style_tests {
         // Ring internals have longer hop paths, so fewer pairs pass the
         // hop bound — different offer counts are expected.
         assert_ne!(mst.n_links(), ring.n_links());
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+
+    #[test]
+    fn scale_preset_hits_roadmap_targets() {
+        let t = ZooGenerator::new(ZooConfig::scale()).generate();
+        t.validate().unwrap();
+        eprintln!(
+            "[scale preset] routers={} links={} bps={}",
+            t.n_routers(),
+            t.n_links(),
+            t.bps.len()
+        );
+        assert!(t.bps.len() >= 100, "got {} BPs", t.bps.len());
+        assert!(t.n_links() >= 10_000, "got {} links", t.n_links());
+        assert!(t.n_routers() <= 110, "router count must stay tractable, got {}", t.n_routers());
     }
 }

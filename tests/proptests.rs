@@ -269,6 +269,133 @@ proptest! {
     }
 }
 
+// ---------- Warm-started pivot oracle -----------------------------------------
+
+/// Rigorously verify a routing claimed as a feasibility witness for the
+/// active set `links`: every demand fully placed, only active links used,
+/// and per-(link, direction) loads within capacity.
+fn assert_genuine_witness(
+    topo: &public_option_core::topology::PocTopology,
+    links: &LinkSet,
+    tm: &TrafficMatrix,
+    routing: &public_option_core::flow::Routing,
+) {
+    use public_option_core::flow::graph::Dir;
+    use public_option_core::flow::CapacityGraph;
+    let demands: Vec<_> = tm.iter_demands().collect();
+    assert_eq!(routing.flows.len(), demands.len(), "flow per demand");
+    let g = CapacityGraph::new(topo, links);
+    let mut load_fwd = vec![0.0f64; topo.n_links()];
+    let mut load_rev = vec![0.0f64; topo.n_links()];
+    for f in &routing.flows {
+        let placed: f64 = f.paths.iter().map(|(_, amt)| amt).sum();
+        assert!((placed - f.demand_gbps).abs() < 1e-6, "demand not fully placed");
+        for (path, amt) in &f.paths {
+            assert!(path.iter().all(|&l| links.contains(l)), "inactive link used");
+            for (&l, &d) in path.iter().zip(&g.path_dirs(f.src, path)) {
+                match d {
+                    Dir::Fwd => load_fwd[l.index()] += amt,
+                    Dir::Rev => load_rev[l.index()] += amt,
+                }
+            }
+        }
+    }
+    for (i, link) in topo.links.iter().enumerate() {
+        assert!(load_fwd[i] <= link.capacity_gbps + 1e-6, "over capacity fwd on link {i}");
+        assert!(load_rev[i] <= link.capacity_gbps + 1e-6, "over capacity rev on link {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Warm-pivot equivalence at every constraint level: over random
+    /// pivot-shaped probe sequences (a BP withdrawal followed by link
+    /// removals), the warm oracle's verdict must equal the from-scratch
+    /// oracle's. The single documented escape hatch is a warm accept where
+    /// the cold heuristic failed to pack — legal only because the warm
+    /// accept carries a routing witness, which this test re-verifies
+    /// rigorously (demands placed, active links only, capacities
+    /// respected). Accepted sets must also yield such a witness from
+    /// `route`.
+    #[test]
+    fn warm_pivot_verdicts_equivalent_to_cold(
+        removals in prop::collection::vec(prop::collection::vec(0usize..12, 0..4), 1..6),
+        withdrawn_bp in 0u32..2,
+        sample_every in 1usize..3,
+    ) {
+        use public_option_core::flow::{AcceptabilityOracle, FeasibilityOracle, WarmOracle};
+        let topo = two_bp_square();
+        let mut tm = TrafficMatrix::zero(topo.n_routers());
+        tm.set(RouterId(0), RouterId(1), 10.0);
+        tm.set(RouterId(1), RouterId(2), 5.0);
+        let full = LinkSet::full(topo.n_links());
+        for constraint in Constraint::paper_suite(sample_every) {
+            let cold = FeasibilityOracle::new(&topo, &tm, constraint);
+            let warm = WarmOracle::new(&topo, &tm, constraint);
+            if let Some(seed) = cold.route(&full) {
+                warm.seed(seed);
+            }
+            // The probe walk: withdraw one BP (the Clarke-pivot shape),
+            // then keep removing random links — each prefix is a probe,
+            // exercising the witness chain across accepts and rejects.
+            let mut probe = full.clone();
+            for l in topo.links_of_bp(BpId(withdrawn_bp)) {
+                probe.remove(l);
+            }
+            let mut probes = vec![probe.clone()];
+            for batch in &removals {
+                for &l in batch {
+                    if l < topo.n_links() {
+                        probe.remove(LinkId::from_index(l));
+                    }
+                }
+                probes.push(probe.clone());
+            }
+            for p in &probes {
+                let wv = warm.acceptable(p);
+                let cv = cold.acceptable(p);
+                if wv != cv {
+                    prop_assert!(
+                        wv && !cv,
+                        "warm may only be more complete than cold ({})",
+                        constraint.label()
+                    );
+                }
+                if wv {
+                    let routing = warm.evaluate(p).expect("warm accept carries a witness");
+                    assert_genuine_witness(&topo, p, &tm, &routing);
+                }
+            }
+        }
+    }
+}
+
+/// `FeasibilityCache` cross-instance regression: a cache bound to one
+/// `(topology, traffic matrix, constraint)` instance must refuse to serve
+/// any other, with the typed mismatch naming both fingerprints.
+#[test]
+fn regression_feasibility_cache_rejects_cross_instance_reuse() {
+    use public_option_core::flow::{instance_fingerprint, FeasibilityCache, FeasibilityOracle};
+    let topo = two_bp_square();
+    let mut tm = TrafficMatrix::zero(topo.n_routers());
+    tm.set(RouterId(0), RouterId(1), 10.0);
+    let cache = FeasibilityCache::new();
+    assert!(FeasibilityOracle::with_cache(&topo, &tm, Constraint::BaseLoad, &cache).is_ok());
+    // Same instance again: the binding is idempotent.
+    assert!(FeasibilityOracle::with_cache(&topo, &tm, Constraint::BaseLoad, &cache).is_ok());
+    // Same topology and matrix under another constraint: refused.
+    let err = match FeasibilityOracle::with_cache(&topo, &tm, Constraint::AllPairsBackup, &cache) {
+        Ok(_) => panic!("cross-constraint reuse must be refused"),
+        Err(e) => e,
+    };
+    assert_eq!(err.bound, instance_fingerprint(&topo, &tm, Constraint::BaseLoad));
+    assert_eq!(err.offered, instance_fingerprint(&topo, &tm, Constraint::AllPairsBackup));
+    // A different traffic matrix: refused as well.
+    let mut tm2 = tm.clone();
+    tm2.set(RouterId(1), RouterId(2), 1.0);
+    assert!(FeasibilityOracle::with_cache(&topo, &tm2, Constraint::BaseLoad, &cache).is_err());
+}
+
 // ---------- Econ monotonicities ----------------------------------------------
 
 proptest! {
