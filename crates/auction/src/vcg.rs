@@ -299,11 +299,22 @@ fn run_round(
             jobs.iter().map(|&(slot, bp, n, cost)| (slot, run_pivot(bp, n, cost))).collect()
         }
         PivotMode::Parallel => std::thread::scope(|scope| {
+            // Capture the round's trace context before fanning out:
+            // each pivot thread adopts it, so pivot spans parent to the
+            // round span across the thread boundary (a spawned thread
+            // starts with no context of its own).
+            let ctx = poc_obs::TraceCtx::current();
             let handles: Vec<_> = jobs
                 .iter()
                 .map(|&(slot, bp, n, cost)| {
                     let run_pivot = &run_pivot;
-                    (slot, scope.spawn(move || run_pivot(bp, n, cost)))
+                    (
+                        slot,
+                        scope.spawn(move || {
+                            let _trace = ctx.as_ref().map(poc_obs::TraceCtx::adopt);
+                            run_pivot(bp, n, cost)
+                        }),
+                    )
                 })
                 .collect();
             handles

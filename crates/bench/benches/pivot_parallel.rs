@@ -127,6 +127,31 @@ fn print_metrics_overhead() {
     println!("{:<18}{:>12.2}ms", "no-op registry", t_noop * 1e3);
     println!("{:<18}{:>12.2}ms", "metrics enabled", t_enabled * 1e3);
     println!("overhead: {overhead:+.2}%  (acceptance bar: under ~5%)");
+
+    // Same round again, now with the flight recorder in play: a trace
+    // context is installed (as the server does per request), and only the
+    // recorder's enabled flag differs between the two configurations.
+    // Disabled tracing should be free — begin_span bails on one relaxed
+    // load before touching the thread-local — and enabled tracing must
+    // stay under the same ~5% bar (enforced in release mode by the
+    // `trace_overhead` integration test).
+    let recorder = poc_obs::trace::recorder();
+    let _trace = poc_obs::trace::start_trace(poc_obs::trace::new_trace_id());
+    recorder.set_enabled(false);
+    let t_untraced = time(REPS);
+    recorder.set_enabled(true);
+    let t_traced = time(REPS);
+    recorder.set_enabled(false);
+    let overhead_off = (t_untraced / t_enabled - 1.0) * 100.0;
+    let overhead_on = (t_traced / t_untraced - 1.0) * 100.0;
+    println!("\n=== E-OBS / flight-recorder overhead on the parallel VCG round ===");
+    println!(
+        "{:<18}{:>12.2}ms  ({overhead_off:+.2}% vs metrics alone)",
+        "tracing off",
+        t_untraced * 1e3
+    );
+    println!("{:<18}{:>12.2}ms", "tracing on", t_traced * 1e3);
+    println!("overhead: {overhead_on:+.2}%  (acceptance bar: under ~5% enabled, ~0% disabled)");
 }
 
 fn small_bench_instance() -> (poc_topology::PocTopology, poc_traffic::TrafficMatrix) {
@@ -181,6 +206,11 @@ criterion_group! {
 fn main() {
     print_mode_comparison();
     print_metrics_overhead();
+    // CI smoke mode wants the printed experiments and the artifact, not
+    // the multi-minute statistical timer.
+    if std::env::var_os("POC_BENCH_QUICK").is_some() {
+        return;
+    }
     benches();
     criterion::Criterion::default().configure_from_args().final_summary();
 }

@@ -20,9 +20,12 @@
 //!
 //! Usage: `bench_pivot` to measure, `bench_pivot --validate <path>` to
 //! re-read an emitted artifact and check its schema (exit 1 on failure).
+//! `--validate` accepts either artifact this workspace emits: the
+//! warm-vs-cold report (`"bench": "pivot"`) or the mode-comparison
+//! report from the `pivot_parallel` bench (`"bench": "pivot_modes"`).
 
 use poc_auction::{GreedySelector, Market, Selector};
-use poc_bench::report::{PivotBenchReport, PivotSample, ScaleInfo};
+use poc_bench::report::{PivotBenchReport, PivotModesReport, PivotSample, ScaleInfo};
 use poc_bench::{instance, paper_instance, scale_instance};
 use poc_flow::{Constraint, FeasibilityCache, FeasibilityOracle, WarmOracle};
 use std::path::Path;
@@ -44,7 +47,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--validate") {
         let path = args.get(2).map(String::as_str).unwrap_or("BENCH_pivot.json");
-        match PivotBenchReport::read(Path::new(path)).and_then(|r| r.validate().map(|()| r)) {
+        // Dispatch on the discriminator: each read fails cleanly on the
+        // other schema (missing fields), so try both before giving up.
+        let as_pivot =
+            PivotBenchReport::read(Path::new(path)).and_then(|r| r.validate().map(|()| r));
+        match as_pivot {
             Ok(r) => {
                 println!(
                     "{path}: valid pivot artifact ({} samples on {} preset, speedup {:.2}x)",
@@ -52,13 +59,31 @@ fn main() {
                     r.scale.preset,
                     r.speedup
                 );
+                return;
             }
-            Err(e) => {
-                eprintln!("{path}: INVALID pivot artifact: {e}");
-                std::process::exit(1);
+            Err(pivot_err) => {
+                let as_modes =
+                    PivotModesReport::read(Path::new(path)).and_then(|r| r.validate().map(|()| r));
+                match as_modes {
+                    Ok(r) => {
+                        println!(
+                            "{path}: valid pivot_modes artifact ({} constraints on {} preset, \
+                             {} cores)",
+                            r.samples.len(),
+                            r.scale.preset,
+                            r.cores
+                        );
+                        return;
+                    }
+                    Err(modes_err) => {
+                        eprintln!("{path}: INVALID artifact");
+                        eprintln!("  as pivot: {pivot_err}");
+                        eprintln!("  as pivot_modes: {modes_err}");
+                        std::process::exit(1);
+                    }
+                }
             }
         }
-        return;
     }
 
     let quick = std::env::var_os("POC_BENCH_QUICK").is_some();

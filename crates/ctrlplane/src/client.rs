@@ -128,6 +128,9 @@ pub struct PocClient {
     addr: std::net::SocketAddr,
     config: ClientConfig,
     jitter: ChaCha8Rng,
+    /// When set, every request ships inside a `Request::Traced`
+    /// envelope carrying this id (see [`PocClient::set_trace`]).
+    trace_id: Option<u64>,
 }
 
 impl PocClient {
@@ -140,7 +143,15 @@ impl PocClient {
     pub fn connect_with(addr: std::net::SocketAddr, config: ClientConfig) -> std::io::Result<Self> {
         let stream = Self::open(addr, &config)?;
         let jitter = ChaCha8Rng::seed_from_u64(config.retry.jitter_seed);
-        Ok(Self { stream, addr, config, jitter })
+        Ok(Self { stream, addr, config, jitter, trace_id: None })
+    }
+
+    /// Tag every subsequent request with `trace_id` (server-side span
+    /// trees root at it; scrape them back with [`PocClient::traces`]).
+    /// `None` turns tagging back off. The envelope is transparent to
+    /// retry policy: a traced mutation still never retries.
+    pub fn set_trace(&mut self, trace_id: Option<u64>) {
+        self.trace_id = trace_id;
     }
 
     fn open(addr: std::net::SocketAddr, config: &ClientConfig) -> std::io::Result<TcpStream> {
@@ -160,6 +171,10 @@ impl PocClient {
     }
 
     fn call(&mut self, req: Request) -> Result<Response, ClientError> {
+        let req = match self.trace_id {
+            Some(trace_id) => Request::Traced { trace_id, request: Box::new(req) },
+            None => req,
+        };
         let mut attempt: u32 = 0;
         loop {
             match self.call_once(&req) {
@@ -297,6 +312,20 @@ impl PocClient {
         match self.call(Request::Metrics)? {
             Response::Metrics(snapshot) => Ok(snapshot),
             other => Err(ClientError::Protocol(format!("expected Metrics, got {other:?}"))),
+        }
+    }
+
+    /// Scrape recorded trace trees from the controller's flight
+    /// recorder: one trace by id, the `last_n` most recent, or
+    /// everything still in the ring (both `None`).
+    pub fn traces(
+        &mut self,
+        trace_id: Option<u64>,
+        last_n: Option<usize>,
+    ) -> Result<Vec<poc_obs::TraceWire>, ClientError> {
+        match self.call(Request::Trace { trace_id, last_n })? {
+            Response::Traces(traces) => Ok(traces),
+            other => Err(ClientError::Protocol(format!("expected Traces, got {other:?}"))),
         }
     }
 

@@ -128,13 +128,17 @@ impl JournalEvent {
             Request::ReviewPolicy { policy } => {
                 Some(JournalEvent::ReviewPolicy { policy: policy.clone() })
             }
+            // The trace envelope is transparent: a traced mutation
+            // journals as the bare mutation (replay never re-traces).
+            Request::Traced { request, .. } => Self::from_request(request),
             Request::Ping
             | Request::GetOutcome
             | Request::GetBalance { .. }
             | Request::GetPath { .. }
             | Request::GetLeases
             | Request::GetRecovery
-            | Request::Metrics => None,
+            | Request::Metrics
+            | Request::Trace { .. } => None,
         }
     }
 
@@ -429,6 +433,7 @@ impl Journal {
         record: &JournalRecord,
         crash: &CrashSwitch,
     ) -> Result<(), JournalError> {
+        let _span = poc_obs::span!("ctrl.journal.append", event = record.event.label());
         let payload = serde_json::to_vec(record)
             .map_err(|e| JournalError::Io(std::io::Error::other(e.to_string())))?;
         if payload.len() > MAX_RECORD as usize {
@@ -472,6 +477,7 @@ impl Journal {
 
     /// Force a data sync now (shutdown, or an explicit barrier).
     pub fn sync(&mut self) -> std::io::Result<()> {
+        let _span = poc_obs::span!("ctrl.journal.fsync");
         self.file.sync_data()?;
         if self.unsynced > 0 {
             poc_obs::counter!("ctrl.journal.fsyncs").inc();

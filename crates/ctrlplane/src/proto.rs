@@ -54,6 +54,18 @@ pub enum Request {
     /// How the server recovered its state at startup (`None` when it
     /// runs without a state directory).
     GetRecovery,
+    /// Envelope: the inner request, tagged with a caller-chosen trace
+    /// id. The server roots the request's span tree at that id, so one
+    /// `poc trace` scrape later can show everything the request touched
+    /// — journal appends, the auction round, every pivot. Old clients
+    /// simply never send the envelope (and old servers never see it):
+    /// every other variant's wire form is unchanged, which the
+    /// `old_wire_forms_decode_unchanged` test pins down.
+    Traced { trace_id: u64, request: Box<Request> },
+    /// Scrape recorded trace trees from the server's flight recorder:
+    /// one trace by id, the `last_n` most recent, or everything the
+    /// ring still holds (both `None`).
+    Trace { trace_id: Option<u64>, last_n: Option<usize> },
 }
 
 impl Request {
@@ -74,6 +86,32 @@ impl Request {
             Request::GetLeases => "get_leases",
             Request::Metrics => "metrics",
             Request::GetRecovery => "get_recovery",
+            // The envelope is invisible in metrics: a traced RunAuction
+            // is still a RunAuction.
+            Request::Traced { request, .. } => request.name(),
+            Request::Trace { .. } => "trace",
+        }
+    }
+
+    /// The per-request latency histogram name (`ctrl.request.<name>`),
+    /// as a static string so it can also name the request's root span.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            Request::Attach { .. } => "ctrl.request.attach",
+            Request::Ping => "ctrl.request.ping",
+            Request::RunAuction => "ctrl.request.run_auction",
+            Request::GetOutcome => "ctrl.request.get_outcome",
+            Request::RunBilling => "ctrl.request.run_billing",
+            Request::ReportUsage { .. } => "ctrl.request.report_usage",
+            Request::GetBalance { .. } => "ctrl.request.get_balance",
+            Request::ReviewPolicy { .. } => "ctrl.request.review_policy",
+            Request::GetPath { .. } => "ctrl.request.get_path",
+            Request::RecallLink { .. } => "ctrl.request.recall_link",
+            Request::GetLeases => "ctrl.request.get_leases",
+            Request::Metrics => "ctrl.request.metrics",
+            Request::GetRecovery => "ctrl.request.get_recovery",
+            Request::Traced { request, .. } => request.metric_name(),
+            Request::Trace { .. } => "ctrl.request.trace",
         }
     }
 
@@ -84,16 +122,22 @@ impl Request {
     /// ambiguous (the mutation may have been applied), so those surface
     /// the error to the caller instead.
     pub fn is_idempotent(&self) -> bool {
-        matches!(
-            self,
-            Request::Ping
-                | Request::GetOutcome
-                | Request::GetBalance { .. }
-                | Request::GetPath { .. }
-                | Request::GetLeases
-                | Request::Metrics
-                | Request::GetRecovery
-        )
+        match self {
+            // The envelope is transparent to retry policy too: tracing
+            // a mutation must not make it replayable.
+            Request::Traced { request, .. } => request.is_idempotent(),
+            _ => matches!(
+                self,
+                Request::Ping
+                    | Request::GetOutcome
+                    | Request::GetBalance { .. }
+                    | Request::GetPath { .. }
+                    | Request::GetLeases
+                    | Request::Metrics
+                    | Request::GetRecovery
+                    | Request::Trace { .. }
+            ),
+        }
     }
 }
 
@@ -158,6 +202,8 @@ pub enum Response {
     /// Startup recovery report (`None` when the server keeps state in
     /// memory only).
     Recovery(Option<crate::recovery::RecoveryInfo>),
+    /// Recorded trace trees from the controller's flight recorder.
+    Traces(Vec<poc_obs::TraceWire>),
     Error {
         message: String,
     },
@@ -245,5 +291,73 @@ mod tests {
     fn unknown_variant_fails_cleanly() {
         let err = serde_json::from_str::<Request>("{\"Nonsense\":{}}");
         assert!(err.is_err());
+    }
+
+    /// Old-client regression: the exact wire bytes a pre-tracing client
+    /// sends (no `Traced` envelope anywhere) still decode to the same
+    /// variants, and serializing those variants still produces the same
+    /// bytes — the trace envelope changed nothing for old peers.
+    #[test]
+    fn old_wire_forms_decode_unchanged() {
+        let legacy: [(&str, Request); 5] = [
+            ("\"Ping\"", Request::Ping),
+            ("\"RunAuction\"", Request::RunAuction),
+            ("\"Metrics\"", Request::Metrics),
+            ("{\"GetBalance\":{\"entity\":3}}", Request::GetBalance { entity: EntityId(3) }),
+            (
+                "{\"ReportUsage\":{\"entity\":2,\"gbps\":1.5}}",
+                Request::ReportUsage { entity: EntityId(2), gbps: 1.5 },
+            ),
+        ];
+        for (wire, expected) in legacy {
+            let decoded: Request = serde_json::from_str(wire).expect(wire);
+            assert_eq!(decoded, expected, "legacy bytes must decode to the same request");
+            let encoded = String::from_utf8(serde_json::to_vec(&expected).unwrap()).unwrap();
+            assert_eq!(encoded, wire, "new servers must emit bytes old peers understand");
+            assert!(
+                !encoded.contains("trace"),
+                "no trace field may leak into an unenveloped request"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_envelope_round_trips_and_delegates() {
+        let inner = Request::RunAuction;
+        let traced = Request::Traced { trace_id: 42, request: Box::new(inner.clone()) };
+        let back: Request = serde_json::from_slice(&serde_json::to_vec(&traced).unwrap()).unwrap();
+        assert_eq!(back, traced);
+        // The envelope is transparent to naming, metrics, and retry
+        // policy: a traced RunAuction is a RunAuction.
+        assert_eq!(traced.name(), "run_auction");
+        assert_eq!(traced.metric_name(), "ctrl.request.run_auction");
+        assert!(!traced.is_idempotent(), "tracing must not make a mutation retryable");
+        let traced_read = Request::Traced { trace_id: 7, request: Box::new(Request::Ping) };
+        assert!(traced_read.is_idempotent());
+    }
+
+    #[test]
+    fn trace_scrape_round_trips() {
+        let req = Request::Trace { trace_id: Some(9), last_n: None };
+        let back: Request = serde_json::from_slice(&serde_json::to_vec(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+        assert!(req.is_idempotent(), "scrapes retry like Metrics");
+        assert_eq!(req.name(), "trace");
+
+        let resp = Response::Traces(vec![poc_obs::TraceWire {
+            trace_id: 9,
+            events: vec![poc_obs::TraceEventWire {
+                trace_id: 9,
+                span_id: 2,
+                parent_id: 1,
+                name: "auction.pivot".into(),
+                start_ns: 10,
+                dur_ns: 20,
+                thread: 1,
+                fields: vec![("bp".into(), "3".into())],
+            }],
+        }]);
+        let back: Response = serde_json::from_slice(&serde_json::to_vec(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
     }
 }

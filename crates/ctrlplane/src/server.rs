@@ -380,14 +380,25 @@ fn serve_connection(
             Err(e) => return Err(e),
         };
         poc_obs::counter!("ctrl.frames.read").inc();
-        // Per-variant latency: the name is dynamic, so this resolves
-        // through the registry each time — fine at control-plane request
-        // rates (the lock-free-handle discipline matters on the auction's
-        // pivot path, not here).
-        let latency = poc_obs::global().histogram(&format!("ctrl.request.{}", request.name()));
-        let started = Instant::now();
+        // Unwrap the trace envelope (if any) and root this request's
+        // span tree: the client's id when it sent one, a fresh id
+        // otherwise, so `poc trace` can attribute work even for
+        // untraced peers. With the flight recorder disabled the guard
+        // is a thread-local store and spans stay no-ops.
+        let (trace_id, request) = match request {
+            Request::Traced { trace_id, request } => (trace_id, *request),
+            other => (poc_obs::trace::new_trace_id(), other),
+        };
+        let _trace = poc_obs::trace::start_trace(trace_id);
+        // Per-variant latency: resolved through the registry each time —
+        // fine at control-plane request rates (the lock-free-handle
+        // discipline matters on the auction's pivot path, not here).
+        // The span is both the latency measurement and the root of the
+        // request's trace tree.
+        let latency = poc_obs::global().histogram(request.metric_name());
+        let root_span = poc_obs::Span::on(request.metric_name(), &latency);
         let outcome = handle(&state, request);
-        latency.record_duration(started.elapsed());
+        drop(root_span);
         let response = match outcome {
             Ok(response) => response,
             Err(_crash) => {
@@ -544,6 +555,20 @@ fn apply(st: &mut State, request: Request) -> Response {
         // control-plane instruments all land there, so one scrape shows
         // the whole controller.
         Request::Metrics => Response::Metrics(poc_obs::global().snapshot()),
+        // The envelope never reaches apply() from the wire (the serve
+        // loop unwraps it before journaling), but replay safety demands
+        // a total function: unwrap here too.
+        Request::Traced { request, .. } => apply(st, *request),
+        Request::Trace { trace_id, last_n } => {
+            // A full ring serializes past MAX_FRAME; trim to the frame
+            // budget keeping the longest spans (round, pivots, journal
+            // appends survive — short flow leaves drop first).
+            let budget = (crate::codec::MAX_FRAME as usize).saturating_sub(4096);
+            Response::Traces(poc_obs::trace::trim_traces_to_bytes(
+                poc_obs::trace::scrape(trace_id, last_n),
+                budget,
+            ))
+        }
         Request::GetRecovery => Response::Recovery(st.recovery.clone()),
         Request::GetLeases => Response::Leases(
             st.poc

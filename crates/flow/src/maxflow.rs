@@ -77,6 +77,7 @@ impl MaxFlow {
     /// augmenting paths found is batched into `flow.maxflow.augment`
     /// (one atomic add per run, not per path).
     pub fn max_flow(&mut self, src: RouterId, dst: RouterId) -> Result<f64, FlowError> {
+        let _span = poc_obs::span!("flow.maxflow.run");
         poc_obs::counter!("flow.maxflow.runs").inc();
         let (s, t) = (src.index(), dst.index());
         for router in [src, dst] {

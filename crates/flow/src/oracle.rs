@@ -368,6 +368,7 @@ impl<'a> FeasibilityOracle<'a> {
     /// Full evaluation: the base routing on success, or the reason the set
     /// was rejected.
     pub fn evaluate(&self, links: &LinkSet) -> Result<Routing, Rejection> {
+        let _span = poc_obs::span!("flow.oracle.evaluate");
         let base = route_tm(self.topo, links, self.tm).map_err(Rejection::BaseRoute)?;
         let res = match self.constraint {
             Constraint::BaseLoad => ResilienceResult::Survives,

@@ -124,6 +124,10 @@ pub fn route_tm(
     active: &LinkSet,
     tm: &TrafficMatrix,
 ) -> Result<Routing, RouteError> {
+    // Trace granularity: one span per full TM routing pass (the
+    // `place_flow` loop), not per placed flow — a span per Dijkstra
+    // would dominate the ring without adding attribution.
+    let _span = poc_obs::span!("flow.route_tm");
     let mut g = CapacityGraph::new(topo, active);
     match route_tm_on(&mut g, tm, |_, _| true, 1.0) {
         Ok(r) => Ok(r),

@@ -129,6 +129,7 @@ impl<'a> WarmOracle<'a> {
     /// fallback produced the verdict. This is the primitive behind the
     /// trait's `evaluate`; tests and benches use it to observe reuse.
     pub fn evaluate_traced(&self, links: &LinkSet) -> (Result<Routing, Rejection>, WarmOutcome) {
+        let _span = poc_obs::span!("flow.warm.evaluate");
         let witness = self.witness.lock().clone();
         if let Some(prev) = witness {
             if let Some((routing, reused, rerouted)) = self.try_warm(links, &prev) {

@@ -5,7 +5,11 @@
 //! log-bucket latency histograms; RAII [`Span`]s that time a region into
 //! the histogram named by the span; structured events fanned out to
 //! pluggable [`Sink`]s; and a JSON snapshot exporter that the control
-//! plane serves as its `Request::Metrics` scrape.
+//! plane serves as its `Request::Metrics` scrape. On top of the metrics
+//! layer sits causal tracing ([`trace`], [`ring`], [`chrome`]): spans
+//! link into per-request trees inside a bounded flight recorder, served
+//! as the `Request::Trace` scrape and exportable as Chrome trace-event
+//! JSON.
 //!
 //! # Design rules
 //!
@@ -40,16 +44,21 @@
 //! assert_eq!(snap.histogram("demo.work").unwrap().count, 1);
 //! ```
 
+pub mod chrome;
 pub mod histogram;
 pub mod registry;
+pub mod ring;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use ring::FlightRecorder;
 pub use sink::{Event, FieldValue, Sink, StderrSink};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
 pub use span::Span;
+pub use trace::{TraceCtx, TraceEvent, TraceEventWire, TraceWire};
 
 use std::sync::OnceLock;
 

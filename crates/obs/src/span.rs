@@ -13,9 +13,23 @@
 //! span additionally emits a `span.close` event carrying the span name,
 //! its fields, and the duration — useful for ad-hoc tracing through the
 //! stderr sink without paying for string formatting in the steady state.
+//!
+//! When the global flight recorder is enabled *and* the thread has an
+//! active trace (see [`crate::trace`]), a span additionally becomes a
+//! node in the trace's causal tree: it allocates a span id on entry,
+//! parents to the previously current span, and parks a
+//! [`crate::trace::TraceEvent`] on close.
+//!
+//! A span's end time is captured **once** on close; the histogram
+//! value, the trace event's duration, and the `span.close` event all
+//! reuse that single number, so the three can never disagree. Callers
+//! that need the recorded duration call [`Span::finish`] instead of
+//! reading [`Span::elapsed_ns`] and dropping (which would measure
+//! twice).
 
 use crate::registry::Histogram;
 use crate::sink::FieldValue;
+use crate::trace;
 use std::time::Instant;
 
 /// An in-flight timed region. Ends (and records) on drop.
@@ -24,8 +38,14 @@ pub struct Span<'a> {
     name: &'static str,
     hist: &'a Histogram,
     fields: Vec<(&'static str, FieldValue)>,
-    /// `None` when the registry is in no-op mode: drop does nothing.
+    /// `None` when nothing observes this span (registry in no-op mode
+    /// and no active trace): close does nothing.
     start: Option<Instant>,
+    /// Whether the histogram was live at entry (the registry half of
+    /// `start`'s gate; tracing can keep `start` alive on its own).
+    timed: bool,
+    /// The tracing half, when the recorder and a trace are active.
+    trace: Option<trace::OpenSpan>,
 }
 
 impl<'a> Span<'a> {
@@ -35,34 +55,61 @@ impl<'a> Span<'a> {
     }
 
     /// As [`Span::on`], with structured fields for the optional
-    /// `span.close` event.
+    /// `span.close` event (and the trace event, when tracing).
     pub fn with_fields(
         name: &'static str,
         hist: &'a Histogram,
         fields: Vec<(&'static str, FieldValue)>,
     ) -> Self {
-        let start = hist.is_enabled().then(Instant::now);
-        Self { name, hist, fields, start }
+        let timed = hist.is_enabled();
+        let trace = trace::begin_span();
+        let start = (timed || trace.is_some()).then(Instant::now);
+        Self { name, hist, fields, start, timed, trace }
     }
 
-    /// Nanoseconds elapsed so far (`0` when the registry is disabled).
+    /// Nanoseconds elapsed so far (`0` when nothing observes the span).
+    /// This is a live peek; the value recorded at close is captured
+    /// separately (use [`Span::finish`] to obtain that exact value).
     pub fn elapsed_ns(&self) -> u64 {
         self.start.map_or(0, |s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
     }
-}
 
-impl Drop for Span<'_> {
-    fn drop(&mut self) {
-        let Some(start) = self.start else { return };
+    /// End the span now and return the duration that was recorded —
+    /// the same single captured value the histogram, trace event, and
+    /// `span.close` event received (`None` when nothing observed the
+    /// span).
+    pub fn finish(mut self) -> Option<u64> {
+        self.close()
+    }
+
+    /// Shared close path for [`Span::finish`] and `Drop`: capture the
+    /// end time once and fan the one duration out to every observer.
+    fn close(&mut self) -> Option<u64> {
+        let start = self.start.take()?;
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.hist.record(ns);
+        if self.timed {
+            self.hist.record(ns);
+        }
         let registry = crate::global();
-        if registry.span_events_enabled() {
+        let emit_event = registry.span_events_enabled();
+        if let Some(open) = self.trace.take() {
+            let fields =
+                if emit_event { self.fields.clone() } else { std::mem::take(&mut self.fields) };
+            trace::end_span(open, self.name, ns, fields);
+        }
+        if emit_event {
             let mut fields = std::mem::take(&mut self.fields);
             fields.push(("span", FieldValue::Str(self.name.to_string())));
             fields.push(("ns", FieldValue::U64(ns)));
             registry.emit("span.close", &fields);
         }
+        Some(ns)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let _ = self.close();
     }
 }
 
@@ -95,5 +142,68 @@ mod tests {
             assert_eq!(span.elapsed_ns(), 0);
         }
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn finish_returns_exactly_the_recorded_value() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("span.finish");
+        let span = Span::on("span.finish", &h);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let ns = span.finish().expect("histogram was live");
+        // The single-sample histogram holds exactly the returned value:
+        // min == max == the one captured end time.
+        let snap = r.snapshot();
+        let hist = snap.histogram("span.finish").unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.min, ns);
+        assert_eq!(hist.max, ns);
+    }
+
+    #[test]
+    fn traced_span_duration_matches_histogram_exactly() {
+        // One captured end time feeds both the histogram and the trace
+        // event: the two durations are the same u64.
+        let r = MetricsRegistry::new();
+        let h = r.histogram("span.traced");
+        // Leave the global recorder enabled rather than restoring: a
+        // restore racing a parallel traced test could drop its event.
+        let rec = trace::recorder();
+        rec.set_enabled(true);
+        let trace_id = trace::new_trace_id();
+        let ns = {
+            let _root = trace::start_trace(trace_id);
+            let span = Span::on("span.traced", &h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            span.finish().expect("histogram was live")
+        };
+        let event = rec
+            .snapshot()
+            .into_iter()
+            .find(|e| e.trace_id == trace_id)
+            .expect("traced span reached the flight recorder");
+        assert_eq!(event.dur_ns, ns);
+        let snap = r.snapshot();
+        let hist = snap.histogram("span.traced").unwrap();
+        assert_eq!(hist.min, ns);
+        assert_eq!(hist.max, ns);
+    }
+
+    #[test]
+    fn trace_only_span_records_even_with_histogram_disabled() {
+        let r = MetricsRegistry::disabled();
+        let h = r.histogram("span.traceonly");
+        let rec = trace::recorder();
+        rec.set_enabled(true);
+        let trace_id = trace::new_trace_id();
+        {
+            let _root = trace::start_trace(trace_id);
+            let _span = Span::on("span.traceonly", &h);
+        }
+        assert_eq!(h.count(), 0, "disabled histogram stays untouched");
+        assert!(
+            rec.snapshot().iter().any(|e| e.trace_id == trace_id),
+            "the trace event still landed"
+        );
     }
 }

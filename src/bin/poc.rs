@@ -45,6 +45,8 @@ fn main() -> ExitCode {
         "drill" => cmd_drill(rest),
         "serve" => cmd_serve(rest),
         "metrics" => cmd_metrics(rest),
+        "round" => cmd_round(rest),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -82,7 +84,20 @@ commands:
           [--timeout-ms N]               read deadline for the scrape (default 30000)
           [--retries N]                  reconnect-and-retry budget (default 3)
           [--backoff-ms N]               base retry backoff (default 50)
-  help                                 this message";
+  round [--addr HOST:PORT]             ask a running server for one auction round,
+        [--trace-id N]                   tagged with a trace id (default: fresh id)
+        [--timeout-ms N]                 read deadline (default 600000 — rounds are slow)
+  trace [--addr HOST:PORT]             scrape recorded trace trees from a server
+        [--id N] [--last N]              one trace by id / the N most recent
+        [--json | --chrome]              raw JSON / Chrome trace-event JSON
+        [--out PATH]                     write the export to a file instead of stdout
+        [--timeout-ms N]                 read deadline for the scrape (default 30000)
+  help                                 this message
+
+instance presets (topo-stats, auction, serve): --paper for the full §3.3
+instance, --scale for the 100-BP ROADMAP stress instance, laptop-scale
+default otherwise. `serve` records causal traces by default; --no-trace
+disables the flight recorder.";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -99,18 +114,38 @@ fn num_opt<T: std::str::FromStr>(rest: &[String], name: &str) -> Result<Option<T
         .transpose()
 }
 
-fn build_instance(paper: bool) -> (PocTopology, TrafficMatrix) {
-    let zoo = if paper { ZooConfig::paper() } else { ZooConfig::small() };
+/// Instance preset shared by `topo-stats`, `auction`, and `serve`.
+#[derive(Clone, Copy, PartialEq)]
+enum Preset {
+    Small,
+    Paper,
+    Scale,
+}
+
+fn preset(rest: &[String]) -> Result<Preset, String> {
+    match (flag(rest, "--paper"), flag(rest, "--scale")) {
+        (true, true) => Err("--paper and --scale are mutually exclusive".into()),
+        (true, false) => Ok(Preset::Paper),
+        (false, true) => Ok(Preset::Scale),
+        (false, false) => Ok(Preset::Small),
+    }
+}
+
+fn build_instance(preset: Preset) -> (PocTopology, TrafficMatrix) {
+    let (zoo, total) = match preset {
+        Preset::Small => (ZooConfig::small(), 2500.0),
+        Preset::Paper => (ZooConfig::paper(), 24000.0),
+        Preset::Scale => (ZooConfig::scale(), 24000.0),
+    };
     let mut topo = ZooGenerator::new(zoo).generate();
     attach_external_isps(&mut topo, &ExternalIspConfig::default(), &CostModel::default());
-    let total = if paper { 24000.0 } else { 2500.0 };
     let tm =
         TrafficScenario { total_gbps: total, ..TrafficScenario::paper_default() }.generate(&topo);
     (topo, tm)
 }
 
 fn cmd_topo_stats(rest: &[String]) -> Result<(), String> {
-    let (topo, _) = build_instance(flag(rest, "--paper"));
+    let (topo, _) = build_instance(preset(rest)?);
     let stats = TopologyStats::compute(&topo);
     println!("{}", stats.render_table());
     let (min, max) = stats.share_range();
@@ -119,14 +154,15 @@ fn cmd_topo_stats(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_auction(rest: &[String]) -> Result<(), String> {
-    let paper = flag(rest, "--paper");
+    let preset = preset(rest)?;
+    let stride = if preset == Preset::Small { 4 } else { 32 };
     let constraint = match opt(rest, "--constraint").unwrap_or("1") {
         "1" => Constraint::BaseLoad,
-        "2" => Constraint::SinglePathFailure { sample_every: if paper { 32 } else { 4 } },
+        "2" => Constraint::SinglePathFailure { sample_every: stride },
         "3" => Constraint::AllPairsBackup,
         other => return Err(format!("unknown constraint {other:?} (use 1, 2 or 3)")),
     };
-    let (topo, tm) = build_instance(paper);
+    let (topo, tm) = build_instance(preset);
     let market = Market::truthful(&topo, 3.0);
     let selector = GreedySelector::with_prune_budget(16);
     let out = run_auction(&market, &tm, constraint, &selector)
@@ -173,7 +209,7 @@ fn cmd_drill(rest: &[String]) -> Result<(), String> {
         .unwrap_or("6")
         .parse()
         .map_err(|_| "--failures wants a number".to_string())?;
-    let (topo, tm) = build_instance(false);
+    let (topo, tm) = build_instance(Preset::Small);
     let market = Market::truthful(&topo, 3.0);
     let selector = GreedySelector::with_prune_budget(16);
     let spec = DrillSpec { n_failures, outage_hours: 1.0, gap_hours: 0.5 };
@@ -251,6 +287,78 @@ fn cmd_metrics(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Trigger one auction round over the wire, tagged with a trace id, so
+/// `poc trace` can show where the round's time went.
+fn cmd_round(rest: &[String]) -> Result<(), String> {
+    use public_option_core::ctrlplane::ClientConfig;
+    let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7700");
+    let addr: std::net::SocketAddr =
+        addr.parse().map_err(|e| format!("bad --addr {addr:?}: {e}"))?;
+    let mut config = ClientConfig::default().no_retry();
+    // Rounds at --scale run for minutes; default the deadline high.
+    config.read_timeout =
+        std::time::Duration::from_millis(num_opt::<u64>(rest, "--timeout-ms")?.unwrap_or(600_000));
+    let trace_id = match num_opt::<u64>(rest, "--trace-id")? {
+        Some(id) => id,
+        None => public_option_core::obs::trace::new_trace_id(),
+    };
+    let mut client = public_option_core::ctrlplane::PocClient::connect_with(addr, config)
+        .map_err(|e| format!("connect {addr}: {e} (is `poc serve` running?)"))?;
+    client.set_trace(Some(trace_id));
+    let summary = client.run_auction().map_err(|e| format!("round: {e}"))?;
+    println!(
+        "round done: |SL| = {}, C(SL) = ${:.0}/mo, payments ${:.0}/mo",
+        summary.n_selected_links, summary.total_cost, summary.total_payments
+    );
+    println!("trace id {trace_id}  (scrape it: poc trace --addr {addr} --id {trace_id})");
+    Ok(())
+}
+
+/// Scrape and render recorded trace trees from a running server.
+fn cmd_trace(rest: &[String]) -> Result<(), String> {
+    use public_option_core::ctrlplane::ClientConfig;
+    let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7700");
+    let addr: std::net::SocketAddr =
+        addr.parse().map_err(|e| format!("bad --addr {addr:?}: {e}"))?;
+    let mut config = ClientConfig::default();
+    if let Some(ms) = num_opt::<u64>(rest, "--timeout-ms")? {
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    let trace_id = num_opt::<u64>(rest, "--id")?;
+    let last_n = num_opt::<usize>(rest, "--last")?;
+    let mut client = public_option_core::ctrlplane::PocClient::connect_with(addr, config)
+        .map_err(|e| format!("connect {addr}: {e} (is `poc serve` running?)"))?;
+    let traces = client.traces(trace_id, last_n).map_err(|e| format!("scrape: {e}"))?;
+    if traces.is_empty() {
+        return Err("no traces recorded (run `poc round` first, and check the server \
+                    isn't running with --no-trace)"
+            .into());
+    }
+    let rendered = if flag(rest, "--chrome") {
+        public_option_core::obs::chrome::chrome_trace_json(&traces)
+    } else if flag(rest, "--json") {
+        serde_json::to_string(&traces).map_err(|e| format!("serialize: {e}"))?
+    } else {
+        traces
+            .iter()
+            .map(public_option_core::obs::trace::render_tree)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    match opt(rest, "--out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "{} trace{} -> {path}",
+                traces.len(),
+                if traces.len() == 1 { "" } else { "s" }
+            );
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     use public_option_core::ctrlplane::ServerConfig;
     let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7700").to_string();
@@ -279,12 +387,26 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     } else if opt(rest, "--fsync").is_some() || opt(rest, "--snapshot-every").is_some() {
         return Err("--fsync/--snapshot-every require --state-dir".into());
     }
-    let (topo, tm) = build_instance(flag(rest, "--paper"));
+    // The flight recorder is on by default for the CLI server — the
+    // recorder is bounded and a traced request is the whole point of
+    // `poc round` + `poc trace`. `--no-trace` restores the library
+    // default (disabled, ~zero overhead).
+    let tracing = !flag(rest, "--no-trace");
+    public_option_core::obs::trace::recorder().set_enabled(tracing);
+    let (topo, tm) = build_instance(preset(rest)?);
     let poc = Poc::new(topo, PocConfig::default());
     let (server, handle) =
         public_option_core::ctrlplane::PocServer::bind_with(&addr, poc, tm, config.clone())
             .map_err(|e| format!("bind {addr}: {e}"))?;
     println!("POC control plane listening on {}", handle.local_addr);
+    println!(
+        "tracing: {}",
+        if tracing {
+            "flight recorder on (`poc round` then `poc trace --chrome`)"
+        } else {
+            "off (--no-trace)"
+        }
+    );
     println!(
         "limits: {} connections, idle eviction after {:?}, write deadline {:?}",
         config.max_connections, config.idle_timeout, config.write_timeout
