@@ -20,12 +20,16 @@
 //!
 //! Usage: `bench_pivot` to measure, `bench_pivot --validate <path>` to
 //! re-read an emitted artifact and check its schema (exit 1 on failure).
-//! `--validate` accepts either artifact this workspace emits: the
-//! warm-vs-cold report (`"bench": "pivot"`) or the mode-comparison
-//! report from the `pivot_parallel` bench (`"bench": "pivot_modes"`).
+//! `--validate` accepts any artifact this workspace emits: the
+//! warm-vs-cold report (`"bench": "pivot"`), the mode-comparison
+//! report from the `pivot_parallel` bench (`"bench": "pivot_modes"`),
+//! or the control-plane throughput report from `bench_ctrl`
+//! (`"bench": "ctrl"`).
 
 use poc_auction::{GreedySelector, Market, Selector};
-use poc_bench::report::{PivotBenchReport, PivotModesReport, PivotSample, ScaleInfo};
+use poc_bench::report::{
+    CtrlBenchReport, PivotBenchReport, PivotModesReport, PivotSample, ScaleInfo,
+};
 use poc_bench::{instance, paper_instance, scale_instance};
 use poc_flow::{Constraint, FeasibilityCache, FeasibilityOracle, WarmOracle};
 use std::path::Path;
@@ -76,10 +80,24 @@ fn main() {
                         return;
                     }
                     Err(modes_err) => {
-                        eprintln!("{path}: INVALID artifact");
-                        eprintln!("  as pivot: {pivot_err}");
-                        eprintln!("  as pivot_modes: {modes_err}");
-                        std::process::exit(1);
+                        let as_ctrl = CtrlBenchReport::read(Path::new(path))
+                            .and_then(|r| r.validate().map(|()| r));
+                        match as_ctrl {
+                            Ok(r) => {
+                                println!(
+                                    "{path}: valid ctrl artifact ({} mode, {:.2}x over baseline)",
+                                    r.mode, r.speedup
+                                );
+                                return;
+                            }
+                            Err(ctrl_err) => {
+                                eprintln!("{path}: INVALID artifact");
+                                eprintln!("  as pivot: {pivot_err}");
+                                eprintln!("  as pivot_modes: {modes_err}");
+                                eprintln!("  as ctrl: {ctrl_err}");
+                                std::process::exit(1);
+                            }
+                        }
                     }
                 }
             }

@@ -166,6 +166,108 @@ impl PivotModesReport {
     }
 }
 
+/// One measured phase of the control-plane throughput bench: a client
+/// fleet driving a live durable server end to end (TCP framing,
+/// admission, sharded apply, group-commit journal).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CtrlPhase {
+    /// "sharded" (the PR's pipeline) or "baseline" (1 shard, the
+    /// pre-sharding per-mutation-fsync serialization).
+    pub label: String,
+    /// Usage-ledger shards the server ran with.
+    pub shards: usize,
+    /// Concurrent client connections driving load.
+    pub clients: usize,
+    /// Mutations acknowledged across the phase.
+    pub requests: u64,
+    /// Wall time of the phase, seconds.
+    pub elapsed_s: f64,
+    /// Sustained acknowledged-mutation throughput (`requests / elapsed_s`).
+    pub req_per_sec: f64,
+    /// Client-observed request latency percentiles, microseconds.
+    pub p50_us: f64,
+    pub p99_us: f64,
+    /// `Response::Busy` rejections clients absorbed via retry.
+    pub busy_rejections: u64,
+    /// Journal records appended / fsync batches committed during the
+    /// phase: `appends / fsyncs` is the realized group-commit ratio.
+    pub appends: u64,
+    pub fsyncs: u64,
+    pub group_commits: u64,
+    /// Group-commit batch-size distribution (mutations per fsync).
+    pub batch_p50: f64,
+    pub batch_p99: f64,
+    pub batch_mean: f64,
+}
+
+/// The `BENCH_ctrl.json` artifact: sustained durable throughput of the
+/// sharded group-commit control plane against the serialized baseline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CtrlBenchReport {
+    /// Artifact discriminator; always "ctrl".
+    pub bench: String,
+    /// "quick" (CI load-smoke) or "full".
+    pub mode: String,
+    /// Independent repetitions per phase; each reported phase is the
+    /// median trial by `req_per_sec`, so a single disk-mood outlier
+    /// cannot set the headline in either direction.
+    pub trials: usize,
+    pub phases: Vec<CtrlPhase>,
+    /// Sharded req/s over baseline req/s — the headline number.
+    pub speedup: f64,
+}
+
+impl CtrlBenchReport {
+    /// Structural validation mirroring [`PivotBenchReport::validate`]:
+    /// the checks CI's `--validate` pass runs on the emitted file.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench != "ctrl" {
+            return Err(format!("bench discriminator must be \"ctrl\", got {:?}", self.bench));
+        }
+        if self.phases.is_empty() {
+            return Err("no phases recorded".into());
+        }
+        if self.trials == 0 {
+            return Err("trials must be at least 1".into());
+        }
+        for p in &self.phases {
+            if p.shards == 0 || p.clients == 0 || p.requests == 0 {
+                return Err(format!("phase {:?} measured nothing", p.label));
+            }
+            let timings = [p.elapsed_s, p.req_per_sec, p.p50_us, p.p99_us];
+            if timings.iter().any(|t| !(t.is_finite() && *t > 0.0)) {
+                return Err(format!("non-finite or non-positive timing in phase {:?}", p.label));
+            }
+            if p.p99_us < p.p50_us {
+                return Err(format!("p99 below p50 in phase {:?}", p.label));
+            }
+            if p.appends == 0 || p.fsyncs == 0 {
+                return Err(format!("phase {:?} journaled nothing", p.label));
+            }
+            if p.fsyncs > p.appends {
+                return Err(format!("phase {:?} fsynced more than it appended", p.label));
+            }
+            let batches = [p.batch_p50, p.batch_p99, p.batch_mean];
+            if batches.iter().any(|b| !(b.is_finite() && *b >= 1.0)) {
+                return Err(format!("batch sizes below 1 in phase {:?}", p.label));
+            }
+        }
+        if !(self.speedup.is_finite() && self.speedup > 0.0) {
+            return Err(format!("speedup must be finite and positive, got {}", self.speedup));
+        }
+        Ok(())
+    }
+
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).expect("report serializes"))
+    }
+
+    pub fn read(path: &std::path::Path) -> Result<Self, String> {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        serde_json::from_str(&raw).map_err(|e| format!("parse {path:?}: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +369,97 @@ mod tests {
 
         let mut r = sample_modes_report();
         r.samples[0].speedup = 0.0;
+        assert!(r.validate().is_err());
+    }
+
+    fn sample_ctrl_report() -> CtrlBenchReport {
+        CtrlBenchReport {
+            bench: "ctrl".into(),
+            mode: "quick".into(),
+            trials: 1,
+            phases: vec![
+                CtrlPhase {
+                    label: "sharded".into(),
+                    shards: 8,
+                    clients: 8,
+                    requests: 4000,
+                    elapsed_s: 0.5,
+                    req_per_sec: 8000.0,
+                    p50_us: 700.0,
+                    p99_us: 2100.0,
+                    busy_rejections: 0,
+                    appends: 4000,
+                    fsyncs: 900,
+                    group_commits: 900,
+                    batch_p50: 4.0,
+                    batch_p99: 8.0,
+                    batch_mean: 4.4,
+                },
+                CtrlPhase {
+                    label: "baseline".into(),
+                    shards: 1,
+                    clients: 8,
+                    requests: 800,
+                    elapsed_s: 0.6,
+                    req_per_sec: 1333.0,
+                    p50_us: 5200.0,
+                    p99_us: 9100.0,
+                    busy_rejections: 0,
+                    appends: 800,
+                    fsyncs: 800,
+                    group_commits: 800,
+                    batch_p50: 1.0,
+                    batch_p99: 1.0,
+                    batch_mean: 1.0,
+                },
+            ],
+            speedup: 6.0,
+        }
+    }
+
+    #[test]
+    fn ctrl_report_round_trips_and_validates() {
+        let r = sample_ctrl_report();
+        r.validate().unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CtrlBenchReport = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.phases.len(), 2);
+        assert_eq!(back.phases[0].shards, 8);
+    }
+
+    #[test]
+    fn ctrl_validation_rejects_malformed_reports() {
+        let mut r = sample_ctrl_report();
+        r.bench = "pivot".into();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_ctrl_report();
+        r.phases.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_ctrl_report();
+        r.phases[0].req_per_sec = f64::NAN;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_ctrl_report();
+        r.phases[0].p99_us = r.phases[0].p50_us / 2.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_ctrl_report();
+        r.phases[0].fsyncs = r.phases[0].appends + 1;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_ctrl_report();
+        r.phases[1].batch_mean = 0.5;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_ctrl_report();
+        r.trials = 0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_ctrl_report();
+        r.speedup = 0.0;
         assert!(r.validate().is_err());
     }
 }

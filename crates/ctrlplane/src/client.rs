@@ -7,7 +7,12 @@
 //! additionally retried through an automatic reconnect loop with capped
 //! exponential backoff and deterministic jitter ([`RetryPolicy`]);
 //! mutating requests (`RunAuction`, `ReportUsage`, ...) are never
-//! replayed, because a lost response leaves the mutation ambiguous.
+//! replayed after a *transport* failure, because a lost response leaves
+//! the mutation ambiguous. A [`crate::proto::Response::Busy`] answer is
+//! different: the server sheds the request at admission, before
+//! journaling or applying anything, so the client retries it for every
+//! request type — mutations included — honouring the server's
+//! `retry_after_ms` hint.
 
 use crate::codec::{read_frame, write_frame, CodecError};
 use crate::proto::{AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response};
@@ -29,16 +34,26 @@ pub enum ClientError {
     /// A connect/read/write deadline expired (and, for idempotent
     /// requests, every retry budgeted by the [`RetryPolicy`] was spent).
     TimedOut,
+    /// The server shed this request at admission (`Response::Busy`) and
+    /// every budgeted retry met the same answer. Nothing was journaled
+    /// or applied server-side, so resending later is always safe.
+    Busy {
+        retry_after_ms: u64,
+    },
 }
 
 impl ClientError {
     /// Transport-level failure: a reconnect may succeed where this
     /// attempt failed. `Server` and `Protocol` answers are *from* the
     /// controller — retrying would re-ask a question that was answered.
+    /// `Busy` is retryable too, but handled separately in [`PocClient`]:
+    /// it is safe to resend even for mutations (the server rejected it
+    /// before journaling) and needs no reconnect.
     fn is_retryable(&self) -> bool {
         match self {
             ClientError::Codec(c) => c.is_transport(),
             ClientError::TimedOut => true,
+            ClientError::Busy { .. } => true,
             ClientError::Server(_) | ClientError::Protocol(_) => false,
         }
     }
@@ -51,6 +66,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
             ClientError::TimedOut => write!(f, "deadline expired"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms} ms)")
+            }
         }
     }
 }
@@ -125,6 +143,11 @@ impl ClientConfig {
 /// A connection to the POC controller.
 pub struct PocClient {
     stream: TcpStream,
+    /// Buffered view of the same socket (`try_clone`d fd) for response
+    /// reads: length prefix and payload almost always arrive together,
+    /// so a response costs one `read(2)` instead of two. Rebuilt on
+    /// reconnect so stale bytes from a dead connection never leak in.
+    reader: std::io::BufReader<TcpStream>,
     addr: std::net::SocketAddr,
     config: ClientConfig,
     jitter: ChaCha8Rng,
@@ -142,8 +165,9 @@ impl PocClient {
     /// Connect with explicit deadlines and retry policy.
     pub fn connect_with(addr: std::net::SocketAddr, config: ClientConfig) -> std::io::Result<Self> {
         let stream = Self::open(addr, &config)?;
+        let reader = std::io::BufReader::with_capacity(4096, stream.try_clone()?);
         let jitter = ChaCha8Rng::seed_from_u64(config.retry.jitter_seed);
-        Ok(Self { stream, addr, config, jitter, trace_id: None })
+        Ok(Self { stream, reader, addr, config, jitter, trace_id: None })
     }
 
     /// Tag every subsequent request with `trace_id` (server-side span
@@ -179,6 +203,20 @@ impl PocClient {
         loop {
             match self.call_once(&req) {
                 Ok(resp) => return Ok(resp),
+                // Admission backpressure: the server rejected the
+                // request *before* journaling or applying anything, so
+                // a resend is safe even for mutations. The connection
+                // is fine — no reconnect, just wait out the hint (or
+                // the backoff, whichever is longer).
+                Err(ClientError::Busy { retry_after_ms })
+                    if attempt < self.config.retry.max_retries =>
+                {
+                    attempt += 1;
+                    poc_obs::counter!("ctrl.client.busy").inc();
+                    std::thread::sleep(
+                        self.backoff(attempt).max(Duration::from_millis(retry_after_ms)),
+                    );
+                }
                 Err(e)
                     if e.is_retryable()
                         && req.is_idempotent()
@@ -193,7 +231,10 @@ impl PocClient {
                     // Reconnect; if that fails, the next call_once fails
                     // at write and either retries again or surfaces.
                     if let Ok(stream) = Self::open(self.addr, &self.config) {
-                        self.stream = stream;
+                        if let Ok(clone) = stream.try_clone() {
+                            self.stream = stream;
+                            self.reader = std::io::BufReader::with_capacity(4096, clone);
+                        }
                     }
                 }
                 Err(ClientError::TimedOut) => {
@@ -207,11 +248,12 @@ impl PocClient {
 
     fn call_once(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, req)?;
-        let resp: Response = read_frame(&mut self.stream)?;
-        if let Response::Error { message } = resp {
-            return Err(ClientError::Server(message));
+        let resp: Response = read_frame(&mut self.reader)?;
+        match resp {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            Response::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
+            other => Ok(other),
         }
-        Ok(resp)
     }
 
     fn backoff(&mut self, attempt: u32) -> Duration {
@@ -385,6 +427,7 @@ mod tests {
     #[test]
     fn retryable_partition() {
         assert!(ClientError::TimedOut.is_retryable());
+        assert!(ClientError::Busy { retry_after_ms: 5 }.is_retryable());
         assert!(ClientError::Codec(CodecError::Closed).is_retryable());
         assert!(ClientError::Codec(CodecError::Io(std::io::Error::other("reset"))).is_retryable());
         assert!(!ClientError::Server("at capacity".into()).is_retryable());

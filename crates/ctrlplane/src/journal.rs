@@ -32,6 +32,33 @@
 //! * [`FsyncPolicy::Never`] — leave it to the OS page cache; survives a
 //!   process crash but not power loss.
 //!
+//! # Group commit
+//!
+//! [`GroupJournal`] is the concurrent append path: many mutation
+//! threads append records (buffered, under the appender lock), then
+//! wait for a *commit leader* to fsync everything appended so far in
+//! one `fdatasync`. Under [`FsyncPolicy::Always`] each acknowledged
+//! mutation is still durable before its reply — but K concurrent
+//! mutations cost ~1 fsync instead of K (`ctrl.journal.batch_size`
+//! histogram, `ctrl.journal.group_commits` counter).
+//!
+//! The leader fsyncs through a duplicated file handle *without* holding
+//! the appender lock: it captures the batch extent (seq, byte length)
+//! under the lock, releases it, and syncs while the next batch
+//! accumulates behind it. `fdatasync` persists at least everything
+//! written before the call, so the captured extent is durable on
+//! success; records appended during the sync are simply not
+//! acknowledged until the next leader covers them. This pipelining is
+//! what lets the batch size approach the number of concurrent writers
+//! instead of stalling at whatever queued before the lock was taken.
+//!
+//! A failed group-commit fsync fails **every** record in the batch: the
+//! leader rolls the file back to the durable prefix (so a later sync
+//! can never quietly commit bytes whose fsync already failed) and every
+//! waiter gets a typed [`JournalError::BatchAborted`]. If the rollback
+//! itself fails, the journal is poisoned and refuses all further
+//! appends ([`JournalError::Poisoned`]).
+//!
 //! # Crash injection
 //!
 //! [`CrashSwitch`] is the durability sibling of
@@ -39,7 +66,9 @@
 //! the durability layer simulates a process death at exactly that
 //! point (a half-written record, a snapshot tmp that never got renamed,
 //! …), letting integration tests kill a live server at each point and
-//! prove recovery. Production code never arms it.
+//! prove recovery. [`FsyncFault`] is the non-fatal sibling: it makes
+//! the next N group-commit fsyncs fail (as a dying disk would) without
+//! killing the process. Production code never arms either.
 
 use crate::proto::AttachRole;
 use poc_core::entity::EntityId;
@@ -48,7 +77,8 @@ use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Hard cap on one journal record's payload (mirrors the wire codec's
@@ -304,6 +334,31 @@ impl CrashSwitch {
     }
 }
 
+/// Injectable fsync failure: the next `n` armed group-commit fsyncs
+/// fail as a dying disk would, *without* killing the process. Tests use
+/// it to prove a failed batch is rolled back and every coalesced
+/// mutation in it reports a typed error instead of a bogus ack.
+#[derive(Clone, Debug, Default)]
+pub struct FsyncFault {
+    armed: Arc<AtomicU32>,
+}
+
+impl FsyncFault {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm the next `failures` group-commit fsyncs to fail.
+    pub fn arm(&self, failures: u32) {
+        self.armed.store(failures, Ordering::SeqCst);
+    }
+
+    /// True (consuming one armed failure) iff the next sync must fail.
+    fn take(&self) -> bool {
+        self.armed.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1)).is_ok()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------------------
@@ -317,6 +372,13 @@ pub enum JournalError {
     /// An armed [`CrashPoint`] fired: the simulated process is dead and
     /// the server must stop without replying.
     Crashed(CrashPoint),
+    /// The group-commit fsync covering this record failed; the whole
+    /// batch was rolled back from the file and no record in it may be
+    /// acknowledged.
+    BatchAborted,
+    /// A failed group commit could not be rolled back, so the on-disk
+    /// suffix is unknowable; the journal refuses all further appends.
+    Poisoned,
 }
 
 impl std::fmt::Display for JournalError {
@@ -327,6 +389,12 @@ impl std::fmt::Display for JournalError {
                 write!(f, "journal record of {n} bytes exceeds {MAX_RECORD}")
             }
             JournalError::Crashed(p) => write!(f, "injected crash at {}", p.label()),
+            JournalError::BatchAborted => {
+                write!(f, "group-commit fsync failed; batch rolled back, mutation not persisted")
+            }
+            JournalError::Poisoned => {
+                write!(f, "journal poisoned by an unrollbackable fsync failure")
+            }
         }
     }
 }
@@ -407,6 +475,10 @@ pub struct Journal {
     /// Appends since the last explicit sync (drives `Interval` syncs
     /// and the `ctrl.journal.fsyncs` metric).
     unsynced: u64,
+    /// Byte length of the file after the last complete append, tracked
+    /// arithmetically so the group-commit leader can record (and roll
+    /// back to) exact frame boundaries without a metadata syscall.
+    end_pos: u64,
 }
 
 impl Journal {
@@ -418,7 +490,14 @@ impl Journal {
         file.set_len(valid_len)?;
         let mut file = file;
         file.seek(SeekFrom::Start(valid_len))?;
-        Ok(Self { file, path: path.to_path_buf(), policy, last_sync: Instant::now(), unsynced: 0 })
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            last_sync: Instant::now(),
+            unsynced: 0,
+            end_pos: valid_len,
+        })
     }
 
     pub fn path(&self) -> &Path {
@@ -454,6 +533,7 @@ impl Journal {
         }
 
         self.file.write_all(&frame)?;
+        self.end_pos += frame.len() as u64;
         poc_obs::counter!("ctrl.journal.appends").inc();
         poc_obs::counter!("ctrl.journal.bytes").add(frame.len() as u64);
         self.unsynced += 1;
@@ -497,6 +577,21 @@ impl Journal {
         self.file.sync_data()?;
         self.last_sync = Instant::now();
         self.unsynced = 0;
+        self.end_pos = 0;
+        Ok(())
+    }
+
+    /// Roll the file back to `len` bytes (a frame boundary) after a
+    /// failed sync, so bytes whose fsync failed can never be quietly
+    /// committed by a later one. The rollback itself is synced; if any
+    /// step fails the caller must poison the journal.
+    fn rollback_to(&mut self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        self.file.sync_data()?;
+        self.end_pos = len;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
         Ok(())
     }
 
@@ -508,6 +603,319 @@ impl Journal {
     /// Whether the journal file is empty.
     pub fn is_empty(&self) -> std::io::Result<bool> {
         Ok(self.len()? == 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group commit (concurrent append path)
+// ---------------------------------------------------------------------------
+
+/// Unlock a possibly-poisoned std mutex guard: a panicking holder must
+/// not wedge the commit protocol (mirrors the parking_lot shim).
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct Appender {
+    journal: Journal,
+    /// Sequence number the next appended record gets.
+    next_seq: u64,
+}
+
+struct CommitState {
+    /// Highest sequence number known durable.
+    synced_seq: u64,
+    /// Byte length of the durable prefix (the rollback target when a
+    /// group-commit fsync fails).
+    synced_len: u64,
+    /// A commit leader is currently syncing.
+    leader: bool,
+    /// Completed-batch counter. Parity picks which condvar a batch's
+    /// waiters sleep on, so a finishing commit wakes only the waiters
+    /// it covered (plus one elected next leader) instead of storming
+    /// every thread parked on the journal.
+    gen: u64,
+    /// Highest seq the in-flight batch covers. `u64::MAX` between
+    /// leader election and extent capture (every waiter already
+    /// appended by then is covered); meaningless when `leader` is
+    /// false.
+    target: u64,
+    /// When the last group commit (or explicit sync) completed; drives
+    /// [`FsyncPolicy::Interval`].
+    last_commit: Instant,
+    /// Inclusive seq ranges rolled back by failed group commits. Their
+    /// waiters must see [`JournalError::BatchAborted`] even after later
+    /// (fresh) records push `synced_seq` past them.
+    aborted: Vec<(u64, u64)>,
+    /// A failed rollback left the on-disk suffix unknowable.
+    poisoned: bool,
+    /// An armed crash point fired: the simulated process is dead, and
+    /// every thread still inside the journal dies with it (no replies,
+    /// so every in-flight outcome stays ambiguous — exactly crash
+    /// semantics).
+    dead: Option<CrashPoint>,
+}
+
+/// Concurrent, internally synchronized journal with group commit.
+///
+/// Appends serialize briefly on the appender lock (a buffered write);
+/// durability waits coalesce behind a commit leader: the first waiter
+/// to find no leader captures the appended extent, releases the lock,
+/// and syncs *everything appended so far* in one `fdatasync` while the
+/// next batch accumulates behind it. Under concurrency K records cost
+/// ~1 fsync; single-threaded use degenerates to exactly the old
+/// one-fsync-per-mutation behavior.
+pub struct GroupJournal {
+    appender: Mutex<Appender>,
+    commit: Mutex<CommitState>,
+    /// Two wait queues, indexed by batch-generation parity: waiters
+    /// covered by the in-flight batch sleep on `committed[gen % 2]`,
+    /// waiters for the *next* batch on the other. Completion then
+    /// `notify_all`s only its own queue and `notify_one`s the next
+    /// (to elect a leader) — next-batch waiters are not stampeded
+    /// awake just to go back to sleep.
+    committed: [Condvar; 2],
+    policy: FsyncPolicy,
+    fault: FsyncFault,
+    /// Duplicated handle to the journal file: the leader's `fdatasync`
+    /// runs on it without the appender lock, so appends proceed during
+    /// the device wait (both handles reach the same kernel inode).
+    sync_handle: File,
+}
+
+impl GroupJournal {
+    /// Open `path` at its scanned `valid_len`. `next_seq` seeds the
+    /// sequence counter (recovery's `last_seq + 1`). The inner journal
+    /// is opened with [`FsyncPolicy::Never`]: the commit protocol owns
+    /// all syncing.
+    pub fn open(
+        path: &Path,
+        valid_len: u64,
+        policy: FsyncPolicy,
+        next_seq: u64,
+        fault: FsyncFault,
+    ) -> std::io::Result<Self> {
+        let journal = Journal::open(path, valid_len, FsyncPolicy::Never)?;
+        let sync_handle = journal.file.try_clone()?;
+        Ok(Self {
+            appender: Mutex::new(Appender { journal, next_seq }),
+            commit: Mutex::new(CommitState {
+                synced_seq: next_seq.saturating_sub(1),
+                synced_len: valid_len,
+                leader: false,
+                gen: 0,
+                target: 0,
+                last_commit: Instant::now(),
+                aborted: Vec::new(),
+                poisoned: false,
+                dead: None,
+            }),
+            committed: [Condvar::new(), Condvar::new()],
+            policy,
+            fault,
+            sync_handle,
+        })
+    }
+
+    /// Sequence number the next appended record will get.
+    pub fn next_seq(&self) -> u64 {
+        relock(self.appender.lock()).next_seq
+    }
+
+    /// Append one event and return once it is as durable as the policy
+    /// demands. Concurrent callers' fsyncs coalesce behind the commit
+    /// leader; see the module docs for the failure contract.
+    pub fn append(&self, event: JournalEvent, crash: &CrashSwitch) -> Result<u64, JournalError> {
+        let seq = {
+            let mut ap = relock(self.appender.lock());
+            {
+                let c = relock(self.commit.lock());
+                if let Some(p) = c.dead {
+                    return Err(JournalError::Crashed(p));
+                }
+                if c.poisoned {
+                    return Err(JournalError::Poisoned);
+                }
+            }
+            let seq = ap.next_seq;
+            match ap.journal.append(&JournalRecord { seq, event }, crash) {
+                Ok(()) => {}
+                Err(JournalError::Crashed(p)) => {
+                    // The simulated process died inside the append. No
+                    // record may follow (a MidAppend tear would hide it
+                    // from the scanner), and every thread waiting on a
+                    // commit dies with the process.
+                    relock(self.commit.lock()).dead = Some(p);
+                    self.committed[0].notify_all();
+                    self.committed[1].notify_all();
+                    return Err(JournalError::Crashed(p));
+                }
+                Err(e) => return Err(e),
+            }
+            ap.next_seq += 1;
+            seq
+        };
+        match self.policy {
+            FsyncPolicy::Always => self.commit(seq)?,
+            FsyncPolicy::Interval(d) => {
+                let due = relock(self.commit.lock()).last_commit.elapsed() >= d;
+                if due {
+                    self.commit(seq)?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Wait until `seq` is durable, becoming the commit leader if
+    /// nobody else is syncing. Returns the typed batch error if the
+    /// fsync covering `seq` failed.
+    fn commit(&self, seq: u64) -> Result<(), JournalError> {
+        let _span = poc_obs::span!("ctrl.journal.group_commit");
+        let mut c = relock(self.commit.lock());
+        loop {
+            if let Some(p) = c.dead {
+                return Err(JournalError::Crashed(p));
+            }
+            if c.poisoned {
+                return Err(JournalError::Poisoned);
+            }
+            if c.aborted.iter().any(|&(lo, hi)| (lo..=hi).contains(&seq)) {
+                return Err(JournalError::BatchAborted);
+            }
+            if c.synced_seq >= seq {
+                return Ok(());
+            }
+            if c.leader {
+                // Sleep on the queue for the batch that will cover us:
+                // the in-flight one if its captured extent includes our
+                // seq, the next one otherwise. Re-evaluated every
+                // iteration — `gen` may have advanced while we slept.
+                let queue = if seq <= c.target { c.gen % 2 } else { (c.gen + 1) % 2 };
+                c = relock(self.committed[queue as usize].wait(c));
+                continue;
+            }
+            // Become the leader. Capture the batch extent under the
+            // appender lock, then *release it* for the fsync itself:
+            // `fdatasync` persists at least everything written before
+            // the call, so the captured extent is safely acknowledged on
+            // success, while the next batch accumulates behind the freed
+            // lock during the device wait.
+            c.leader = true;
+            c.target = u64::MAX;
+            let (base_seq, base_len) = (c.synced_seq, c.synced_len);
+            drop(c);
+
+            let (target_seq, target_len) = {
+                let ap = relock(self.appender.lock());
+                // Publish the real extent (still under the appender
+                // lock, so no append can slip between capture and
+                // publication): later arrivals with seq beyond it park
+                // on the next batch's queue.
+                relock(self.commit.lock()).target = ap.next_seq - 1;
+                (ap.next_seq - 1, ap.journal.end_pos)
+            };
+            let synced = if self.fault.take() {
+                Err(std::io::Error::other("injected fsync fault"))
+            } else {
+                let _span = poc_obs::span!("ctrl.journal.fsync");
+                self.sync_handle.sync_data()
+            };
+
+            match synced {
+                Ok(()) => {
+                    poc_obs::counter!("ctrl.journal.fsyncs").inc();
+                    poc_obs::counter!("ctrl.journal.group_commits").inc();
+                    poc_obs::histogram!("ctrl.journal.batch_size").record(target_seq - base_seq);
+                    let mut done = relock(self.commit.lock());
+                    done.leader = false;
+                    // max-guard: an explicit sync() may have advanced
+                    // the durable frontier past this batch meanwhile.
+                    done.synced_seq = done.synced_seq.max(target_seq);
+                    done.synced_len = done.synced_len.max(target_len);
+                    done.last_commit = Instant::now();
+                    let gen = done.gen;
+                    done.gen = gen.wrapping_add(1);
+                    // Wake everyone this batch covered; elect (at most)
+                    // one next-batch waiter as the new leader. If the
+                    // election notify finds nobody parked yet, the next
+                    // arrival self-elects on seeing `leader == false`.
+                    self.committed[(gen % 2) as usize].notify_all();
+                    self.committed[(gen.wrapping_add(1) % 2) as usize].notify_one();
+                    // Loop: our own seq is ≤ target_seq, so the next
+                    // check returns Ok.
+                    c = done;
+                }
+                Err(_) => {
+                    // The batch's bytes may or may not have reached the
+                    // platter. Stop the world (the appender lock waits
+                    // out any in-flight append), then roll the file back
+                    // to the durable prefix so a later sync can never
+                    // quietly commit records whose waiters are about to
+                    // be told they failed. Records appended *during* the
+                    // failed sync are equally unknowable, so the abort
+                    // covers everything up to the rollback point.
+                    poc_obs::counter!("ctrl.journal.batch_failures").inc();
+                    let mut ap = relock(self.appender.lock());
+                    let abort_hi = ap.next_seq - 1;
+                    let rolled = ap.journal.rollback_to(base_len);
+                    let mut done = relock(self.commit.lock());
+                    done.leader = false;
+                    done.gen = done.gen.wrapping_add(1);
+                    let err = match rolled {
+                        Ok(()) => {
+                            done.aborted.push((base_seq + 1, abort_hi));
+                            JournalError::BatchAborted
+                        }
+                        Err(_) => {
+                            done.poisoned = true;
+                            JournalError::Poisoned
+                        }
+                    };
+                    // The abort covers every record up to the rollback
+                    // point — including next-batch arrivals — so both
+                    // queues must drain and observe it.
+                    self.committed[0].notify_all();
+                    self.committed[1].notify_all();
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// Force a sync now (shutdown barrier, or an explicit test
+    /// barrier). Single-caller semantics: runs outside the leader
+    /// protocol but under both locks, so it composes with it.
+    pub fn sync(&self) -> std::io::Result<()> {
+        let mut ap = relock(self.appender.lock());
+        ap.journal.sync()?;
+        let mut c = relock(self.commit.lock());
+        c.synced_seq = ap.next_seq - 1;
+        c.synced_len = ap.journal.end_pos;
+        c.last_commit = Instant::now();
+        // The frontier moved outside the leader protocol: drain both
+        // queues so covered sleepers re-check it (a group commit only
+        // wakes its own batch).
+        self.committed[0].notify_all();
+        self.committed[1].notify_all();
+        Ok(())
+    }
+
+    /// Truncate after a checkpoint folded every record into a durable
+    /// snapshot. Callers must guarantee no append is in flight (the
+    /// server holds every state lock across a checkpoint).
+    pub fn truncate_to_empty(&self) -> std::io::Result<()> {
+        let mut ap = relock(self.appender.lock());
+        ap.journal.truncate_to_empty()?;
+        let mut c = relock(self.commit.lock());
+        c.synced_seq = ap.next_seq - 1;
+        c.synced_len = 0;
+        c.last_commit = Instant::now();
+        c.aborted.clear();
+        self.committed[0].notify_all();
+        self.committed[1].notify_all();
+        Ok(())
     }
 }
 

@@ -22,10 +22,11 @@
 //!
 //! * [`proto`] — the wire messages;
 //! * [`codec`] — length-prefixed framing over any `Read`/`Write`;
-//! * [`server`] — the POC controller: one thread per connection, state
-//!   behind a mutex (auction rounds serialize state mutation —
-//!   acceptable for a control plane, where rounds are rare and minutes
-//!   apart);
+//! * [`server`] — the POC controller: sharded accept loops feeding a
+//!   bounded worker pool behind an admission gate (typed
+//!   `Response::Busy` backpressure), usage state sharded by entity so
+//!   concurrent reports proceed in parallel, and durable mutations
+//!   group-committed so K concurrent fsyncs coalesce into one;
 //! * [`client`] — a typed blocking client with deadlines and retry;
 //! * [`fault`] — test-only fault injection (frame truncation, garbage,
 //!   oversized prefixes, drops, delays);
@@ -49,10 +50,11 @@ pub mod journal;
 pub mod proto;
 pub mod recovery;
 pub mod server;
+pub(crate) mod shard;
 pub mod snapshot;
 
 pub use client::{ClientConfig, ClientError, PocClient, RetryPolicy};
-pub use journal::{CrashPoint, CrashSwitch, FsyncPolicy};
+pub use journal::{CrashPoint, CrashSwitch, FsyncFault, FsyncPolicy};
 pub use proto::{AttachRole, Request, Response};
 pub use recovery::{DurabilityConfig, RecoveryInfo};
 pub use server::{PocServer, ServerConfig, ServerHandle};

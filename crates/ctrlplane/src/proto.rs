@@ -204,6 +204,12 @@ pub enum Response {
     Recovery(Option<crate::recovery::RecoveryInfo>),
     /// Recorded trace trees from the controller's flight recorder.
     Traces(Vec<poc_obs::TraceWire>),
+    /// Admission backpressure: the server is over its in-flight request
+    /// budget. Nothing was journaled or applied, so the request — even a
+    /// mutation — is always safe to resend after the hinted delay.
+    Busy {
+        retry_after_ms: u64,
+    },
     Error {
         message: String,
     },
@@ -285,6 +291,13 @@ mod tests {
             .is_idempotent(),
             "review verdicts may depend on evolving policy state; stay conservative"
         );
+    }
+
+    #[test]
+    fn busy_round_trips() {
+        let resp = Response::Busy { retry_after_ms: 5 };
+        let back: Response = serde_json::from_slice(&serde_json::to_vec(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -15,11 +15,13 @@
 //! makes recovery exactly-once.
 
 use crate::journal::{
-    scan, CrashPoint, CrashSwitch, FsyncPolicy, Journal, JournalError, JournalEvent, JournalRecord,
+    scan, CrashPoint, CrashSwitch, FsyncFault, FsyncPolicy, GroupJournal, JournalError,
+    JournalEvent, JournalRecord,
 };
 use crate::snapshot::{load_newest, write_snapshot, ControllerSnapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Journal file name inside the state directory.
 pub const JOURNAL_FILE: &str = "journal.wal";
@@ -107,16 +109,18 @@ pub struct Recovered {
 }
 
 /// Owns the journal and the checkpoint cadence for one running server.
-/// All calls happen under the server's state lock, so `Durability`
-/// itself is lock-free.
+/// Internally synchronized: shard threads call [`Durability::record`]
+/// concurrently and their fsyncs coalesce behind the
+/// [`GroupJournal`]'s commit leader. Only [`Durability::checkpoint`]
+/// demands external exclusion (the server holds every state lock
+/// across it, so no append is in flight when the snapshot seq is
+/// captured).
 pub struct Durability {
     dir: PathBuf,
-    journal: Journal,
+    journal: GroupJournal,
     crash: CrashSwitch,
-    /// Sequence number the next recorded event gets.
-    next_seq: u64,
     /// Events journaled since the last durable checkpoint.
-    since_checkpoint: u64,
+    since_checkpoint: AtomicU64,
     snapshot_every: u64,
     fingerprint: u64,
 }
@@ -124,11 +128,13 @@ pub struct Durability {
 impl Durability {
     /// Open (or create) a state directory and recover from it.
     /// `fingerprint` is the booting server's topology fingerprint; a
-    /// snapshot from a different topology is refused.
+    /// snapshot from a different topology is refused. `fault` is the
+    /// injectable fsync-failure switch (unarmed in production).
     pub fn open(
         config: &DurabilityConfig,
         fingerprint: u64,
         crash: CrashSwitch,
+        fault: FsyncFault,
     ) -> Result<Recovered, RecoveryError> {
         std::fs::create_dir_all(&config.state_dir)?;
         let loaded = load_newest(&config.state_dir)?;
@@ -156,7 +162,13 @@ impl Durability {
             last_seq = last_seq.max(seq);
             replay.push(event);
         }
-        let journal = Journal::open(&journal_path, scanned.valid_len, config.fsync)?;
+        let journal = GroupJournal::open(
+            &journal_path,
+            scanned.valid_len,
+            config.fsync,
+            last_seq + 1,
+            fault,
+        )?;
 
         let info = RecoveryInfo {
             snapshot_seq,
@@ -175,8 +187,7 @@ impl Durability {
                 dir: config.state_dir.clone(),
                 journal,
                 crash,
-                next_seq: last_seq + 1,
-                since_checkpoint: replay.len() as u64,
+                since_checkpoint: AtomicU64::new(replay.len() as u64),
                 snapshot_every: config.snapshot_every,
                 fingerprint,
             },
@@ -187,32 +198,35 @@ impl Durability {
     }
 
     /// Journal one event (write-ahead: call this *before* applying the
-    /// event to in-memory state). Returns the assigned sequence number.
-    pub fn record(&mut self, event: JournalEvent) -> Result<u64, JournalError> {
-        let seq = self.next_seq;
-        self.journal.append(&JournalRecord { seq, event }, &self.crash)?;
-        self.next_seq += 1;
-        self.since_checkpoint += 1;
+    /// event to in-memory state) and wait until it is as durable as the
+    /// fsync policy demands. Returns the assigned sequence number.
+    /// Concurrent callers coalesce into one group-commit fsync.
+    pub fn record(&self, event: JournalEvent) -> Result<u64, JournalError> {
+        let seq = self.journal.append(event, &self.crash)?;
+        self.since_checkpoint.fetch_add(1, Ordering::SeqCst);
         Ok(seq)
     }
 
     /// Whether enough events have accumulated that the server should
     /// cut a checkpoint after applying the current one.
     pub fn wants_checkpoint(&self) -> bool {
-        self.snapshot_every > 0 && self.since_checkpoint >= self.snapshot_every
+        self.snapshot_every > 0
+            && self.since_checkpoint.load(Ordering::SeqCst) >= self.snapshot_every
     }
 
     /// Write a snapshot of the state as of the last recorded event,
     /// then truncate the journal. A crash between those two steps
     /// leaves already-snapshotted records in the journal; recovery
-    /// skips them by sequence number.
+    /// skips them by sequence number. The caller must exclude every
+    /// concurrent mutation (the server holds all state locks), so the
+    /// captured seq is exact.
     pub fn checkpoint(
-        &mut self,
+        &self,
         poc: poc_core::poc::PocState,
         usage: std::collections::BTreeMap<poc_core::entity::EntityId, f64>,
     ) -> Result<(), JournalError> {
         let snapshot = ControllerSnapshot {
-            seq: self.next_seq - 1,
+            seq: self.journal.next_seq() - 1,
             fingerprint: self.fingerprint,
             poc,
             usage,
@@ -226,18 +240,18 @@ impl Durability {
             return Err(JournalError::Crashed(CrashPoint::AfterSnapshotBeforeTruncate));
         }
         self.journal.truncate_to_empty()?;
-        self.since_checkpoint = 0;
+        self.since_checkpoint.store(0, Ordering::SeqCst);
         Ok(())
     }
 
     /// Flush the journal (shutdown barrier).
-    pub fn sync(&mut self) -> std::io::Result<()> {
+    pub fn sync(&self) -> std::io::Result<()> {
         self.journal.sync()
     }
 
     /// Sequence number the next event will get (tests).
     pub fn next_seq(&self) -> u64 {
-        self.next_seq
+        self.journal.next_seq()
     }
 }
 
@@ -267,7 +281,7 @@ mod tests {
     }
 
     fn open(dir: &Path) -> Recovered {
-        Durability::open(&config(dir), 0xabc, CrashSwitch::new()).unwrap()
+        Durability::open(&config(dir), 0xabc, CrashSwitch::new(), FsyncFault::new()).unwrap()
     }
 
     #[test]
@@ -292,7 +306,7 @@ mod tests {
     #[test]
     fn recorded_events_replay_in_order_after_reopen() {
         let dir = tmp_dir("replay");
-        let mut r = open(&dir);
+        let r = open(&dir);
         for _ in 0..3 {
             r.durability.record(JournalEvent::RunAuction).unwrap();
         }
@@ -310,7 +324,7 @@ mod tests {
     #[test]
     fn checkpoint_truncates_journal_and_bounds_replay() {
         let dir = tmp_dir("checkpoint");
-        let mut r = open(&dir);
+        let r = open(&dir);
         for _ in 0..5 {
             r.durability.record(JournalEvent::RunAuction).unwrap();
         }
@@ -333,7 +347,7 @@ mod tests {
     fn crash_after_snapshot_before_truncate_skips_by_seq() {
         let dir = tmp_dir("skip-by-seq");
         let crash = CrashSwitch::new();
-        let mut r = Durability::open(&config(&dir), 0xabc, crash.clone()).unwrap();
+        let r = Durability::open(&config(&dir), 0xabc, crash.clone(), FsyncFault::new()).unwrap();
         for _ in 0..4 {
             r.durability.record(JournalEvent::RunAuction).unwrap();
         }
@@ -353,7 +367,7 @@ mod tests {
     #[test]
     fn torn_tail_is_reported_and_truncated() {
         let dir = tmp_dir("torn");
-        let mut r = open(&dir);
+        let r = open(&dir);
         r.durability.record(JournalEvent::RunAuction).unwrap();
         r.durability.record(JournalEvent::RunBilling).unwrap();
         drop(r);
@@ -371,15 +385,16 @@ mod tests {
     #[test]
     fn wrong_fingerprint_is_refused() {
         let dir = tmp_dir("fingerprint");
-        let mut r = open(&dir);
+        let r = open(&dir);
         r.durability.record(JournalEvent::RunAuction).unwrap();
         r.durability.checkpoint(PocState::default(), BTreeMap::new()).unwrap();
         drop(r);
 
-        let err = match Durability::open(&config(&dir), 0xdead, CrashSwitch::new()) {
-            Ok(_) => panic!("a snapshot from a different topology was accepted"),
-            Err(e) => e,
-        };
+        let err =
+            match Durability::open(&config(&dir), 0xdead, CrashSwitch::new(), FsyncFault::new()) {
+                Ok(_) => panic!("a snapshot from a different topology was accepted"),
+                Err(e) => e,
+            };
         assert!(matches!(err, RecoveryError::TopologyMismatch { expected: 0xdead, found: 0xabc }));
     }
 
@@ -388,7 +403,7 @@ mod tests {
         let dir = tmp_dir("cadence");
         let mut cfg = config(&dir);
         cfg.snapshot_every = 2;
-        let mut r = Durability::open(&cfg, 0xabc, CrashSwitch::new()).unwrap();
+        let r = Durability::open(&cfg, 0xabc, CrashSwitch::new(), FsyncFault::new()).unwrap();
         assert!(!r.durability.wants_checkpoint());
         r.durability.record(JournalEvent::RunAuction).unwrap();
         assert!(!r.durability.wants_checkpoint());

@@ -1,13 +1,32 @@
 //! The POC controller: a TCP server wrapping [`poc_core::Poc`].
 //!
-//! One thread per connection; all state behind a single mutex. Auction
-//! rounds hold the lock for their duration — control-plane rounds are rare
-//! (monthly in the paper's economics) so serialization is the right
-//! simplicity trade-off for a prototype. Shutdown is cooperative via an
-//! [`AtomicBool`]: [`ServerHandle::shutdown`] sets the flag and pokes the
-//! accept loop with a throwaway connection; connection threads observe the
-//! flag between read attempts (reads run under a short timeout so a parked
-//! thread notices within ~100 ms).
+//! The server core is a sharded, high-fanout pipeline:
+//!
+//! * **sharded accept** — `accept_shards` threads block in `accept()`
+//!   on clones of one listener, each feeding a bounded pool of
+//!   connection threads (the kernel load-balances wakeups);
+//! * **admission control** — every request that does real work passes
+//!   an admission gate bounding the number of requests in flight
+//!   (`max_queue`); over the bound the server answers a typed
+//!   [`Response::Busy`] instead of queueing unboundedly
+//!   (`ctrl.admission.*` metrics). Health and observability requests
+//!   (ping, metrics, trace scrapes, recovery info) bypass the gate so
+//!   the controller stays inspectable under overload;
+//! * **sharded state** — the usage ledger is sharded by entity
+//!   (the `shard` module): concurrent `ReportUsage` requests on
+//!   different shards proceed in parallel, touching neither the global lock nor
+//!   each other. Global operations (attach, auction, billing, recall,
+//!   policy review) serialize on the global lock, taking shard locks in
+//!   a fixed order when they need usage state;
+//! * **group commit** — durable mutations journal through
+//!   [`crate::journal::GroupJournal`]: concurrent appends coalesce
+//!   behind a commit leader so K mutations cost ~1 fsync instead of K.
+//!
+//! Shutdown is cooperative via an [`AtomicBool`]:
+//! [`ServerHandle::shutdown`] sets the flag and pokes each accept
+//! thread with a throwaway connection; connection threads observe the
+//! flag between read attempts (reads run under a short timeout so a
+//! parked thread notices within ~100 ms).
 //!
 //! # Robustness posture
 //!
@@ -18,6 +37,9 @@
 //! * **connection cap** — at most `max_connections` concurrent
 //!   connections; excess connects are answered with a single
 //!   [`Response::Error`] frame and closed (`ctrl.conn.rejected`);
+//! * **admission bound** — at most `max_queue` admitted requests in
+//!   flight; excess requests get [`Response::Busy`] and the connection
+//!   stays usable (`ctrl.admission.rejected`);
 //! * **idle deadline** — a peer that goes silent (including a slowloris
 //!   half-frame: valid length prefix, then nothing) is evicted after
 //!   `idle_timeout` (`ctrl.conn.idle_evicted`) instead of parking a
@@ -32,15 +54,15 @@
 //!   (`ctrl.accept.errors`).
 
 use crate::codec::{read_frame, write_frame, CodecError};
-use crate::journal::{CrashPoint, CrashSwitch, JournalError, JournalEvent};
+use crate::journal::{CrashPoint, CrashSwitch, FsyncFault, JournalError, JournalEvent};
 use crate::proto::{AttachRole, BillingSummaryWire, LeaseWire, OutcomeSummary, Request, Response};
 use crate::recovery::{Durability, DurabilityConfig, RecoveryInfo};
-use parking_lot::Mutex;
+use crate::shard::{merged_usage, restore_usage, Global, ShardedState, UsageShard};
+use parking_lot::MutexGuard;
 use poc_core::entity::EntityId;
 use poc_core::poc::Poc;
 use poc_traffic::TrafficMatrix;
-use std::collections::BTreeMap;
-use std::io::Read;
+use std::cell::Cell;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
@@ -54,6 +76,10 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// [`ACCEPT_BACKOFF_MAX`], resets on the next successful accept.
 const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(10);
 const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// Retry hint carried by [`Response::Busy`]: long enough that a retry
+/// probably finds a free slot, short enough not to crater throughput.
+const BUSY_RETRY_MS: u64 = 5;
 
 /// Resource bounds for a running server. Defaults are generous enough
 /// that the happy path never notices them; tests and hostile deployments
@@ -75,6 +101,16 @@ pub struct ServerConfig {
     /// Crash-injection switch checked along the durability path. Tests
     /// keep a clone and arm it; production leaves it unarmed.
     pub crash: CrashSwitch,
+    /// Usage-ledger shards (see the `shard` module); ≥ 1.
+    pub shards: usize,
+    /// Admission bound: maximum requests in flight before the server
+    /// answers [`Response::Busy`].
+    pub max_queue: usize,
+    /// Threads blocked in `accept()` on clones of the listener; ≥ 1.
+    pub accept_shards: usize,
+    /// Fsync fault injector for the group-commit path. Tests keep a
+    /// clone and arm it; production leaves it unarmed.
+    pub fsync_fault: FsyncFault,
 }
 
 impl Default for ServerConfig {
@@ -85,21 +121,69 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             durability: None,
             crash: CrashSwitch::new(),
+            shards: 8,
+            max_queue: 1024,
+            accept_shards: 2,
+            fsync_fault: FsyncFault::new(),
         }
     }
 }
 
-/// Shared controller state.
-struct State {
-    poc: Poc,
-    /// Upper-bound traffic matrix for auction rounds.
-    tm: TrafficMatrix,
-    /// Usage reported since the last billing cycle.
-    usage: BTreeMap<EntityId, f64>,
+/// Counting admission gate: a fixed budget of in-flight requests,
+/// acquired with a CAS loop (fail-fast — an over-budget request is
+/// rejected immediately, never queued).
+struct Admission {
+    depth: AtomicI64,
+    max_queue: i64,
+}
+
+impl Admission {
+    fn new(max_queue: usize) -> Self {
+        Self { depth: AtomicI64::new(0), max_queue: max_queue.max(1) as i64 }
+    }
+
+    /// Try to admit one request; `None` means over budget.
+    fn try_admit(&self) -> Option<AdmissionPermit<'_>> {
+        let mut cur = self.depth.load(Ordering::SeqCst);
+        loop {
+            if cur >= self.max_queue {
+                poc_obs::counter!("ctrl.admission.rejected").inc();
+                return None;
+            }
+            match self.depth.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => {
+                    poc_obs::counter!("ctrl.admission.admitted").inc();
+                    poc_obs::gauge!("ctrl.admission.depth").set((cur + 1) as f64);
+                    return Some(AdmissionPermit { depth: &self.depth });
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// Releases one admission slot on drop, however the request ends.
+struct AdmissionPermit<'a> {
+    depth: &'a AtomicI64,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let now = self.depth.fetch_sub(1, Ordering::SeqCst) - 1;
+        poc_obs::gauge!("ctrl.admission.depth").set(now as f64);
+    }
+}
+
+/// Everything a connection thread needs: sharded state, the durability
+/// handle (internally synchronized — group commit), recovery info, and
+/// the admission gate.
+struct Shared {
+    state: ShardedState,
     /// Journal + snapshot handle when the server persists state.
     durability: Option<Durability>,
     /// How startup recovery went (served via `GetRecovery`).
     recovery: Option<RecoveryInfo>,
+    admission: Admission,
 }
 
 /// The server. Construct with [`PocServer::bind`] (default limits) or
@@ -107,7 +191,7 @@ struct State {
 /// its own thread) and keep the [`ServerHandle`] for shutdown.
 pub struct PocServer {
     listener: TcpListener,
-    state: Arc<Mutex<State>>,
+    shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicI64>,
     config: ServerConfig,
@@ -117,16 +201,19 @@ pub struct PocServer {
 pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicI64>,
+    accept_shards: usize,
     pub local_addr: SocketAddr,
 }
 
 impl ServerHandle {
-    /// Signal the server (accept loop + connections) to stop.
+    /// Signal the server (accept loops + connections) to stop.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept loop: it is parked in accept(), so hand it one
-        // last throwaway connection to observe the flag.
-        let _ = TcpStream::connect(self.local_addr);
+        // Wake the accept threads: each is parked in accept(), so hand
+        // every one a throwaway connection to observe the flag.
+        for _ in 0..self.accept_shards {
+            let _ = TcpStream::connect(self.local_addr);
+        }
     }
 
     /// Connections currently being served by *this* server (the
@@ -174,86 +261,138 @@ impl PocServer {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicI64::new(0));
-        let mut state = State { poc, tm, usage: BTreeMap::new(), durability: None, recovery: None };
+        let mut shared = Shared {
+            state: ShardedState::new(poc, tm, config.shards),
+            durability: None,
+            recovery: None,
+            admission: Admission::new(config.max_queue),
+        };
         if let Some(dcfg) = &config.durability {
-            recover(&mut state, dcfg, config.crash.clone())
+            recover(&mut shared, dcfg, config.crash.clone(), config.fsync_fault.clone())
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
         }
-        let state = Arc::new(Mutex::new(state));
+        poc_obs::gauge!("ctrl.shards").set(shared.state.n_shards() as f64);
+        let accept_shards = config.accept_shards.max(1);
         Ok((
             Self {
                 listener,
-                state,
+                shared: Arc::new(shared),
                 shutdown: Arc::clone(&shutdown),
                 active: Arc::clone(&active),
                 config,
             },
-            ServerHandle { shutdown, active, local_addr },
+            ServerHandle { shutdown, active, accept_shards, local_addr },
         ))
     }
 
-    /// Accept-and-serve until shutdown. Returns once the accept loop has
-    /// stopped and every connection thread has exited; the time spent
-    /// draining those threads is recorded in the `ctrl.shutdown.drain`
-    /// histogram.
+    /// Accept-and-serve until shutdown. Returns once every accept loop
+    /// has stopped and every connection thread has exited; the time
+    /// spent draining those threads is recorded in the
+    /// `ctrl.shutdown.drain` histogram.
     pub fn run(self) {
-        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        let mut accept_backoff = ACCEPT_BACKOFF_START;
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    accept_backoff = ACCEPT_BACKOFF_START;
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    // Reap finished workers on every accepted connection:
-                    // the handle list stays proportional to live
-                    // connections instead of growing for the lifetime of
-                    // the server. A finished thread joins instantly.
-                    let before = workers.len();
-                    workers.retain(|w| !w.is_finished());
-                    let reaped = before - workers.len();
-                    if reaped > 0 {
-                        poc_obs::counter!("ctrl.conn.reaped").add(reaped as u64);
-                    }
-                    if self.active.load(Ordering::SeqCst) >= self.config.max_connections as i64 {
-                        reject_over_capacity(stream, &self.config);
-                        continue;
-                    }
-                    poc_obs::counter!("ctrl.conn.total").inc();
-                    let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
-                    poc_obs::gauge!("ctrl.conn.active").set(now as f64);
-                    let guard = ConnectionGuard { active: Arc::clone(&self.active) };
-                    let state = Arc::clone(&self.state);
-                    let flag = Arc::clone(&self.shutdown);
-                    let config = self.config.clone();
-                    workers.push(std::thread::spawn(move || {
-                        let _guard = guard;
-                        let _ = serve_connection(stream, state, flag, &config);
-                    }));
-                }
-                Err(_) => {
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    // A persistent accept error (EMFILE, ENOBUFS, ...)
-                    // must not hot-spin a core: back off exponentially
-                    // while staying responsive to shutdown.
-                    poc_obs::counter!("ctrl.accept.errors").inc();
-                    std::thread::sleep(accept_backoff);
-                    accept_backoff = (accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
-                }
+        let extra: Vec<TcpListener> = (1..self.config.accept_shards.max(1))
+            .filter_map(|_| self.listener.try_clone().ok())
+            .collect();
+        let shared = &self.shared;
+        let shutdown = &self.shutdown;
+        let active = &self.active;
+        let config = &self.config;
+        std::thread::scope(|s| {
+            let siblings: Vec<_> = extra
+                .iter()
+                .map(|l| s.spawn(move || accept_loop(l, shared, shutdown, active, config)))
+                .collect();
+            accept_loop(&self.listener, shared, shutdown, active, config);
+            let drain_started = Instant::now();
+            for sib in siblings {
+                let _ = sib.join();
             }
-        }
-        let drain_started = Instant::now();
-        for w in workers {
-            let _ = w.join();
-        }
-        poc_obs::histogram!("ctrl.shutdown.drain").record_duration(drain_started.elapsed());
+            poc_obs::histogram!("ctrl.shutdown.drain").record_duration(drain_started.elapsed());
+        });
         // Shutdown barrier: whatever the fsync policy deferred reaches
         // the platter before the process exits cleanly.
-        if let Some(d) = self.state.lock().durability.as_mut() {
+        if let Some(d) = &self.shared.durability {
             let _ = d.sync();
+        }
+    }
+}
+
+/// One accept thread: accept, reap, cap-check, spawn a connection
+/// worker. Joins its own workers before returning (shutdown drain).
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    shutdown: &Arc<AtomicBool>,
+    active: &Arc<AtomicI64>,
+    config: &ServerConfig,
+) {
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut accept_backoff = ACCEPT_BACKOFF_START;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                accept_backoff = ACCEPT_BACKOFF_START;
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Reap finished workers on every accepted connection:
+                // the handle list stays proportional to live
+                // connections instead of growing for the lifetime of
+                // the server. A finished thread joins instantly.
+                let before = workers.len();
+                workers.retain(|w| !w.is_finished());
+                let reaped = before - workers.len();
+                if reaped > 0 {
+                    poc_obs::counter!("ctrl.conn.reaped").add(reaped as u64);
+                }
+                // CAS the active count upward so concurrent accept
+                // threads can never jointly overshoot the cap.
+                if !try_reserve_slot(active, config.max_connections as i64) {
+                    reject_over_capacity(stream, config);
+                    continue;
+                }
+                poc_obs::counter!("ctrl.conn.total").inc();
+                let guard = ConnectionGuard { active: Arc::clone(active) };
+                let shared = Arc::clone(shared);
+                let flag = Arc::clone(shutdown);
+                let config = config.clone();
+                workers.push(std::thread::spawn(move || {
+                    let _guard = guard;
+                    let _ = serve_connection(stream, shared, flag, &config);
+                }));
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // A persistent accept error (EMFILE, ENOBUFS, ...)
+                // must not hot-spin a core: back off exponentially
+                // while staying responsive to shutdown.
+                poc_obs::counter!("ctrl.accept.errors").inc();
+                std::thread::sleep(accept_backoff);
+                accept_backoff = (accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Reserve one connection slot iff the cap allows it (CAS loop, updates
+/// the `ctrl.conn.active` gauge on success).
+fn try_reserve_slot(active: &AtomicI64, max: i64) -> bool {
+    let mut cur = active.load(Ordering::SeqCst);
+    loop {
+        if cur >= max {
+            return false;
+        }
+        match active.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                poc_obs::gauge!("ctrl.conn.active").set((cur + 1) as f64);
+                return true;
+            }
+            Err(now) => cur = now,
         }
     }
 }
@@ -263,22 +402,40 @@ impl PocServer {
 /// the same path live requests take, so an event that failed validation
 /// live fails identically on replay.
 fn recover(
-    state: &mut State,
+    shared: &mut Shared,
     config: &DurabilityConfig,
     crash: CrashSwitch,
+    fault: FsyncFault,
 ) -> Result<(), crate::recovery::RecoveryError> {
     let started = Instant::now();
-    let fingerprint = poc_core::poc::topology_fingerprint(state.poc.topo());
-    let recovered = Durability::open(config, fingerprint, crash)?;
+    let fingerprint = {
+        let g = shared.state.global.lock();
+        poc_core::poc::topology_fingerprint(g.poc.topo())
+    };
+    let recovered = Durability::open(config, fingerprint, crash, fault)?;
     if let Some(snapshot) = recovered.snapshot {
-        state.poc.restore_state(snapshot.poc);
-        state.usage = snapshot.usage;
+        let (mut g, mut shards) = shared.state.lock_all();
+        g.poc.restore_state(snapshot.poc);
+        restore_usage(&mut shards, snapshot.usage);
+        // The snapshot restored the registry wholesale; rebuild the
+        // per-shard authorization cache to match. Journal replay below
+        // maintains it incrementally through apply_attach, exactly as
+        // live attaches do.
+        for shard in shards.iter_mut() {
+            shard.authorized.clear();
+        }
+        for entity in g.poc.registry().iter() {
+            if g.poc.registry().may_send_traffic(entity.id) {
+                let idx = entity.id.0 as usize % shards.len();
+                shards[idx].authorized.insert(entity.id);
+            }
+        }
     }
     for event in recovered.replay {
-        let _ = apply(state, event.into_request());
+        let _ = apply(shared, event.into_request());
     }
-    state.durability = Some(recovered.durability);
-    state.recovery = Some(recovered.info);
+    shared.durability = Some(recovered.durability);
+    shared.recovery = Some(recovered.info);
     poc_obs::histogram!("ctrl.recovery.time").record_duration(started.elapsed());
     Ok(())
 }
@@ -312,10 +469,12 @@ struct ShutdownAwareReader<'a> {
     /// Last instant any byte arrived on this connection. Shared with
     /// [`serve_connection`] so idleness spans frame boundaries (a peer
     /// sending a half-frame and stalling is as idle as a silent one).
-    last_byte: &'a mut Instant,
+    /// A `Cell` so the reader can live inside a persistent `BufReader`
+    /// while the connection loop keeps observing it.
+    last_byte: &'a Cell<Instant>,
 }
 
-impl Read for ShutdownAwareReader<'_> {
+impl std::io::Read for ShutdownAwareReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         // `impl Read for &TcpStream` lets us read through the shared ref.
         let mut stream = self.stream;
@@ -330,7 +489,7 @@ impl Read for ShutdownAwareReader<'_> {
                     if self.flag.load(Ordering::SeqCst) {
                         return Ok(0);
                     }
-                    if self.last_byte.elapsed() >= self.idle_timeout {
+                    if self.last_byte.get().elapsed() >= self.idle_timeout {
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::TimedOut,
                             "idle deadline expired",
@@ -339,7 +498,7 @@ impl Read for ShutdownAwareReader<'_> {
                 }
                 Ok(n) => {
                     if n > 0 {
-                        *self.last_byte = Instant::now();
+                        self.last_byte.set(Instant::now());
                     }
                     return Ok(n);
                 }
@@ -349,25 +508,41 @@ impl Read for ShutdownAwareReader<'_> {
     }
 }
 
+/// Whether a request bypasses the admission gate: health and
+/// observability must stay reachable while the controller sheds load.
+fn admission_exempt(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Ping | Request::Metrics | Request::Trace { .. } | Request::GetRecovery
+    )
+}
+
 fn serve_connection(
-    mut stream: TcpStream,
-    state: Arc<Mutex<State>>,
+    stream: TcpStream,
+    shared: Arc<Shared>,
     flag: Arc<AtomicBool>,
     config: &ServerConfig,
 ) -> Result<(), CodecError> {
     stream.set_read_timeout(Some(READ_POLL))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
-    let mut last_byte = Instant::now();
+    let last_byte = Cell::new(Instant::now());
+    // Persistent buffered reader: a request's length prefix and payload
+    // usually arrive in one segment, so framing costs one `read(2)`
+    // instead of two. The buffer outlives frame boundaries, so a
+    // pipelined next frame is served from memory.
+    let mut reader = std::io::BufReader::with_capacity(
+        4096,
+        ShutdownAwareReader {
+            stream: &stream,
+            flag: &flag,
+            idle_timeout: config.idle_timeout,
+            last_byte: &last_byte,
+        },
+    );
     loop {
         if flag.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let mut reader = ShutdownAwareReader {
-            stream: &stream,
-            flag: &flag,
-            idle_timeout: config.idle_timeout,
-            last_byte: &mut last_byte,
-        };
         let request: Request = match read_frame(&mut reader) {
             Ok(req) => req,
             Err(CodecError::Closed) => return Ok(()),
@@ -397,7 +572,37 @@ fn serve_connection(
         // request's trace tree.
         let latency = poc_obs::global().histogram(request.metric_name());
         let root_span = poc_obs::Span::on(request.metric_name(), &latency);
-        let outcome = handle(&state, request);
+        // Admission: bound the requests in flight. Rejection happens
+        // *before* any journaling or state change, so a Busy answer is
+        // always safe to retry — even for non-idempotent mutations.
+        let permit = if admission_exempt(&request) {
+            None
+        } else {
+            let _adm = poc_obs::span!("ctrl.admission");
+            match shared.admission.try_admit() {
+                Some(p) => Some(p),
+                None => {
+                    drop(root_span);
+                    let busy = Response::Busy { retry_after_ms: BUSY_RETRY_MS };
+                    match write_frame(&mut &stream, &busy) {
+                        Ok(()) => {
+                            poc_obs::counter!("ctrl.frames.written").inc();
+                            continue;
+                        }
+                        Err(CodecError::TimedOut) => {
+                            poc_obs::counter!("ctrl.write.timeouts").inc();
+                            return Err(CodecError::TimedOut);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        };
+        // Checkpoint outside the request's own locks: the cadence check
+        // is cheap, and a due checkpoint takes every state lock itself.
+        let outcome =
+            handle(&shared, request).and_then(|resp| maybe_checkpoint(&shared).map(|()| resp));
+        drop(permit);
         drop(root_span);
         let response = match outcome {
             Ok(response) => response,
@@ -410,13 +615,15 @@ fn serve_connection(
                 poc_obs::counter!("ctrl.crash.injected").inc();
                 flag.store(true, Ordering::SeqCst);
                 if let Ok(addr) = stream.local_addr() {
-                    // Wake the accept loop so it observes the flag.
-                    let _ = TcpStream::connect(addr);
+                    // Wake every accept thread so they observe the flag.
+                    for _ in 0..config.accept_shards.max(1) {
+                        let _ = TcpStream::connect(addr);
+                    }
                 }
                 return Ok(());
             }
         };
-        match write_frame(&mut stream, &response) {
+        match write_frame(&mut &stream, &response) {
             Ok(()) => {}
             Err(CodecError::TimedOut) => {
                 // The peer stopped draining its window mid-response; the
@@ -430,165 +637,307 @@ fn serve_connection(
     }
 }
 
-/// Handle one request end-to-end: journal mutating events *before*
-/// applying them (write-ahead discipline), apply, then cut a checkpoint
-/// if the cadence says so. `Err(point)` means an armed [`CrashPoint`]
-/// fired — the simulated process is dead and the caller must stop the
-/// server without replying.
-fn handle(state: &Arc<Mutex<State>>, request: Request) -> Result<Response, CrashPoint> {
-    let mut st = state.lock();
-    if st.durability.is_some() {
-        if let Some(event) = JournalEvent::from_request(&request) {
-            match st.durability.as_mut().expect("checked above").record(event) {
-                Ok(_seq) => {}
-                Err(JournalError::Crashed(p)) => return Err(p),
-                Err(e) => {
-                    // The write-ahead append failed: applying anyway
-                    // would let memory diverge from disk, so refuse the
-                    // mutation instead.
-                    poc_obs::counter!("ctrl.journal.errors").inc();
-                    return Ok(Response::Error { message: format!("durability failure: {e}") });
-                }
-            }
+/// Journal one mutating event (write-ahead discipline), waiting for its
+/// group commit. `Ok(Some(response))` is a typed refusal: the append or
+/// its fsync failed, the mutation was *not* persisted, and the caller
+/// must return the error without applying. `Err(point)` means an armed
+/// [`CrashPoint`] fired.
+fn journal_event(shared: &Shared, event: JournalEvent) -> Result<Option<Response>, CrashPoint> {
+    let Some(d) = &shared.durability else { return Ok(None) };
+    match d.record(event) {
+        Ok(_seq) => Ok(None),
+        Err(JournalError::Crashed(p)) => Err(p),
+        Err(e) => {
+            // The write-ahead append (or the group-commit fsync
+            // covering it) failed: applying anyway would let memory
+            // diverge from disk, so refuse the mutation instead. A
+            // whole coalesced batch failing lands every member here —
+            // nobody in a failed batch is ever acked.
+            poc_obs::counter!("ctrl.journal.errors").inc();
+            Ok(Some(Response::Error { message: format!("durability failure: {e}") }))
         }
     }
-    let response = apply(&mut st, request);
-    if st.durability.as_ref().is_some_and(Durability::wants_checkpoint) {
-        let poc_state = st.poc.export_state();
-        let usage = st.usage.clone();
-        match st.durability.as_mut().expect("checked above").checkpoint(poc_state, usage) {
-            Ok(()) => {}
-            Err(JournalError::Crashed(p)) => return Err(p),
-            Err(_) => {
-                // A failed checkpoint is not fatal: the journal still
-                // holds every event, recovery just replays more of them.
-                poc_obs::counter!("ctrl.snapshot.errors").inc();
-            }
-        }
-    }
-    Ok(response)
 }
 
-/// Apply one request to in-memory state. Both live requests and journal
-/// replay come through here, which is what makes replay deterministic.
-fn apply(st: &mut State, request: Request) -> Response {
+/// Cut a checkpoint if the cadence says so. Takes the global lock and
+/// every shard lock, so the snapshot's sequence number is exact: no
+/// mutation can journal or apply while the snapshot is cut.
+fn maybe_checkpoint(shared: &Shared) -> Result<(), CrashPoint> {
+    let Some(d) = &shared.durability else { return Ok(()) };
+    if !d.wants_checkpoint() {
+        return Ok(());
+    }
+    let (g, shards) = shared.state.lock_all();
+    // Re-check under the locks: a concurrent request may have cut the
+    // checkpoint while this one waited.
+    if !d.wants_checkpoint() {
+        return Ok(());
+    }
+    let poc_state = g.poc.export_state();
+    let usage = merged_usage(&shards);
+    match d.checkpoint(poc_state, usage) {
+        Ok(()) => Ok(()),
+        Err(JournalError::Crashed(p)) => Err(p),
+        Err(_) => {
+            // A failed checkpoint is not fatal: the journal still
+            // holds every event, recovery just replays more of them.
+            poc_obs::counter!("ctrl.snapshot.errors").inc();
+            Ok(())
+        }
+    }
+}
+
+/// Handle one request end-to-end: route it to the locks it needs,
+/// journal mutating events *before* applying them (under those same
+/// locks — the determinism contract in [`crate::shard`]), then apply.
+/// `Err(point)` means an armed [`CrashPoint`] fired — the simulated
+/// process is dead and the caller must stop the server without
+/// replying.
+fn handle(shared: &Shared, request: Request) -> Result<Response, CrashPoint> {
     match request {
-        Request::Ping => Response::Pong,
-        Request::Attach { name, role } => {
-            let result = match role {
-                AttachRole::Lmp { router } => st.poc.attach_lmp(&name, router),
-                AttachRole::DirectCsp { router } => st.poc.attach_direct_csp(&name, router),
-                AttachRole::HostedCsp { via_lmp } => st.poc.attach_hosted_csp(&name, via_lmp),
-            };
-            match result {
-                Ok(entity) => Response::Welcome { entity },
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
-        Request::RunAuction => {
-            let tm = st.tm.clone();
-            match st.poc.run_auction_round(&tm) {
-                Ok(out) => Response::AuctionDone(summarize(out)),
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
-        Request::GetOutcome => Response::Outcome(st.poc.last_outcome().map(summarize)),
-        Request::ReportUsage { entity, gbps } => {
-            if !gbps.is_finite() || gbps < 0.0 {
-                return Response::Error { message: "invalid usage".into() };
-            }
-            if !st.poc.registry().may_send_traffic(entity) {
-                return Response::Error {
-                    message: format!("{entity} is not authorized to send traffic"),
-                };
-            }
-            // Each report is finite, but the running sum across reports
-            // can still overflow to +inf; reject the report that would
-            // poison the billing cycle, keeping the accumulated total
-            // finite.
-            let current = st.usage.get(&entity).copied().unwrap_or(0.0);
-            let total = current + gbps;
-            if !total.is_finite() {
-                return Response::Error {
-                    message: format!("accumulated usage for {entity} would overflow"),
-                };
-            }
-            st.usage.insert(entity, total);
-            Response::Ack
-        }
-        Request::RunBilling => {
-            let usage: Vec<(EntityId, f64)> = st.usage.iter().map(|(&e, &g)| (e, g)).collect();
-            match st.poc.billing_cycle(&usage) {
-                Ok(summary) => {
-                    st.usage.clear();
-                    Response::BillingDone(BillingSummaryWire {
-                        period: summary.period,
-                        total_outlay: summary.total_outlay,
-                        unit_price: summary.unit_price,
-                        poc_net: summary.poc_net,
-                        charges: summary.charges,
-                    })
-                }
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
-        Request::GetBalance { entity } => Response::Balance {
-            entity,
-            balance: st.poc.ledger().balance(poc_core::settlement::Account::Entity(entity)),
-        },
-        Request::ReviewPolicy { policy } => Response::PolicyVerdict(st.poc.review_policy(&policy)),
-        Request::GetPath { from, to } => match st.poc.member_path(from, to) {
-            Ok(links) => {
-                Response::Path { links: links.map(|ls| ls.into_iter().map(|l| l.0).collect()) }
-            }
-            Err(e) => Response::Error { message: e.to_string() },
-        },
-        Request::RecallLink { bp, link, notice_periods } => {
-            let found = st.poc.recall_link(
-                poc_topology::BpId(bp),
-                poc_topology::LinkId(link),
-                notice_periods,
-            );
-            Response::RecallDone { found, reauction_needed: st.poc.reauction_needed() }
-        }
-        // Snapshot the process-global registry: auction, flow, and
-        // control-plane instruments all land there, so one scrape shows
-        // the whole controller.
-        Request::Metrics => Response::Metrics(poc_obs::global().snapshot()),
-        // The envelope never reaches apply() from the wire (the serve
-        // loop unwraps it before journaling), but replay safety demands
-        // a total function: unwrap here too.
-        Request::Traced { request, .. } => apply(st, *request),
+        // Lock-free: health and observability.
+        Request::Ping => Ok(Response::Pong),
+        Request::Metrics => Ok(Response::Metrics(poc_obs::global().snapshot())),
         Request::Trace { trace_id, last_n } => {
             // A full ring serializes past MAX_FRAME; trim to the frame
             // budget keeping the longest spans (round, pivots, journal
             // appends survive — short flow leaves drop first).
             let budget = (crate::codec::MAX_FRAME as usize).saturating_sub(4096);
-            Response::Traces(poc_obs::trace::trim_traces_to_bytes(
+            Ok(Response::Traces(poc_obs::trace::trim_traces_to_bytes(
                 poc_obs::trace::scrape(trace_id, last_n),
                 budget,
+            )))
+        }
+        Request::GetRecovery => Ok(Response::Recovery(shared.recovery.clone())),
+        // The envelope never reaches handle() from the wire (the serve
+        // loop unwraps it), but replay safety demands a total function.
+        Request::Traced { request, .. } => handle(shared, *request),
+        // The hot path: one shard lock, no global state.
+        Request::ReportUsage { entity, gbps } => {
+            let _span = poc_obs::span!("ctrl.shard.apply", op = "report_usage");
+            let mut shard = shared.state.shard(entity).lock();
+            if let Some(refusal) =
+                journal_event(shared, JournalEvent::ReportUsage { entity, gbps })?
+            {
+                return Ok(refusal);
+            }
+            Ok(apply_usage(&mut shard, entity, gbps))
+        }
+        // Global mutations that touch usage/authorization state take
+        // every lock; the rest take only the global lock.
+        Request::Attach { name, role } => {
+            let (mut g, mut shards) = shared.state.lock_all();
+            if let Some(refusal) = journal_event(
+                shared,
+                JournalEvent::Attach { name: name.clone(), role: role.clone() },
+            )? {
+                return Ok(refusal);
+            }
+            Ok(apply_attach(&mut g, &mut shards, &name, &role))
+        }
+        Request::RunBilling => {
+            let (mut g, mut shards) = shared.state.lock_all();
+            if let Some(refusal) = journal_event(shared, JournalEvent::RunBilling)? {
+                return Ok(refusal);
+            }
+            Ok(apply_billing(&mut g, &mut shards))
+        }
+        Request::RunAuction => {
+            let mut g = shared.state.global.lock();
+            if let Some(refusal) = journal_event(shared, JournalEvent::RunAuction)? {
+                return Ok(refusal);
+            }
+            Ok(apply_auction(&mut g))
+        }
+        Request::RecallLink { bp, link, notice_periods } => {
+            let mut g = shared.state.global.lock();
+            if let Some(refusal) =
+                journal_event(shared, JournalEvent::RecallLink { bp, link, notice_periods })?
+            {
+                return Ok(refusal);
+            }
+            let found = g.poc.recall_link(
+                poc_topology::BpId(bp),
+                poc_topology::LinkId(link),
+                notice_periods,
+            );
+            Ok(Response::RecallDone { found, reauction_needed: g.poc.reauction_needed() })
+        }
+        Request::ReviewPolicy { policy } => {
+            let mut g = shared.state.global.lock();
+            if let Some(refusal) =
+                journal_event(shared, JournalEvent::ReviewPolicy { policy: policy.clone() })?
+            {
+                return Ok(refusal);
+            }
+            Ok(Response::PolicyVerdict(g.poc.review_policy(&policy)))
+        }
+        // Global reads.
+        Request::GetOutcome => {
+            let g = shared.state.global.lock();
+            Ok(Response::Outcome(g.poc.last_outcome().map(summarize)))
+        }
+        Request::GetBalance { entity } => {
+            let g = shared.state.global.lock();
+            Ok(Response::Balance {
+                entity,
+                balance: g.poc.ledger().balance(poc_core::settlement::Account::Entity(entity)),
+            })
+        }
+        Request::GetPath { from, to } => {
+            let g = shared.state.global.lock();
+            Ok(match g.poc.member_path(from, to) {
+                Ok(links) => {
+                    Response::Path { links: links.map(|ls| ls.into_iter().map(|l| l.0).collect()) }
+                }
+                Err(e) => Response::Error { message: e.to_string() },
+            })
+        }
+        Request::GetLeases => {
+            let g = shared.state.global.lock();
+            Ok(Response::Leases(
+                g.poc
+                    .leases()
+                    .leases()
+                    .iter()
+                    .map(|l| LeaseWire {
+                        link: l.link.0,
+                        bp: l.bp.0,
+                        monthly_payment: l.monthly_payment,
+                        state: match l.state {
+                            poc_core::lease::LeaseState::Active => "active".into(),
+                            poc_core::lease::LeaseState::Recalled { effective_period } => {
+                                format!("recalled@{effective_period}")
+                            }
+                            poc_core::lease::LeaseState::Expired => "expired".into(),
+                        },
+                    })
+                    .collect(),
             ))
         }
-        Request::GetRecovery => Response::Recovery(st.recovery.clone()),
-        Request::GetLeases => Response::Leases(
-            st.poc
-                .leases()
-                .leases()
-                .iter()
-                .map(|l| LeaseWire {
-                    link: l.link.0,
-                    bp: l.bp.0,
-                    monthly_payment: l.monthly_payment,
-                    state: match l.state {
-                        poc_core::lease::LeaseState::Active => "active".into(),
-                        poc_core::lease::LeaseState::Recalled { effective_period } => {
-                            format!("recalled@{effective_period}")
-                        }
-                        poc_core::lease::LeaseState::Expired => "expired".into(),
-                    },
-                })
-                .collect(),
-        ),
+    }
+}
+
+/// Apply one request to in-memory state *without* journaling: the
+/// journal-replay path. Live requests go through [`handle`], which
+/// journals first and then applies through the same `apply_*` functions
+/// below — that shared tail is what makes replay deterministic.
+fn apply(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::ReportUsage { entity, gbps } => {
+            let mut shard = shared.state.shard(entity).lock();
+            apply_usage(&mut shard, entity, gbps)
+        }
+        Request::Attach { name, role } => {
+            let (mut g, mut shards) = shared.state.lock_all();
+            apply_attach(&mut g, &mut shards, &name, &role)
+        }
+        Request::RunBilling => {
+            let (mut g, mut shards) = shared.state.lock_all();
+            apply_billing(&mut g, &mut shards)
+        }
+        Request::RunAuction => {
+            let mut g = shared.state.global.lock();
+            apply_auction(&mut g)
+        }
+        Request::RecallLink { bp, link, notice_periods } => {
+            let mut g = shared.state.global.lock();
+            let found = g.poc.recall_link(
+                poc_topology::BpId(bp),
+                poc_topology::LinkId(link),
+                notice_periods,
+            );
+            Response::RecallDone { found, reauction_needed: g.poc.reauction_needed() }
+        }
+        Request::ReviewPolicy { policy } => {
+            let mut g = shared.state.global.lock();
+            Response::PolicyVerdict(g.poc.review_policy(&policy))
+        }
+        Request::Traced { request, .. } => apply(shared, *request),
+        // Non-mutating requests are never journaled, but replay safety
+        // demands a total function.
+        other => Response::Error { message: format!("not a mutation: {}", other.name()) },
+    }
+}
+
+/// Validate and record one usage report on its shard. Validation runs
+/// *after* journaling (live and on replay alike): a journaled report
+/// that failed validation live fails identically when replayed.
+fn apply_usage(shard: &mut UsageShard, entity: EntityId, gbps: f64) -> Response {
+    if !gbps.is_finite() || gbps < 0.0 {
+        return Response::Error { message: "invalid usage".into() };
+    }
+    if !shard.authorized.contains(&entity) {
+        return Response::Error { message: format!("{entity} is not authorized to send traffic") };
+    }
+    // Each report is finite, but the running sum across reports can
+    // still overflow to +inf; reject the report that would poison the
+    // billing cycle, keeping the accumulated total finite.
+    let current = shard.usage.get(&entity).copied().unwrap_or(0.0);
+    let total = current + gbps;
+    if !total.is_finite() {
+        return Response::Error {
+            message: format!("accumulated usage for {entity} would overflow"),
+        };
+    }
+    shard.usage.insert(entity, total);
+    Response::Ack
+}
+
+/// Attach a member and, on success, seed its shard's authorization
+/// cache (the verdict is fixed at attach time — see [`crate::shard`]).
+fn apply_attach(
+    g: &mut Global,
+    shards: &mut [MutexGuard<'_, UsageShard>],
+    name: &str,
+    role: &AttachRole,
+) -> Response {
+    let result = match role {
+        AttachRole::Lmp { router } => g.poc.attach_lmp(name, *router),
+        AttachRole::DirectCsp { router } => g.poc.attach_direct_csp(name, *router),
+        AttachRole::HostedCsp { via_lmp } => g.poc.attach_hosted_csp(name, *via_lmp),
+    };
+    match result {
+        Ok(entity) => {
+            if g.poc.registry().may_send_traffic(entity) {
+                let idx = entity.0 as usize % shards.len();
+                shards[idx].authorized.insert(entity);
+            }
+            Response::Welcome { entity }
+        }
+        Err(e) => Response::Error { message: e.to_string() },
+    }
+}
+
+fn apply_auction(g: &mut Global) -> Response {
+    let tm = g.tm.clone();
+    match g.poc.run_auction_round(&tm) {
+        Ok(out) => Response::AuctionDone(summarize(out)),
+        Err(e) => Response::Error { message: e.to_string() },
+    }
+}
+
+/// Drain every shard's usage into one billing cycle. Holding every
+/// shard lock makes the cycle atomic with respect to concurrent
+/// reports: a report either lands in this cycle or the next, never
+/// half in each.
+fn apply_billing(g: &mut Global, shards: &mut [MutexGuard<'_, UsageShard>]) -> Response {
+    let merged = merged_usage(shards);
+    let usage: Vec<(EntityId, f64)> = merged.into_iter().collect();
+    match g.poc.billing_cycle(&usage) {
+        Ok(summary) => {
+            for shard in shards.iter_mut() {
+                shard.usage.clear();
+            }
+            Response::BillingDone(BillingSummaryWire {
+                period: summary.period,
+                total_outlay: summary.total_outlay,
+                unit_price: summary.unit_price,
+                poc_net: summary.poc_net,
+                charges: summary.charges,
+            })
+        }
+        Err(e) => Response::Error { message: e.to_string() },
     }
 }
 
@@ -608,41 +957,92 @@ mod tests {
     use poc_topology::builder::two_bp_square;
     use poc_topology::RouterId;
 
-    fn test_state() -> (Arc<Mutex<State>>, EntityId) {
+    fn test_shared() -> (Shared, EntityId) {
         let topo = two_bp_square();
         let tm = TrafficMatrix::zero(topo.n_routers());
         let mut poc = Poc::new(topo, PocConfig::default());
         let lmp = poc.attach_lmp("lmp", RouterId(0)).unwrap();
-        let state = State { poc, tm, usage: BTreeMap::new(), durability: None, recovery: None };
-        (Arc::new(Mutex::new(state)), lmp)
+        let shared = Shared {
+            state: ShardedState::new(poc, tm, 4),
+            durability: None,
+            recovery: None,
+            admission: Admission::new(16),
+        };
+        (shared, lmp)
+    }
+
+    fn usage_total(shared: &Shared, entity: EntityId) -> Option<f64> {
+        shared.state.shard(entity).lock().usage.get(&entity).copied()
     }
 
     #[test]
     fn usage_accumulation_rejects_overflow_to_inf() {
-        let (state, lmp) = test_state();
+        let (shared, lmp) = test_shared();
         // Each report is individually finite...
-        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: f64::MAX }).unwrap();
+        let resp = handle(&shared, Request::ReportUsage { entity: lmp, gbps: f64::MAX }).unwrap();
         assert_eq!(resp, Response::Ack);
         // ...but the one that would push the running sum to +inf is
         // rejected, and the stored total stays finite and unchanged.
-        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: f64::MAX }).unwrap();
+        let resp = handle(&shared, Request::ReportUsage { entity: lmp, gbps: f64::MAX }).unwrap();
         let Response::Error { message } = resp else { panic!("expected overflow error: {resp:?}") };
         assert!(message.contains("overflow"), "{message}");
-        let total = state.lock().usage[&lmp];
+        let total = usage_total(&shared, lmp).unwrap();
         assert!(total.is_finite());
         assert_eq!(total, f64::MAX);
         // Reports that keep the total finite still go through.
-        let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: 0.0 }).unwrap();
+        let resp = handle(&shared, Request::ReportUsage { entity: lmp, gbps: 0.0 }).unwrap();
         assert_eq!(resp, Response::Ack);
     }
 
     #[test]
     fn usage_rejects_nonfinite_and_negative_reports() {
-        let (state, lmp) = test_state();
+        let (shared, lmp) = test_shared();
         for bad in [f64::NAN, f64::INFINITY, -1.0] {
-            let resp = handle(&state, Request::ReportUsage { entity: lmp, gbps: bad }).unwrap();
+            let resp = handle(&shared, Request::ReportUsage { entity: lmp, gbps: bad }).unwrap();
             assert!(matches!(resp, Response::Error { .. }), "{bad} accepted: {resp:?}");
         }
-        assert!(state.lock().usage.is_empty());
+        assert!(usage_total(&shared, lmp).is_none());
+    }
+
+    #[test]
+    fn admission_gate_bounds_in_flight_requests() {
+        let gate = Admission::new(2);
+        let p1 = gate.try_admit();
+        let p2 = gate.try_admit();
+        assert!(p1.is_some() && p2.is_some());
+        assert!(gate.try_admit().is_none(), "third request over a budget of 2");
+        drop(p1);
+        assert!(gate.try_admit().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn billing_drains_usage_across_shards() {
+        let (shared, lmp) = test_shared();
+        let csp = {
+            let resp = handle(
+                &shared,
+                Request::Attach {
+                    name: "csp".into(),
+                    role: AttachRole::HostedCsp { via_lmp: lmp },
+                },
+            )
+            .unwrap();
+            let Response::Welcome { entity } = resp else { panic!("attach failed: {resp:?}") };
+            entity
+        };
+        assert_ne!(
+            shared.state.shard_index(lmp),
+            shared.state.shard_index(csp),
+            "test wants usage on two distinct shards"
+        );
+        let resp = handle(&shared, Request::RunAuction).unwrap();
+        assert!(matches!(resp, Response::AuctionDone(_)), "auction failed: {resp:?}");
+        handle(&shared, Request::ReportUsage { entity: lmp, gbps: 5.0 }).unwrap();
+        handle(&shared, Request::ReportUsage { entity: csp, gbps: 7.0 }).unwrap();
+        let resp = handle(&shared, Request::RunBilling).unwrap();
+        let Response::BillingDone(summary) = resp else { panic!("billing failed: {resp:?}") };
+        assert!((summary.charges.iter().map(|c| c.1).sum::<f64>()).is_finite());
+        assert!(usage_total(&shared, lmp).is_none(), "billing drains every shard");
+        assert!(usage_total(&shared, csp).is_none());
     }
 }

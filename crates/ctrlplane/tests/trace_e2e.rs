@@ -76,17 +76,23 @@ fn traced_auction_round_reconstructs_end_to_end() {
     assert_eq!(root.parent_id, 0);
 
     // The journal persisted the round under the handler span; with
-    // `FsyncPolicy::Always` the fsync happens inside the append, so its
-    // span parents to the append span.
+    // `FsyncPolicy::Always` the append's durability wait runs the
+    // group-commit protocol, so the fsync span parents to the
+    // commit-leader's `ctrl.journal.group_commit` span (this request is
+    // alone, so it *is* the leader), which in turn sits under root next
+    // to the buffered append.
     let appends = span_ids_named(trace, "ctrl.journal.append");
     assert!(!appends.is_empty(), "missing journal append: {trace:?}");
     assert!(appends.iter().all(|s| s.parent_id == root.span_id), "appends under root");
-    let append_ids: Vec<u64> = appends.iter().map(|s| s.span_id).collect();
+    let commits = span_ids_named(trace, "ctrl.journal.group_commit");
+    assert!(!commits.is_empty(), "missing group commit: {trace:?}");
+    assert!(commits.iter().all(|s| s.parent_id == root.span_id), "group commits under root");
+    let commit_ids: Vec<u64> = commits.iter().map(|s| s.span_id).collect();
     let fsyncs = span_ids_named(trace, "ctrl.journal.fsync");
     assert!(!fsyncs.is_empty(), "missing journal fsync: {trace:?}");
     assert!(
-        fsyncs.iter().all(|s| append_ids.contains(&s.parent_id)),
-        "fsyncs under their appends: {trace:?}"
+        fsyncs.iter().all(|s| commit_ids.contains(&s.parent_id)),
+        "fsyncs under their group commits: {trace:?}"
     );
 
     // The auction round span sits under the handler; every Clarke pivot

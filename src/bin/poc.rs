@@ -74,6 +74,13 @@ commands:
         [--max-conns N]                  connection cap (default 256)
         [--idle-timeout-ms N]            evict silent peers after N ms (default 30000)
         [--write-timeout-ms N]           per-response write deadline (default 10000)
+        [--shards N]                     usage-ledger shards; a shard's mutation
+                                         holds its lock across the group commit,
+                                         so size this to the expected number of
+                                         concurrent writers (default 8)
+        [--max-queue N]                  admitted requests in flight before the
+                                         server answers Busy (default 1024)
+        [--accept-shards N]              threads blocked in accept() (default 2)
         [--state-dir PATH]               journal + snapshots here; recover on start
                                          (default: in-memory only, state dies with
                                          the process)
@@ -375,6 +382,24 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     if let Some(ms) = num_opt::<u64>(rest, "--write-timeout-ms")? {
         config.write_timeout = std::time::Duration::from_millis(ms);
     }
+    if let Some(n) = num_opt::<usize>(rest, "--shards")? {
+        if n == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        config.shards = n;
+    }
+    if let Some(n) = num_opt::<usize>(rest, "--max-queue")? {
+        if n == 0 {
+            return Err("--max-queue must be at least 1".into());
+        }
+        config.max_queue = n;
+    }
+    if let Some(n) = num_opt::<usize>(rest, "--accept-shards")? {
+        if n == 0 {
+            return Err("--accept-shards must be at least 1".into());
+        }
+        config.accept_shards = n;
+    }
     if let Some(dir) = opt(rest, "--state-dir") {
         let mut durability = public_option_core::ctrlplane::DurabilityConfig::new(dir);
         if let Some(policy) = opt(rest, "--fsync") {
@@ -410,6 +435,10 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     println!(
         "limits: {} connections, idle eviction after {:?}, write deadline {:?}",
         config.max_connections, config.idle_timeout, config.write_timeout
+    );
+    println!(
+        "pipeline: {} usage shards, {} requests in flight before Busy, {} accept threads",
+        config.shards, config.max_queue, config.accept_shards
     );
     match &config.durability {
         Some(d) => println!(
