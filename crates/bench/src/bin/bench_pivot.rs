@@ -23,12 +23,14 @@
 //! `--validate` accepts any artifact this workspace emits: the
 //! warm-vs-cold report (`"bench": "pivot"`), the mode-comparison
 //! report from the `pivot_parallel` bench (`"bench": "pivot_modes"`),
-//! or the control-plane throughput report from `bench_ctrl`
-//! (`"bench": "ctrl"`).
+//! the control-plane throughput report from `bench_ctrl`
+//! (`"bench": "ctrl"`), or the packet-engine throughput report from
+//! `bench_dataplane` (`"bench": "dataplane"`).
 
 use poc_auction::{GreedySelector, Market, Selector};
 use poc_bench::report::{
-    CtrlBenchReport, PivotBenchReport, PivotModesReport, PivotSample, ScaleInfo,
+    CtrlBenchReport, DataplaneBenchReport, PivotBenchReport, PivotModesReport, PivotSample,
+    ScaleInfo,
 };
 use poc_bench::{instance, paper_instance, scale_instance};
 use poc_flow::{Constraint, FeasibilityCache, FeasibilityOracle, WarmOracle};
@@ -91,11 +93,27 @@ fn main() {
                                 return;
                             }
                             Err(ctrl_err) => {
-                                eprintln!("{path}: INVALID artifact");
-                                eprintln!("  as pivot: {pivot_err}");
-                                eprintln!("  as pivot_modes: {modes_err}");
-                                eprintln!("  as ctrl: {ctrl_err}");
-                                std::process::exit(1);
+                                let as_dp = DataplaneBenchReport::read(Path::new(path))
+                                    .and_then(|r| r.validate().map(|()| r));
+                                match as_dp {
+                                    Ok(r) => {
+                                        println!(
+                                            "{path}: valid dataplane artifact ({} mode, \
+                                             {:.1}M events/sec)",
+                                            r.mode,
+                                            r.events_per_sec / 1e6
+                                        );
+                                        return;
+                                    }
+                                    Err(dp_err) => {
+                                        eprintln!("{path}: INVALID artifact");
+                                        eprintln!("  as pivot: {pivot_err}");
+                                        eprintln!("  as pivot_modes: {modes_err}");
+                                        eprintln!("  as ctrl: {ctrl_err}");
+                                        eprintln!("  as dataplane: {dp_err}");
+                                        std::process::exit(1);
+                                    }
+                                }
                             }
                         }
                     }

@@ -268,6 +268,100 @@ impl CtrlBenchReport {
     }
 }
 
+/// One timed run of the packet engine on a fixed workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DataplaneTrial {
+    /// Events popped off the queue across the run.
+    pub events: u64,
+    pub packets_injected: u64,
+    pub packets_delivered: u64,
+    pub packets_dropped: u64,
+    /// Wall time of the run, seconds.
+    pub elapsed_s: f64,
+    pub events_per_sec: f64,
+    pub packets_per_sec: f64,
+}
+
+/// The `BENCH_dataplane.json` artifact: packet-engine event throughput.
+/// The headline numbers are the median trial's, so one scheduler hiccup
+/// cannot set them in either direction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DataplaneBenchReport {
+    /// Artifact discriminator; always "dataplane".
+    pub bench: String,
+    /// "quick" (CI dataplane-smoke) or "full".
+    pub mode: String,
+    pub scale: ScaleInfo,
+    /// Simulated horizon, nanoseconds.
+    pub horizon_ns: u64,
+    /// Packet sources standing in for `n_user_flows` user flows.
+    pub n_sources: usize,
+    pub n_user_flows: u64,
+    pub trials: Vec<DataplaneTrial>,
+    /// Median-trial throughput — the headline numbers.
+    pub events_per_sec: f64,
+    pub packets_per_sec: f64,
+    /// Median-trial delivered availability (delivered/offered bytes).
+    pub availability: f64,
+}
+
+impl DataplaneBenchReport {
+    /// Structural validation mirroring [`PivotBenchReport::validate`]:
+    /// the checks CI's `--validate` pass runs on the emitted file.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench != "dataplane" {
+            return Err(format!("bench discriminator must be \"dataplane\", got {:?}", self.bench));
+        }
+        if self.trials.is_empty() {
+            return Err("no trials recorded".into());
+        }
+        if self.scale.n_links == 0 || self.scale.n_routers == 0 || self.scale.n_bps == 0 {
+            return Err("scale info has zero-sized instance".into());
+        }
+        if self.horizon_ns == 0 {
+            return Err("horizon must be positive".into());
+        }
+        if self.n_sources == 0 || self.n_user_flows < self.n_sources as u64 {
+            return Err(format!(
+                "sources/user-flows inconsistent: {} sources, {} user flows",
+                self.n_sources, self.n_user_flows
+            ));
+        }
+        for t in &self.trials {
+            if t.events == 0 || t.packets_injected == 0 {
+                return Err("a trial simulated nothing".into());
+            }
+            if t.packets_delivered + t.packets_dropped > t.packets_injected {
+                return Err("delivered + dropped exceeds injected".into());
+            }
+            let rates = [t.elapsed_s, t.events_per_sec, t.packets_per_sec];
+            if rates.iter().any(|r| !(r.is_finite() && *r > 0.0)) {
+                return Err("non-finite or non-positive trial timing".into());
+            }
+        }
+        let headline = [self.events_per_sec, self.packets_per_sec];
+        if headline.iter().any(|r| !(r.is_finite() && *r > 0.0)) {
+            return Err(format!(
+                "headline throughput must be finite and positive, got {} ev/s {} pkt/s",
+                self.events_per_sec, self.packets_per_sec
+            ));
+        }
+        if !self.availability.is_finite() || !(0.0..=1.0 + 1e-9).contains(&self.availability) {
+            return Err(format!("availability outside [0,1]: {}", self.availability));
+        }
+        Ok(())
+    }
+
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).expect("report serializes"))
+    }
+
+    pub fn read(path: &std::path::Path) -> Result<Self, String> {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        serde_json::from_str(&raw).map_err(|e| format!("parse {path:?}: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +554,71 @@ mod tests {
 
         let mut r = sample_ctrl_report();
         r.speedup = 0.0;
+        assert!(r.validate().is_err());
+    }
+
+    fn sample_dataplane_report() -> DataplaneBenchReport {
+        DataplaneBenchReport {
+            bench: "dataplane".into(),
+            mode: "quick".into(),
+            scale: ScaleInfo { preset: "small".into(), n_routers: 14, n_links: 220, n_bps: 10 },
+            horizon_ns: 20_000_000,
+            n_sources: 72,
+            n_user_flows: 624_318,
+            trials: vec![DataplaneTrial {
+                events: 9_000_000,
+                packets_injected: 4_000_000,
+                packets_delivered: 1_400_000,
+                packets_dropped: 1_100_000,
+                elapsed_s: 0.5,
+                events_per_sec: 18_000_000.0,
+                packets_per_sec: 8_000_000.0,
+            }],
+            events_per_sec: 18_000_000.0,
+            packets_per_sec: 8_000_000.0,
+            availability: 0.33,
+        }
+    }
+
+    #[test]
+    fn dataplane_report_round_trips_and_validates() {
+        let r = sample_dataplane_report();
+        r.validate().unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DataplaneBenchReport = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.trials.len(), 1);
+        assert_eq!(back.n_user_flows, 624_318);
+    }
+
+    #[test]
+    fn dataplane_validation_rejects_malformed_reports() {
+        let mut r = sample_dataplane_report();
+        r.bench = "ctrl".into();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_dataplane_report();
+        r.trials.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_dataplane_report();
+        r.trials[0].packets_delivered = r.trials[0].packets_injected + 1;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_dataplane_report();
+        r.trials[0].events_per_sec = f64::NAN;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_dataplane_report();
+        r.events_per_sec = 0.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_dataplane_report();
+        r.availability = 1.5;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_dataplane_report();
+        r.n_user_flows = 3;
         assert!(r.validate().is_err());
     }
 }

@@ -296,6 +296,17 @@ impl PocClient {
         }
     }
 
+    /// Report usage for many entities in one pipelined burst — the shape a
+    /// data-plane meter produces (one number per owner per period). Stops
+    /// at the first failure; earlier reports stay applied, matching the
+    /// server's per-request semantics.
+    pub fn report_usage_batch(&mut self, usage: &[(EntityId, f64)]) -> Result<(), ClientError> {
+        for &(entity, gbps) in usage {
+            self.report_usage(entity, gbps)?;
+        }
+        Ok(())
+    }
+
     pub fn run_billing(&mut self) -> Result<BillingSummaryWire, ClientError> {
         match self.call(Request::RunBilling)? {
             Response::BillingDone(s) => Ok(s),

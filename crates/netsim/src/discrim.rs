@@ -7,6 +7,7 @@
 //! class and a control class, the way an auditor (or the POC, §3.4's
 //! "if widespread cheating is anticipated" discussion) would measure it.
 
+use crate::engine::EngineReport;
 use crate::sim::SimReport;
 use serde::{Deserialize, Serialize};
 
@@ -37,19 +38,40 @@ pub struct ThrottleFinding {
     pub throttled: bool,
 }
 
+/// The comparison itself, shared by the flow-level and packet-level
+/// detectors: normalized goodput of the suspect class against the control.
+fn judge(suspect: f64, control: f64, spec: &ThrottleSpec) -> ThrottleFinding {
+    let ratio = if control > 0.0 { suspect / control } else { 1.0 };
+    ThrottleFinding {
+        suspect_availability: suspect,
+        control_availability: control,
+        ratio,
+        throttled: ratio < spec.threshold,
+    }
+}
+
 /// Compare goodput of the suspect class against the control class.
 /// Returns `None` when either class has no flows in the report.
 pub fn detect_throttling(report: &SimReport, spec: &ThrottleSpec) -> Option<ThrottleFinding> {
     assert!((0.0..=1.0).contains(&spec.threshold), "threshold must be in [0,1]");
     let suspect = report.availability_by_tag(&spec.suspect_tag)?;
     let control = report.availability_by_tag(&spec.control_tag)?;
-    let ratio = if control > 0.0 { suspect / control } else { 1.0 };
-    Some(ThrottleFinding {
-        suspect_availability: suspect,
-        control_availability: control,
-        ratio,
-        throttled: ratio < spec.threshold,
-    })
+    Some(judge(suspect, control, spec))
+}
+
+/// The same detector over packet-level evidence: delivered/offered bytes
+/// per class from an [`EngineReport`]. Packet availability also reflects
+/// queueing losses, so thresholds should leave headroom for congestion
+/// affecting both classes equally — the *ratio* is the signal, exactly as
+/// an external auditor measuring on the wire would compute it.
+pub fn detect_throttling_packets(
+    report: &EngineReport,
+    spec: &ThrottleSpec,
+) -> Option<ThrottleFinding> {
+    assert!((0.0..=1.0).contains(&spec.threshold), "threshold must be in [0,1]");
+    let suspect = report.availability_by_tag(&spec.suspect_tag)?;
+    let control = report.availability_by_tag(&spec.control_tag)?;
+    Some(judge(suspect, control, spec))
 }
 
 #[cfg(test)]
@@ -68,9 +90,10 @@ mod tests {
         let t = two_bp_square();
         let all = LinkSet::full(t.n_links());
         let mut sim =
-            Simulator::new(&t, &all, SimConfig { horizon: 1.0, outages: vec![], throttles });
-        sim.add_flow(FlowSpec::persistent(r(0), r(1), 30.0, 1.0, "suspect"));
-        sim.add_flow(FlowSpec::persistent(r(2), r(1), 30.0, 1.0, "control"));
+            Simulator::new(&t, &all, SimConfig { horizon: 1.0, outages: vec![], throttles })
+                .unwrap();
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 30.0, 1.0, "suspect")).unwrap();
+        sim.add_flow(FlowSpec::persistent(r(2), r(1), 30.0, 1.0, "control")).unwrap();
         sim.run()
     }
 
@@ -102,5 +125,25 @@ mod tests {
         let rep = run(vec![]);
         let spec = ThrottleSpec { suspect_tag: "ghost".into(), ..Default::default() };
         assert!(detect_throttling(&rep, &spec).is_none());
+    }
+
+    #[test]
+    fn packet_level_detector_agrees() {
+        use crate::engine::{Engine, EngineConfig, SourceKind};
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let throttled_cfg = EngineConfig {
+            horizon_ns: 50_000_000,
+            throttles: vec![IngressThrottle { tag: "suspect".into(), factor: 0.25 }],
+            ..Default::default()
+        };
+        for (cfg, expect_flag) in [(throttled_cfg, true), (EngineConfig::default(), false)] {
+            let mut eng = Engine::new(&t, &all, cfg).unwrap();
+            eng.add_source(r(0), r(1), 20.0, None, "suspect", SourceKind::Persistent, 1).unwrap();
+            eng.add_source(r(2), r(1), 20.0, None, "control", SourceKind::Persistent, 1).unwrap();
+            let rep = eng.run();
+            let finding = detect_throttling_packets(&rep, &ThrottleSpec::default()).unwrap();
+            assert_eq!(finding.throttled, expect_flag, "{finding:?}");
+        }
     }
 }

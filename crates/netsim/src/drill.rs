@@ -5,7 +5,7 @@
 //! and measures how much of the offered traffic is still delivered. Sets
 //! selected under stricter constraints should show higher availability.
 
-use crate::sim::{LinkOutage, SimConfig, SimReport, Simulator};
+use crate::sim::{LinkOutage, SimConfig, SimError, SimReport, Simulator};
 use poc_flow::{route_tm, LinkSet};
 use poc_topology::{LinkId, PocTopology};
 use poc_traffic::TrafficMatrix;
@@ -50,6 +50,9 @@ pub enum DrillError {
     DegenerateSpec { n_failures: usize, outage_hours: f64 },
     /// The base traffic matrix could not be routed over the active set.
     Route(poc_flow::RouteError),
+    /// The derived simulation was rejected by the simulator (e.g. a
+    /// negative `gap_hours` producing an unordered outage interval).
+    Sim(SimError),
 }
 
 impl std::fmt::Display for DrillError {
@@ -61,6 +64,7 @@ impl std::fmt::Display for DrillError {
                  (need >= 1 failure and a positive finite outage)"
             ),
             DrillError::Route(e) => write!(f, "drill unroutable: {e}"),
+            DrillError::Sim(e) => write!(f, "drill simulation rejected: {e}"),
         }
     }
 }
@@ -73,6 +77,12 @@ impl From<poc_flow::RouteError> for DrillError {
     }
 }
 
+impl From<SimError> for DrillError {
+    fn from(e: SimError) -> Self {
+        DrillError::Sim(e)
+    }
+}
+
 /// Run a drill: route the matrix over `active` to find the busiest links,
 /// then fail the top `spec.n_failures` of them one after another while the
 /// matrix's flows run continuously.
@@ -82,7 +92,12 @@ pub fn run_drill(
     tm: &TrafficMatrix,
     spec: &DrillSpec,
 ) -> Result<DrillReport, DrillError> {
-    if spec.n_failures == 0 || !spec.outage_hours.is_finite() || spec.outage_hours <= 0.0 {
+    if spec.n_failures == 0
+        || !spec.outage_hours.is_finite()
+        || spec.outage_hours <= 0.0
+        || !spec.gap_hours.is_finite()
+        || spec.gap_hours < 0.0
+    {
         return Err(DrillError::DegenerateSpec {
             n_failures: spec.n_failures,
             outage_hours: spec.outage_hours,
@@ -110,7 +125,7 @@ pub fn run_drill(
         .collect();
 
     let mut sim =
-        Simulator::new(topo, active, SimConfig { horizon, outages, throttles: Vec::new() });
+        Simulator::new(topo, active, SimConfig { horizon, outages, throttles: Vec::new() })?;
     // Traffic-engineered placement from the base routing: each split share
     // is pinned to its path and falls back to dynamic rerouting during an
     // outage — the behaviour the resilience constraints provision for.
@@ -118,7 +133,7 @@ pub fn run_drill(
         for (path, gbps) in &flow.paths {
             let mut f = crate::sim::FlowSpec::persistent(flow.src, flow.dst, *gbps, horizon, "tm");
             f.pinned_path = Some(path.clone());
-            sim.add_flow(f);
+            sim.add_flow(f)?;
         }
     }
     let report = sim.run();
@@ -187,6 +202,8 @@ mod tests {
             DrillSpec { n_failures: 3, outage_hours: -1.0, gap_hours: 0.5 },
             DrillSpec { n_failures: 3, outage_hours: f64::NAN, gap_hours: 0.5 },
             DrillSpec { n_failures: 3, outage_hours: f64::INFINITY, gap_hours: 0.5 },
+            DrillSpec { n_failures: 3, outage_hours: 1.0, gap_hours: -0.5 },
+            DrillSpec { n_failures: 3, outage_hours: 1.0, gap_hours: f64::NAN },
         ] {
             let err = run_drill(&t, &all, &tm, &spec).unwrap_err();
             assert!(matches!(err, DrillError::DegenerateSpec { .. }), "{spec:?} -> {err:?}");

@@ -8,8 +8,11 @@
 //! for the neutrality-enforcement experiments.
 //!
 //! * [`fairness`] — progressive-filling max-min fair rate allocation;
-//! * [`sim`] — the event loop: flow arrivals/departures, link down/up,
-//!   rerouting, usage metering;
+//! * [`sim`] — the flow-level event loop: flow arrivals/departures, link
+//!   down/up, rerouting, usage metering;
+//! * [`engine`] — the packet-level discrete-event core: ns-resolution
+//!   event queue, directional FIFO link buffers with tail drops,
+//!   store-and-forward + propagation latency, millions of user-flows;
 //! * [`drill`] — failure drills measuring delivered-traffic availability
 //!   (experiment E-R1);
 //! * [`discrim`] — throttling injection and its observable goodput
@@ -17,12 +20,14 @@
 
 pub mod discrim;
 pub mod drill;
+pub mod engine;
 pub mod fairness;
 pub mod sim;
 pub mod workload;
 
-pub use discrim::{detect_throttling, ThrottleSpec};
+pub use discrim::{detect_throttling, detect_throttling_packets, ThrottleSpec};
 pub use drill::{run_drill, DrillError, DrillReport, DrillSpec};
+pub use engine::{Engine, EngineConfig, EngineError, EngineReport, SourceKind, TagStats};
 pub use fairness::max_min_rates;
-pub use sim::{FlowSpec, SimConfig, SimReport, Simulator};
+pub use sim::{FlowSpec, SimConfig, SimError, SimReport, Simulator};
 pub use workload::{diurnal_factor, generate_onoff, WorkloadConfig};

@@ -179,6 +179,49 @@ impl SimReport {
     }
 }
 
+/// Errors from [`Simulator::new`] and [`Simulator::add_flow`]. Simulation
+/// configs come from user input (CLI flags, drill specs, wire requests),
+/// so a bad one must surface as a value, not a panic — the same contract
+/// as [`crate::drill::DrillError`] and `poc_flow::FlowError`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// `horizon <= 0` (or NaN): the simulation would cover no time.
+    NonPositiveHorizon { horizon: f64 },
+    /// An interval with `start >= end`, a negative start, or NaN bounds —
+    /// either a flow's `[start, end)` or an outage's `[down_at, up_at)`.
+    UnorderedInterval { start: f64, end: f64 },
+    /// An outage scheduled on a link outside the active (leased) set.
+    OutageOnInactiveLink { link: LinkId },
+    /// A throttle factor outside `[0, 1]`.
+    BadThrottleFactor { tag: String, factor: f64 },
+    /// A negative (or NaN) offered rate.
+    NegativeDemand { demand_gbps: f64 },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NonPositiveHorizon { horizon } => {
+                write!(f, "simulation horizon must be positive, got {horizon}")
+            }
+            SimError::UnorderedInterval { start, end } => {
+                write!(f, "interval [{start}, {end}) must be ordered and non-negative")
+            }
+            SimError::OutageOnInactiveLink { link } => {
+                write!(f, "outage on link {link:?}, which is not in the active set")
+            }
+            SimError::BadThrottleFactor { tag, factor } => {
+                write!(f, "throttle factor for tag {tag:?} must be in [0,1], got {factor}")
+            }
+            SimError::NegativeDemand { demand_gbps } => {
+                write!(f, "offered rate must be non-negative, got {demand_gbps}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// The simulator. Build, then [`Simulator::run`].
 pub struct Simulator<'t> {
     topo: &'t PocTopology,
@@ -188,22 +231,39 @@ pub struct Simulator<'t> {
 }
 
 impl<'t> Simulator<'t> {
-    pub fn new(topo: &'t PocTopology, active: &LinkSet, config: SimConfig) -> Self {
-        assert!(config.horizon > 0.0, "horizon must be positive");
+    pub fn new(
+        topo: &'t PocTopology,
+        active: &LinkSet,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        if config.horizon.is_nan() || config.horizon <= 0.0 {
+            return Err(SimError::NonPositiveHorizon { horizon: config.horizon });
+        }
         for o in &config.outages {
-            assert!(o.down_at < o.up_at && o.down_at >= 0.0, "outage interval must be ordered");
-            assert!(active.contains(o.link), "outage on a link not in the active set");
+            if o.down_at.is_nan() || o.up_at.is_nan() || o.down_at < 0.0 || o.down_at >= o.up_at {
+                return Err(SimError::UnorderedInterval { start: o.down_at, end: o.up_at });
+            }
+            if !active.contains(o.link) {
+                return Err(SimError::OutageOnInactiveLink { link: o.link });
+            }
         }
         for t in &config.throttles {
-            assert!((0.0..=1.0).contains(&t.factor), "throttle factor must be in [0,1]");
+            if !(0.0..=1.0).contains(&t.factor) {
+                return Err(SimError::BadThrottleFactor { tag: t.tag.clone(), factor: t.factor });
+            }
         }
-        Self { topo, active: active.clone(), flows: Vec::new(), config }
+        Ok(Self { topo, active: active.clone(), flows: Vec::new(), config })
     }
 
-    pub fn add_flow(&mut self, flow: FlowSpec) {
-        assert!(flow.start >= 0.0 && flow.start < flow.end, "flow interval must be ordered");
-        assert!(flow.demand_gbps >= 0.0, "demand must be non-negative");
+    pub fn add_flow(&mut self, flow: FlowSpec) -> Result<(), SimError> {
+        if flow.start.is_nan() || flow.end.is_nan() || flow.start < 0.0 || flow.start >= flow.end {
+            return Err(SimError::UnorderedInterval { start: flow.start, end: flow.end });
+        }
+        if flow.demand_gbps.is_nan() || flow.demand_gbps < 0.0 {
+            return Err(SimError::NegativeDemand { demand_gbps: flow.demand_gbps });
+        }
         self.flows.push(flow);
+        Ok(())
     }
 
     /// Add one persistent flow per non-zero demand of a traffic matrix.
@@ -324,7 +384,14 @@ impl<'t> Simulator<'t> {
                                 p.into_iter().zip(dirs).collect::<Vec<_>>()
                             }),
                     };
-                    if last_topology_key.is_some() && new_path != last_paths[i] {
+                    // A reroute is an event the *flow* experiences: only
+                    // count it while the flow is active in this segment.
+                    // An inactive flow still gets its path refreshed (it
+                    // may start mid-outage on the detour), but a topology
+                    // flap entirely outside its [start, end) is not a
+                    // reroute for it.
+                    let active_now = f.start <= t0 + 1e-12 && f.end >= t1 - 1e-12;
+                    if last_topology_key.is_some() && active_now && new_path != last_paths[i] {
                         stats[i].reroutes += 1;
                     }
                     last_paths[i] = new_path;
@@ -412,14 +479,14 @@ mod tests {
 
     fn base_sim(topo: &PocTopology, config: SimConfig) -> Simulator<'_> {
         let all = LinkSet::full(topo.n_links());
-        Simulator::new(topo, &all, config)
+        Simulator::new(topo, &all, config).expect("valid test config")
     }
 
     #[test]
     fn uncongested_flow_fully_delivered() {
         let t = two_bp_square();
         let mut sim = base_sim(&t, SimConfig { horizon: 10.0, ..Default::default() });
-        sim.add_flow(FlowSpec::persistent(r(0), r(1), 20.0, 10.0, "a"));
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 20.0, 10.0, "a")).unwrap();
         let rep = sim.run();
         assert!((rep.overall_availability() - 1.0).abs() < 1e-9);
         assert!((rep.per_flow[0].delivered_gbh - 200.0).abs() < 1e-6);
@@ -434,7 +501,7 @@ mod tests {
         // (plus alternate paths available — they'll reroute? No: paths are
         // distance-shortest, all three take the direct link).
         for tag in ["x", "y"] {
-            sim.add_flow(FlowSpec::persistent(r(0), r(1), 60.0, 1.0, tag));
+            sim.add_flow(FlowSpec::persistent(r(0), r(1), 60.0, 1.0, tag)).unwrap();
         }
         let rep = sim.run();
         // 100G split two ways = 50 each.
@@ -453,7 +520,7 @@ mod tests {
             ..Default::default()
         };
         let mut sim = base_sim(&t, config);
-        sim.add_flow(FlowSpec::persistent(r(0), r(1), 10.0, 10.0, "a"));
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 10.0, 10.0, "a")).unwrap();
         let rep = sim.run();
         // Rerouted over r0-r2-r1 during the outage: no loss, 2 reroutes
         // (onto backup and back).
@@ -472,8 +539,8 @@ mod tests {
             outages: vec![LinkOutage { link: direct, down_at: 0.0, up_at: 5.0 }],
             ..Default::default()
         };
-        let mut sim = Simulator::new(&t, &only, config);
-        sim.add_flow(FlowSpec::persistent(r(0), r(1), 10.0, 10.0, "a"));
+        let mut sim = Simulator::new(&t, &only, config).unwrap();
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 10.0, 10.0, "a")).unwrap();
         let rep = sim.run();
         assert!((rep.overall_availability() - 0.5).abs() < 1e-9, "{rep:?}");
         assert!((rep.per_flow[0].outage_hours - 5.0).abs() < 1e-9);
@@ -488,8 +555,8 @@ mod tests {
             ..Default::default()
         };
         let mut sim = base_sim(&t, config);
-        sim.add_flow(FlowSpec::persistent(r(0), r(1), 40.0, 1.0, "victim"));
-        sim.add_flow(FlowSpec::persistent(r(2), r(1), 40.0, 1.0, "control"));
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 40.0, 1.0, "victim")).unwrap();
+        sim.add_flow(FlowSpec::persistent(r(2), r(1), 40.0, 1.0, "control")).unwrap();
         let rep = sim.run();
         assert!((rep.availability_by_tag("victim").unwrap() - 0.25).abs() < 1e-9);
         assert!((rep.availability_by_tag("control").unwrap() - 1.0).abs() < 1e-9);
@@ -500,8 +567,8 @@ mod tests {
         let t = two_bp_square();
         let mut sim = base_sim(&t, SimConfig { horizon: 2.0, ..Default::default() });
         let owner = EntityId(5);
-        sim.add_flow(FlowSpec::persistent(r(0), r(1), 30.0, 2.0, "a").with_owner(owner));
-        sim.add_flow(FlowSpec::persistent(r(1), r(2), 10.0, 2.0, "b").with_owner(owner));
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 30.0, 2.0, "a").with_owner(owner)).unwrap();
+        sim.add_flow(FlowSpec::persistent(r(1), r(2), 10.0, 2.0, "b").with_owner(owner)).unwrap();
         let rep = sim.run();
         assert_eq!(rep.usage_by_owner.len(), 1);
         let (o, gbps) = rep.usage_by_owner[0];
@@ -522,7 +589,8 @@ mod tests {
             owner: None,
             tag: "burst".into(),
             pinned_path: None,
-        });
+        })
+        .unwrap();
         let rep = sim.run();
         assert!((rep.per_flow[0].offered_gbh - 50.0).abs() < 1e-6);
         assert!((rep.per_flow[0].delivered_gbh - 50.0).abs() < 1e-6);
@@ -536,7 +604,8 @@ mod tests {
         let all = LinkSet::full(t.n_links());
         let mut tm = poc_traffic::TrafficMatrix::zero(t.n_routers());
         tm.set(r(0), r(1), 150.0);
-        let mut sim = Simulator::new(&t, &all, SimConfig { horizon: 1.0, ..Default::default() });
+        let mut sim =
+            Simulator::new(&t, &all, SimConfig { horizon: 1.0, ..Default::default() }).unwrap();
         sim.add_traffic_matrix_routed(&tm, |_| None).unwrap();
         assert!(sim.flows.len() >= 2, "expected split placement");
         let rep = sim.run();
@@ -556,10 +625,10 @@ mod tests {
             outages: vec![LinkOutage { link: direct, down_at: 1.0, up_at: 2.0 }],
             ..Default::default()
         };
-        let mut sim = Simulator::new(&t, &all, config);
+        let mut sim = Simulator::new(&t, &all, config).unwrap();
         let mut f = FlowSpec::persistent(r(0), r(1), 10.0, 4.0, "pinned");
         f.pinned_path = Some(vec![direct]);
-        sim.add_flow(f);
+        sim.add_flow(f).unwrap();
         let rep = sim.run();
         // Fully delivered: dynamic fallback during the outage, pinned
         // placement before and after (2 reroutes).
@@ -571,7 +640,7 @@ mod tests {
     fn link_loads_tracked() {
         let t = two_bp_square();
         let mut sim = base_sim(&t, SimConfig { horizon: 2.0, ..Default::default() });
-        sim.add_flow(FlowSpec::persistent(r(0), r(1), 40.0, 2.0, "a"));
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 40.0, 2.0, "a")).unwrap();
         let rep = sim.run();
         let direct = t.links.iter().find(|l| l.connects(r(0), r(1))).unwrap().id;
         // Mean load: 40 Gbps for the whole horizon on one direction.
@@ -595,7 +664,8 @@ mod tests {
             owner: None,
             tag: "burst".into(),
             pinned_path: None,
-        });
+        })
+        .unwrap();
         let rep = sim.run();
         let direct = t.links.iter().find(|l| l.connects(r(0), r(1))).unwrap().id;
         assert!((rep.mean_link_load[direct.index()] - 10.0).abs() < 1e-9, "50 × 0.2");
@@ -613,5 +683,168 @@ mod tests {
         let rep = sim.run();
         assert_eq!(rep.per_flow.len(), 2);
         assert_eq!(rep.usage_by_owner.len(), 2);
+    }
+
+    /// Regression: a topology flap entirely outside a flow's active window
+    /// used to be counted as reroutes for that flow (the path refresh and
+    /// the reroute counter were conflated). The outage here is over before
+    /// the flow starts, so it must see zero reroutes and full delivery.
+    #[test]
+    fn reroute_not_counted_for_inactive_flow() {
+        let t = two_bp_square();
+        let direct = t.links.iter().find(|l| l.connects(r(0), r(1))).unwrap().id;
+        let config = SimConfig {
+            horizon: 10.0,
+            outages: vec![LinkOutage { link: direct, down_at: 1.0, up_at: 2.0 }],
+            ..Default::default()
+        };
+        let mut sim = base_sim(&t, config);
+        sim.add_flow(FlowSpec {
+            src: r(0),
+            dst: r(1),
+            demand_gbps: 10.0,
+            start: 3.0,
+            end: 5.0,
+            owner: None,
+            tag: "late".into(),
+            pinned_path: None,
+        })
+        .unwrap();
+        let rep = sim.run();
+        assert_eq!(rep.per_flow[0].reroutes, 0, "flap before start is not a reroute: {rep:?}");
+        assert!((rep.overall_availability() - 1.0).abs() < 1e-9);
+    }
+
+    /// An outage extending past the horizon is clamped: only the in-horizon
+    /// part counts as downtime.
+    #[test]
+    fn outage_clamped_to_horizon() {
+        let t = two_bp_square();
+        let direct = t.links.iter().find(|l| l.connects(r(0), r(1))).unwrap().id;
+        let only = LinkSet::from_links(t.n_links(), [direct]);
+        let config = SimConfig {
+            horizon: 10.0,
+            outages: vec![LinkOutage { link: direct, down_at: 5.0, up_at: 20.0 }],
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&t, &only, config).unwrap();
+        sim.add_flow(FlowSpec::persistent(r(0), r(1), 10.0, 10.0, "a")).unwrap();
+        let rep = sim.run();
+        assert!((rep.per_flow[0].outage_hours - 5.0).abs() < 1e-9, "{rep:?}");
+        assert!((rep.overall_availability() - 0.5).abs() < 1e-9);
+    }
+
+    /// A flow whose whole active window sits inside an outage (with no
+    /// backup path) delivers nothing, and its outage-hours equal its
+    /// active duration exactly.
+    #[test]
+    fn flow_entirely_inside_outage() {
+        let t = two_bp_square();
+        let direct = t.links.iter().find(|l| l.connects(r(0), r(1))).unwrap().id;
+        let only = LinkSet::from_links(t.n_links(), [direct]);
+        let config = SimConfig {
+            horizon: 10.0,
+            outages: vec![LinkOutage { link: direct, down_at: 1.0, up_at: 5.0 }],
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&t, &only, config).unwrap();
+        sim.add_flow(FlowSpec {
+            src: r(0),
+            dst: r(1),
+            demand_gbps: 10.0,
+            start: 2.0,
+            end: 4.0,
+            owner: None,
+            tag: "doomed".into(),
+            pinned_path: None,
+        })
+        .unwrap();
+        let rep = sim.run();
+        assert!((rep.per_flow[0].availability() - 0.0).abs() < 1e-12, "{rep:?}");
+        assert!((rep.per_flow[0].outage_hours - 2.0).abs() < 1e-12);
+        assert!((rep.per_flow[0].offered_gbh - 20.0).abs() < 1e-9);
+    }
+
+    /// Event times closer than the 1e-12 dedup epsilon collapse into one
+    /// boundary instead of producing a degenerate zero-length segment.
+    #[test]
+    fn near_duplicate_event_times_collapse() {
+        let t = two_bp_square();
+        let mut sim = base_sim(&t, SimConfig { horizon: 4.0, ..Default::default() });
+        for (tag, end) in [("a", 2.0), ("b", 2.0 + 5e-13)] {
+            sim.add_flow(FlowSpec {
+                src: r(0),
+                dst: r(1),
+                demand_gbps: 10.0,
+                start: 0.0,
+                end,
+                owner: None,
+                tag: tag.into(),
+                pinned_path: None,
+            })
+            .unwrap();
+        }
+        let rep = sim.run();
+        for f in &rep.per_flow {
+            assert!((f.delivered_gbh - 20.0).abs() < 1e-6, "{f:?}");
+            assert!((f.availability() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn construction_and_admission_errors_are_typed() {
+        let t = two_bp_square();
+        let all = LinkSet::full(t.n_links());
+        let direct = t.links.iter().find(|l| l.connects(r(0), r(1))).unwrap().id;
+
+        let e = Simulator::new(&t, &all, SimConfig { horizon: 0.0, ..Default::default() });
+        assert_eq!(e.err(), Some(SimError::NonPositiveHorizon { horizon: 0.0 }));
+        assert!(Simulator::new(&t, &all, SimConfig { horizon: f64::NAN, ..Default::default() })
+            .is_err());
+
+        let bad_outage = SimConfig {
+            horizon: 1.0,
+            outages: vec![LinkOutage { link: direct, down_at: 3.0, up_at: 2.0 }],
+            ..Default::default()
+        };
+        assert_eq!(
+            Simulator::new(&t, &all, bad_outage).err(),
+            Some(SimError::UnorderedInterval { start: 3.0, end: 2.0 })
+        );
+
+        let inactive = LinkSet::empty(t.n_links());
+        let orphan_outage = SimConfig {
+            horizon: 1.0,
+            outages: vec![LinkOutage { link: direct, down_at: 0.0, up_at: 1.0 }],
+            ..Default::default()
+        };
+        assert_eq!(
+            Simulator::new(&t, &inactive, orphan_outage).err(),
+            Some(SimError::OutageOnInactiveLink { link: direct })
+        );
+
+        let bad_throttle = SimConfig {
+            horizon: 1.0,
+            throttles: vec![IngressThrottle { tag: "x".into(), factor: 1.5 }],
+            ..Default::default()
+        };
+        assert_eq!(
+            Simulator::new(&t, &all, bad_throttle).err(),
+            Some(SimError::BadThrottleFactor { tag: "x".into(), factor: 1.5 })
+        );
+
+        let mut sim = base_sim(&t, SimConfig { horizon: 1.0, ..Default::default() });
+        let mut f = FlowSpec::persistent(r(0), r(1), 10.0, 1.0, "a");
+        f.start = 0.5;
+        f.end = 0.5;
+        assert_eq!(
+            sim.add_flow(f).err(),
+            Some(SimError::UnorderedInterval { start: 0.5, end: 0.5 })
+        );
+        let g = FlowSpec::persistent(r(0), r(1), -1.0, 1.0, "a");
+        assert_eq!(sim.add_flow(g).err(), Some(SimError::NegativeDemand { demand_gbps: -1.0 }));
+        // Errors render a human-readable message.
+        let msg = SimError::NonPositiveHorizon { horizon: -2.0 }.to_string();
+        assert!(msg.contains("-2"), "{msg}");
     }
 }

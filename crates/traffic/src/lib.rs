@@ -8,8 +8,10 @@
 //! provides the [`TrafficMatrix`] container consumed by the feasibility
 //! oracle and by the flow-level simulator.
 
+pub mod arrivals;
 pub mod matrix;
 pub mod models;
 
+pub use arrivals::{pair_demands, total_user_flows, PairDemand, UserFlowModel};
 pub use matrix::TrafficMatrix;
 pub use models::{TrafficModel, TrafficScenario};

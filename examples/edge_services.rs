@@ -78,10 +78,11 @@ fn main() {
     println!("\n=== 24h diurnal on/off workload on the fabric ===");
     let cfg = WorkloadConfig { n_flows: 300, ..Default::default() };
     let flows = generate_onoff(&topo, &cfg);
-    let mut sim = Simulator::new(&topo, &all, SimConfig { horizon: 24.0, ..Default::default() });
+    let mut sim = Simulator::new(&topo, &all, SimConfig { horizon: 24.0, ..Default::default() })
+        .expect("valid sim config");
     let n_flows = flows.len();
     for f in flows {
-        sim.add_flow(f);
+        sim.add_flow(f).expect("generated flows are valid");
     }
     let report = sim.run();
     println!(

@@ -109,9 +109,12 @@ fn main() {
                     vec![]
                 },
             },
-        );
-        sim.add_flow(FlowSpec::persistent(RouterId(0), RouterId(1), 30.0, 1.0, "suspect"));
-        sim.add_flow(FlowSpec::persistent(RouterId(2), RouterId(1), 30.0, 1.0, "control"));
+        )
+        .expect("valid sim config");
+        sim.add_flow(FlowSpec::persistent(RouterId(0), RouterId(1), 30.0, 1.0, "suspect"))
+            .expect("valid flow");
+        sim.add_flow(FlowSpec::persistent(RouterId(2), RouterId(1), 30.0, 1.0, "control"))
+            .expect("valid flow");
         let report = sim.run();
         let finding = detect_throttling(&report, &ThrottleSpec::default()).expect("both classes");
         println!(

@@ -64,7 +64,8 @@ fn main() {
     // 5. A day of traffic on the leased fabric.
     let selected = poc.last_outcome().expect("ran").selected.clone();
     let mut sim =
-        Simulator::new(poc.topo(), &selected, SimConfig { horizon: 24.0, ..Default::default() });
+        Simulator::new(poc.topo(), &selected, SimConfig { horizon: 24.0, ..Default::default() })
+            .expect("valid sim config");
     let owners: Vec<EntityId> = lmps.iter().copied().chain([csp]).collect();
     sim.add_traffic_matrix_routed(&tm, |router| {
         // Round-robin attribution for the demo.

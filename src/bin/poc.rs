@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         "auction" => cmd_auction(rest),
         "welfare" => cmd_welfare(),
         "drill" => cmd_drill(rest),
+        "dataplane" => cmd_dataplane(rest),
         "serve" => cmd_serve(rest),
         "metrics" => cmd_metrics(rest),
         "round" => cmd_round(rest),
@@ -70,6 +71,14 @@ commands:
   auction [--paper] [--constraint N]   run one VCG round, print PoB (E-F2)
   welfare                              §4 regime comparison (E-W1)
   drill [--failures N]                 failure drill on the leased fabric (E-R1)
+  dataplane [--horizon-ms N]           auction → leases → packets → money: run one
+            [--cheat FACTOR]             VCG round, replay the traffic matrix as
+            [--addr HOST:PORT]           packets on the leased fabric, settle the
+                                         bill from delivered bytes. --cheat throttles
+                                         the suspect class at ingress and the
+                                         auditor's packet detector must flag it.
+                                         --addr settles against a running server
+                                         (start it with the same preset).
   serve [--addr HOST:PORT]             run the control-plane server
         [--max-conns N]                  connection cap (default 256)
         [--idle-timeout-ms N]            evict silent peers after N ms (default 30000)
@@ -236,6 +245,149 @@ fn cmd_drill(rest: &[String]) -> Result<(), String> {
             drill.availability * 100.0,
             drill.total_reroutes
         );
+    }
+    Ok(())
+}
+
+/// The paper's full loop in one command: a VCG round leases the fabric,
+/// the packet engine replays the traffic matrix on those leases, and the
+/// delivered bytes settle through the ledger — locally, or against a
+/// running `poc serve` with `--addr`.
+fn cmd_dataplane(rest: &[String]) -> Result<(), String> {
+    use public_option_core::ctrlplane::AttachRole;
+    use public_option_core::netsim::engine::{Engine, EngineConfig, SourceKind};
+    use public_option_core::netsim::sim::IngressThrottle;
+    use public_option_core::netsim::{detect_throttling_packets, ThrottleSpec};
+    use public_option_core::topology::RouterId;
+    use public_option_core::traffic::UserFlowModel;
+
+    let horizon_ms = num_opt::<u64>(rest, "--horizon-ms")?.unwrap_or(20);
+    if horizon_ms == 0 {
+        return Err("--horizon-ms must be at least 1".into());
+    }
+    let cheat = num_opt::<f64>(rest, "--cheat")?;
+    if let Some(f) = cheat {
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("--cheat wants a factor in [0,1], got {f}"));
+        }
+    }
+    let (topo, tm) = build_instance(preset(rest)?);
+
+    // The auction runs locally either way: with --addr the server runs the
+    // same deterministic round on the same preset, so the local selection
+    // mirrors the leases the server actually holds.
+    let mut poc = Poc::new(topo, PocConfig::default());
+    poc.run_auction_round(&tm).map_err(|e| format!("auction failed: {e}"))?;
+    let outcome = poc.last_outcome().expect("round just ran");
+    let selected = outcome.selected.clone();
+    println!("auction: |SL| = {} links, C(SL) = ${:.0}/mo", selected.len(), outcome.total_cost);
+
+    // Two LMPs split the attachment points; the suspect class is the
+    // traffic metro-a originates (the class --cheat throttles).
+    let last = RouterId::from_index(poc.topo().n_routers() - 1);
+    let mut remote = match opt(rest, "--addr") {
+        Some(raw) => {
+            let addr: std::net::SocketAddr =
+                raw.parse().map_err(|e| format!("bad --addr {raw:?}: {e}"))?;
+            Some(
+                public_option_core::ctrlplane::PocClient::connect(addr)
+                    .map_err(|e| format!("connect {addr}: {e} (is `poc serve` running?)"))?,
+            )
+        }
+        None => None,
+    };
+    let (lmp_a, lmp_b) = match &mut remote {
+        Some(client) => {
+            let a = client
+                .attach("metro-a", AttachRole::Lmp { router: RouterId(0) })
+                .map_err(|e| format!("attach metro-a: {e}"))?;
+            let b = client
+                .attach("metro-b", AttachRole::Lmp { router: last })
+                .map_err(|e| format!("attach metro-b: {e}"))?;
+            client.run_auction().map_err(|e| format!("server round: {e}"))?;
+            (a, b)
+        }
+        None => {
+            let a = poc.attach_lmp("metro-a", RouterId(0)).map_err(|e| format!("attach: {e}"))?;
+            let b = poc.attach_lmp("metro-b", last).map_err(|e| format!("attach: {e}"))?;
+            (a, b)
+        }
+    };
+
+    // Packets on the leased fabric.
+    let cfg = EngineConfig {
+        horizon_ns: horizon_ms * 1_000_000,
+        throttles: match cheat {
+            Some(factor) => vec![IngressThrottle { tag: "suspect".into(), factor }],
+            None => vec![],
+        },
+        ..Default::default()
+    };
+    let mut eng = Engine::new(poc.topo(), &selected, cfg).map_err(|e| format!("engine: {e}"))?;
+    let classify = |src: RouterId| {
+        if src.index().is_multiple_of(2) {
+            (Some(lmp_a), "suspect".to_string())
+        } else {
+            (Some(lmp_b), "control".to_string())
+        }
+    };
+    eng.add_traffic_matrix(&tm, &UserFlowModel::default(), SourceKind::Persistent, classify)
+        .map_err(|e| format!("engine ingest: {e}"))?;
+    println!(
+        "data plane: {} sources standing in for {} user flows, horizon {horizon_ms} ms",
+        eng.n_sources(),
+        eng.n_user_flows()
+    );
+    let report = eng.run();
+    println!(
+        "packets: {} events, {} injected / {} delivered / {} dropped, {:.1} Gbit/s delivered, \
+         availability {:.4}",
+        report.events,
+        report.packets_injected,
+        report.packets_delivered,
+        report.packets_dropped,
+        report.delivered_gbps(),
+        report.overall_availability()
+    );
+
+    // The auditor's view: packet goodput, suspect vs control.
+    if let Some(finding) = detect_throttling_packets(&report, &ThrottleSpec::default()) {
+        println!(
+            "neutrality: suspect/control goodput ratio {:.3} → {}",
+            finding.ratio,
+            if finding.throttled { "FLAGGED (ToS breach)" } else { "clean" }
+        );
+    }
+
+    // Money: delivered bytes settle the period.
+    match &mut remote {
+        Some(client) => {
+            client
+                .report_usage_batch(&report.usage_by_owner)
+                .map_err(|e| format!("report usage: {e}"))?;
+            let bill = client.run_billing().map_err(|e| format!("billing: {e}"))?;
+            println!(
+                "billing (remote): outlay ${:.0}, unit price ${:.4}/Gbit/s, POC net ${:.4}",
+                bill.total_outlay, bill.unit_price, bill.poc_net
+            );
+            for (name, id) in [("metro-a", lmp_a), ("metro-b", lmp_b)] {
+                let bal = client.balance(id).map_err(|e| format!("balance: {e}"))?;
+                println!("  {name}: balance ${bal:.0}");
+            }
+        }
+        None => {
+            let bill =
+                poc.billing_cycle(&report.usage_by_owner).map_err(|e| format!("billing: {e}"))?;
+            println!(
+                "billing: outlay ${:.0}, unit price ${:.4}/Gbit/s, POC net ${:.4}",
+                bill.total_outlay, bill.unit_price, bill.poc_net
+            );
+            for (name, id) in [("metro-a", lmp_a), ("metro-b", lmp_b)] {
+                use public_option_core::core::settlement::Account;
+                println!("  {name}: balance ${:.0}", poc.ledger().balance(Account::Entity(id)));
+            }
+            println!("ledger conservation error: {:.3e}", poc.ledger().conservation_error());
+        }
     }
     Ok(())
 }
