@@ -1,0 +1,245 @@
+//! Safe-migration planning and execution cost, emitting
+//! `BENCH_transition.json`.
+//!
+//! Each sample picks a target by re-running the auction under scaled
+//! ("headroom") demand, plans a per-step-verified walk from the live
+//! selection, and executes it through the netsim transition drill —
+//! which independently re-verifies every applied intermediate state and
+//! counts violations. The artifact's validation doubles as the safety
+//! gate: a sample with any rejected intermediate is an invalid artifact,
+//! so CI fails if the executor ever applies an unsafe set. The drill
+//! sample additionally cuts and recalls target links mid-walk, so the
+//! replan path is measured, not just the quiet one.
+//!
+//! Knobs (env):
+//! - `POC_BENCH_QUICK=1` — CI smoke mode: small instance, fewer samples.
+//! - `POC_BENCH_PRESET=small|paper|scale` — instance preset (default
+//!   `small`, which CI's quick smoke uses; the committed artifact is
+//!   measured at `scale`; `paper` exits early — its zoo has no
+//!   acceptable link set, see `auction/examples/smoke_paper_scale.rs`).
+//! - `POC_BENCH_OUT=path` — artifact path (default `BENCH_transition.json`).
+//!
+//! Usage: `bench_transition` to measure, `bench_transition --validate
+//! <path>` to re-read an emitted artifact and check its schema (exit 1 on
+//! failure).
+
+use poc_auction::{run_auction, GreedySelector, Market};
+use poc_bench::report::{ScaleInfo, TransitionBenchReport, TransitionSample};
+use poc_bench::{instance, paper_instance, scale_instance};
+use poc_flow::{Constraint, LinkSet};
+use poc_netsim::{run_transition_drill, TransitionDrillSpec};
+use poc_topology::PocTopology;
+use poc_traffic::TrafficMatrix;
+use poc_transition::{plan_transition, PlanConfig};
+use std::path::Path;
+use std::time::Instant;
+
+/// The auction's selection under `tm` scaled by `headroom`, or `None`
+/// when no acceptable set exists at that demand (the caller skips the
+/// headroom and says so — a silently absent sample would read as
+/// coverage).
+fn selection_at(
+    topo: &PocTopology,
+    tm: &TrafficMatrix,
+    constraint: Constraint,
+    headroom: f64,
+) -> Option<LinkSet> {
+    let mut scaled = tm.clone();
+    scaled.scale(headroom);
+    let market = Market::truthful(topo, 3.0);
+    let selector = GreedySelector::with_prune_budget(16);
+    match run_auction(&market, &scaled, constraint, &selector) {
+        Ok(out) => Some(out.selected),
+        Err(e) => {
+            eprintln!("skipping headroom x{headroom}: auction infeasible ({e})");
+            None
+        }
+    }
+}
+
+/// The fixed measurement context: one instance, one constraint.
+struct Bench<'a> {
+    topo: &'a PocTopology,
+    tm: &'a TrafficMatrix,
+    constraint: Constraint,
+}
+
+impl Bench<'_> {
+    /// Plan (timed alone), then run the full drill (timed end to end).
+    fn sample(
+        &self,
+        label: &str,
+        headroom: f64,
+        from: &LinkSet,
+        to: &LinkSet,
+        spec: &TransitionDrillSpec,
+    ) -> Option<TransitionSample> {
+        let (topo, tm, constraint) = (self.topo, self.tm, self.constraint);
+        let cfg = PlanConfig::default();
+        let start = Instant::now();
+        let plan = match plan_transition(topo, tm, constraint, from, to, &cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("skipping {label}: no plan ({e:?})");
+                return None;
+            }
+        };
+        let plan_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let rep = match run_transition_drill(topo, tm, constraint, from, to, spec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skipping {label}: drill failed ({e})");
+                return None;
+            }
+        };
+        let run_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let s = TransitionSample {
+            label: label.into(),
+            headroom,
+            n_from: from.len(),
+            n_to: to.len(),
+            plan_steps: plan.steps.len(),
+            plan_probes: plan.probes as u64,
+            plan_ms,
+            run_ms,
+            steps_applied: rep.steps_applied,
+            replans: rep.replans,
+            rollbacks: rep.rollbacks,
+            outcome: format!("{:?}", rep.outcome)
+                .chars()
+                .flat_map(|c| {
+                    // CamelCase -> snake_case to match the wire summary.
+                    if c.is_uppercase() {
+                        vec!['_', c.to_ascii_lowercase()]
+                    } else {
+                        vec![c]
+                    }
+                })
+                .skip(1)
+                .collect(),
+            unsafe_intermediates: rep.unsafe_intermediates as u64,
+        };
+        println!(
+            "{label}: {} -> {} links, plan {} steps ({} probes, {:.1}ms), \
+             ran {} steps / {} replans in {:.1}ms -> {}",
+            s.n_from,
+            s.n_to,
+            s.plan_steps,
+            s.plan_probes,
+            s.plan_ms,
+            s.steps_applied,
+            s.replans,
+            s.run_ms,
+            s.outcome
+        );
+        Some(s)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--validate") {
+        let path = args.get(2).map(String::as_str).unwrap_or("BENCH_transition.json");
+        match TransitionBenchReport::read(Path::new(path)).and_then(|r| r.validate().map(|()| r)) {
+            Ok(r) => {
+                println!(
+                    "{path}: valid transition artifact ({} mode, {} samples, \
+                     plan {:.1}ms / run {:.1}ms total, all intermediates safe)",
+                    r.mode,
+                    r.samples.len(),
+                    r.total_plan_ms,
+                    r.total_run_ms
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID artifact: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let quick = std::env::var_os("POC_BENCH_QUICK").is_some();
+    let preset = std::env::var("POC_BENCH_PRESET").unwrap_or_else(|_| "small".into());
+    let (topo, tm) = match preset.as_str() {
+        "small" => instance(),
+        "paper" => paper_instance(),
+        "scale" => scale_instance(),
+        other => {
+            eprintln!("unknown POC_BENCH_PRESET {other:?} (want small|paper|scale)");
+            std::process::exit(2);
+        }
+    };
+    let constraint = Constraint::BaseLoad;
+    let scale = ScaleInfo {
+        preset: preset.clone(),
+        n_routers: topo.n_routers(),
+        n_links: topo.n_links(),
+        n_bps: topo.bps.len(),
+    };
+    println!(
+        "instance: preset={} routers={} links={} bps={} constraint={}",
+        scale.preset,
+        scale.n_routers,
+        scale.n_links,
+        scale.n_bps,
+        constraint.label()
+    );
+
+    let Some(live) = selection_at(&topo, &tm, constraint, 1.0) else {
+        // The paper-preset zoo has an empty acceptable set at every
+        // constraint (see `auction/examples/smoke_paper_scale.rs`) —
+        // there is nothing to migrate between. `small` and `scale` are
+        // the auctionable points.
+        eprintln!("preset {preset:?} has no live selection: nothing to migrate");
+        std::process::exit(2);
+    };
+    let headrooms: &[f64] = if quick { &[1.5] } else { &[1.5, 2.0, 3.0] };
+    let quiet = TransitionDrillSpec { n_cuts: 0, n_recalls: 0, at_poll: 0 };
+    // Faults land at the second round boundary (after the adds round, an
+    // adds-first plan's midpoint), so the sample times the mid-flight
+    // replan path rather than an instant unwind.
+    let faulty = TransitionDrillSpec { n_cuts: 1, n_recalls: 1, at_poll: 1 };
+
+    let bench = Bench { topo: &topo, tm: &tm, constraint };
+    let mut samples = Vec::new();
+    for &h in headrooms {
+        let Some(target) = selection_at(&topo, &tm, constraint, h) else {
+            continue;
+        };
+        samples.extend(bench.sample(&format!("expand x{h}"), h, &live, &target, &quiet));
+        samples.extend(bench.sample(
+            &format!("drill x{h} cut=1 recall=1"),
+            h,
+            &live,
+            &target,
+            &faulty,
+        ));
+        // And back down: contraction interleaves removes with the oracle
+        // holding the floor up.
+        samples.extend(bench.sample(&format!("contract x{h}"), h, &target, &live, &quiet));
+    }
+
+    let report = TransitionBenchReport {
+        bench: "transition".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        scale,
+        constraint: constraint.label().into(),
+        total_plan_ms: samples.iter().map(|s| s.plan_ms).sum(),
+        total_run_ms: samples.iter().map(|s| s.run_ms).sum(),
+        samples,
+    };
+    report.validate().expect("fresh report validates");
+
+    let out = std::env::var("POC_BENCH_OUT").unwrap_or_else(|_| "BENCH_transition.json".into());
+    report.write(Path::new(&out)).expect("write artifact");
+    println!(
+        "headline: {} samples, plan {:.1}ms / run {:.1}ms total, zero unsafe intermediates -> {out}",
+        report.samples.len(),
+        report.total_plan_ms,
+        report.total_run_ms
+    );
+}

@@ -362,6 +362,109 @@ impl DataplaneBenchReport {
     }
 }
 
+/// One planned-and-executed lease migration (optionally with faults
+/// injected mid-walk), timed and safety-audited.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransitionSample {
+    /// What the sample exercises, e.g. "expand x1.5" or "drill cut=1".
+    pub label: String,
+    /// Demand-forecast factor that picked the target set.
+    pub headroom: f64,
+    pub n_from: usize,
+    pub n_to: usize,
+    /// Steps of the initial plan.
+    pub plan_steps: usize,
+    /// Oracle probes the planner spent.
+    pub plan_probes: u64,
+    /// Wall time of planning alone, milliseconds.
+    pub plan_ms: f64,
+    /// Wall time of the full drill (plan + execute + any replans),
+    /// milliseconds.
+    pub run_ms: f64,
+    /// Steps actually applied across the walk, replans included.
+    pub steps_applied: usize,
+    pub replans: u32,
+    pub rollbacks: u32,
+    /// "committed", "rolled_back", or "force_restored".
+    pub outcome: String,
+    /// Applied intermediate states an independent oracle rejected —
+    /// the safety invariant; validation requires exactly zero.
+    pub unsafe_intermediates: u64,
+}
+
+/// The `BENCH_transition.json` artifact: safe-migration planning and
+/// execution cost, including a mid-transition failure drill. Validation
+/// doubles as the safety gate: any sample with a rejected intermediate
+/// state fails CI.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransitionBenchReport {
+    /// Artifact discriminator; always "transition".
+    pub bench: String,
+    /// "quick" (CI transition-smoke) or "full".
+    pub mode: String,
+    pub scale: ScaleInfo,
+    /// Paper constraint label ("#1" / "#2" / "#3").
+    pub constraint: String,
+    pub samples: Vec<TransitionSample>,
+    pub total_plan_ms: f64,
+    pub total_run_ms: f64,
+}
+
+impl TransitionBenchReport {
+    /// Structural validation mirroring [`PivotBenchReport::validate`]:
+    /// the checks CI's `--validate` pass runs on the emitted file.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench != "transition" {
+            return Err(format!(
+                "bench discriminator must be \"transition\", got {:?}",
+                self.bench
+            ));
+        }
+        if self.samples.is_empty() {
+            return Err("no transition samples recorded".into());
+        }
+        if self.scale.n_links == 0 || self.scale.n_routers == 0 || self.scale.n_bps == 0 {
+            return Err("scale info has zero-sized instance".into());
+        }
+        for s in &self.samples {
+            if !(s.headroom.is_finite() && s.headroom > 0.0) {
+                return Err(format!("sample {:?}: bad headroom {}", s.label, s.headroom));
+            }
+            if s.n_from == 0 || s.n_to == 0 {
+                return Err(format!("sample {:?}: empty endpoint set", s.label));
+            }
+            let timings = [s.plan_ms, s.run_ms];
+            if timings.iter().any(|t| !(t.is_finite() && *t >= 0.0)) {
+                return Err(format!("sample {:?}: non-finite timing", s.label));
+            }
+            if !matches!(s.outcome.as_str(), "committed" | "rolled_back" | "force_restored") {
+                return Err(format!("sample {:?}: unknown outcome {:?}", s.label, s.outcome));
+            }
+            if s.unsafe_intermediates != 0 {
+                return Err(format!(
+                    "sample {:?}: {} intermediate states failed verification — the safety \
+                     invariant is broken",
+                    s.label, s.unsafe_intermediates
+                ));
+            }
+        }
+        let totals = [self.total_plan_ms, self.total_run_ms];
+        if totals.iter().any(|t| !(t.is_finite() && *t >= 0.0)) {
+            return Err("non-finite total timing".into());
+        }
+        Ok(())
+    }
+
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).expect("report serializes"))
+    }
+
+    pub fn read(path: &std::path::Path) -> Result<Self, String> {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        serde_json::from_str(&raw).map_err(|e| format!("parse {path:?}: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +657,71 @@ mod tests {
 
         let mut r = sample_ctrl_report();
         r.speedup = 0.0;
+        assert!(r.validate().is_err());
+    }
+
+    fn sample_transition_report() -> TransitionBenchReport {
+        TransitionBenchReport {
+            bench: "transition".into(),
+            mode: "quick".into(),
+            scale: ScaleInfo { preset: "small".into(), n_routers: 14, n_links: 220, n_bps: 10 },
+            constraint: "#1".into(),
+            samples: vec![TransitionSample {
+                label: "expand x1.5".into(),
+                headroom: 1.5,
+                n_from: 23,
+                n_to: 29,
+                plan_steps: 34,
+                plan_probes: 40,
+                plan_ms: 12.0,
+                run_ms: 55.0,
+                steps_applied: 34,
+                replans: 0,
+                rollbacks: 0,
+                outcome: "committed".into(),
+                unsafe_intermediates: 0,
+            }],
+            total_plan_ms: 12.0,
+            total_run_ms: 55.0,
+        }
+    }
+
+    #[test]
+    fn transition_report_round_trips_and_validates() {
+        let r = sample_transition_report();
+        r.validate().unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TransitionBenchReport = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.samples.len(), 1);
+        assert_eq!(back.samples[0].plan_steps, 34);
+    }
+
+    #[test]
+    fn transition_validation_rejects_malformed_reports() {
+        let mut r = sample_transition_report();
+        r.bench = "pivot".into();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_transition_report();
+        r.samples.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_transition_report();
+        r.samples[0].headroom = f64::NAN;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_transition_report();
+        r.samples[0].outcome = "exploded".into();
+        assert!(r.validate().is_err());
+
+        // The safety gate: a rejected intermediate fails validation.
+        let mut r = sample_transition_report();
+        r.samples[0].unsafe_intermediates = 1;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_transition_report();
+        r.total_run_ms = f64::INFINITY;
         assert!(r.validate().is_err());
     }
 

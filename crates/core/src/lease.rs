@@ -33,6 +33,37 @@ pub struct Lease {
     pub state: LeaseState,
 }
 
+/// Why a surgical lease operation (transition executor migrating one link
+/// at a time) was refused. Typed so the executor can branch: a recall in
+/// flight is "leave it to the recall machinery", not a failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseOpError {
+    /// No active lease exists on the link.
+    NoActiveLease { link: LinkId },
+    /// The link's lease is already dying through a BP recall: it expires
+    /// at the end of `effective_period` and must not be removed a second
+    /// time by a transition plan that also scheduled it.
+    RecallInFlight { link: LinkId, bp: BpId, effective_period: u32 },
+    /// A live (active or recalled-but-not-yet-expired) lease already
+    /// covers the link.
+    AlreadyLeased { link: LinkId },
+}
+
+impl std::fmt::Display for LeaseOpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaseOpError::NoActiveLease { link } => write!(f, "no active lease on {link}"),
+            LeaseOpError::RecallInFlight { link, bp, effective_period } => write!(
+                f,
+                "{link} is already being recalled by {bp} (effective period {effective_period})"
+            ),
+            LeaseOpError::AlreadyLeased { link } => write!(f, "{link} already has a live lease"),
+        }
+    }
+}
+
+impl std::error::Error for LeaseOpError {}
+
 /// The book of active and historical leases.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LeaseBook {
@@ -130,6 +161,53 @@ impl LeaseBook {
         expired
     }
 
+    /// Retire the active lease on `link` (a transition step removing a
+    /// link that lost the re-auction). Returns the retired lease.
+    ///
+    /// A lease whose BP already recalled it is *guarded*: the recall owns
+    /// the remainder of its lifecycle (it expires at its notice deadline,
+    /// and the BP is still owed the notice-period payments), so a plan
+    /// that also scheduled the link for removal gets a typed
+    /// [`LeaseOpError::RecallInFlight`] instead of double-removing it.
+    pub fn remove_lease(&mut self, link: LinkId) -> Result<Lease, LeaseOpError> {
+        let mut recalled: Option<(BpId, u32)> = None;
+        for l in &mut self.leases {
+            if l.link == link {
+                match l.state {
+                    LeaseState::Active => {
+                        l.state = LeaseState::Expired;
+                        return Ok(l.clone());
+                    }
+                    LeaseState::Recalled { effective_period } => {
+                        recalled = Some((l.bp, effective_period));
+                    }
+                    LeaseState::Expired => {}
+                }
+            }
+        }
+        match recalled {
+            Some((bp, effective_period)) => {
+                Err(LeaseOpError::RecallInFlight { link, bp, effective_period })
+            }
+            None => Err(LeaseOpError::NoActiveLease { link }),
+        }
+    }
+
+    /// Book a single lease (a transition step bringing a newly won link
+    /// into service). Refused when a live lease already covers the link —
+    /// adding a second would double-pay the BP.
+    pub fn add_lease(&mut self, lease: Lease) -> Result<(), LeaseOpError> {
+        let live = self.leases.iter().any(|l| {
+            l.link == lease.link
+                && matches!(l.state, LeaseState::Active | LeaseState::Recalled { .. })
+        });
+        if live {
+            return Err(LeaseOpError::AlreadyLeased { link: lease.link });
+        }
+        self.leases.push(lease);
+        Ok(())
+    }
+
     /// Whether the installed fabric is stale (a recall/expiry happened
     /// since the last auction ingest).
     pub fn reauction_needed(&self) -> bool {
@@ -143,6 +221,39 @@ impl LeaseBook {
 }
 
 impl Lease {
+    /// Price a single link's lease from an auction outcome, with the BP's
+    /// VCG payment allocated pro-rata by declared cost — the same formula
+    /// [`LeaseBook::ingest_auction`] applies to the whole selected set.
+    /// `None` for links the outcome did not select or that no BP owns
+    /// (virtual links are contract-priced, not leased).
+    pub fn priced_from(
+        topo: &PocTopology,
+        outcome: &AuctionOutcome,
+        link: LinkId,
+        period: u32,
+    ) -> Option<Lease> {
+        let LinkOwner::Bp(bp) = topo.link(link).owner else { return None };
+        if !outcome.selected.contains(link) {
+            return None;
+        }
+        let settlement = outcome.settlements.iter().find(|s| s.bp == bp)?;
+        let weight_total: f64 = outcome
+            .selected
+            .iter()
+            .filter(|&l| topo.link(l).owner == LinkOwner::Bp(bp))
+            .map(|l| topo.link(l).true_monthly_cost)
+            .sum();
+        let w = topo.link(link).true_monthly_cost;
+        let share = if weight_total > 0.0 { w / weight_total } else { 0.0 };
+        Some(Lease {
+            link,
+            bp,
+            monthly_payment: settlement.payment * share,
+            started_period: period,
+            state: LeaseState::Active,
+        })
+    }
+
     fn is_active_in(&self, period: u32) -> bool {
         match self.state {
             LeaseState::Active => true,
@@ -216,6 +327,84 @@ mod tests {
         assert!(!book.recall(BpId(9), LinkId(0), 2, 1));
         assert!(!book.reauction_needed());
         drop(t);
+    }
+
+    #[test]
+    fn recalled_lease_is_guarded_against_double_removal() {
+        // The recall-during-transition edge: a BP recalls a link while an
+        // active plan has the same link scheduled for removal. The remove
+        // must be refused with a typed guard, leaving the recall to run
+        // out its notice period — not double-removed.
+        let (t, out) = outcome_and_topo();
+        let mut book = LeaseBook::new();
+        book.ingest_auction(&t, &out, 1);
+        let lease = book.leases()[0].clone();
+        assert!(book.recall(lease.bp, lease.link, 2, 3));
+        let err = book.remove_lease(lease.link).unwrap_err();
+        assert_eq!(
+            err,
+            LeaseOpError::RecallInFlight { link: lease.link, bp: lease.bp, effective_period: 5 }
+        );
+        // The lease is still dying through its recall, once: active during
+        // the notice window, gone after, and still owed notice payments.
+        assert!(book.active_links(t.n_links(), 4).contains(lease.link));
+        assert!(!book.active_links(t.n_links(), 5).contains(lease.link));
+        let live = book
+            .leases()
+            .iter()
+            .filter(|l| l.link == lease.link && !matches!(l.state, LeaseState::Expired))
+            .count();
+        assert_eq!(live, 1, "exactly one live lease survives the refused removal");
+    }
+
+    #[test]
+    fn remove_and_add_lease_round_trip_with_typed_guards() {
+        let (t, out) = outcome_and_topo();
+        let mut book = LeaseBook::new();
+        book.ingest_auction(&t, &out, 1);
+        let lease = book.leases()[0].clone();
+
+        let removed = book.remove_lease(lease.link).unwrap();
+        assert_eq!(removed.link, lease.link);
+        assert!(!book.active_links(t.n_links(), 1).contains(lease.link));
+        // Second removal: nothing active left on the link.
+        assert_eq!(
+            book.remove_lease(lease.link).unwrap_err(),
+            LeaseOpError::NoActiveLease { link: lease.link }
+        );
+
+        // Re-book it (a rollback restoring the link), then refuse a dup.
+        let fresh = Lease::priced_from(&t, &out, lease.link, 2).unwrap();
+        assert!((fresh.monthly_payment - lease.monthly_payment).abs() < 1e-9);
+        book.add_lease(fresh.clone()).unwrap();
+        assert!(book.active_links(t.n_links(), 2).contains(lease.link));
+        assert_eq!(
+            book.add_lease(fresh).unwrap_err(),
+            LeaseOpError::AlreadyLeased { link: lease.link }
+        );
+    }
+
+    #[test]
+    fn priced_from_allocates_each_bps_payment_exactly() {
+        let (t, out) = outcome_and_topo();
+        // Summing per-link priced leases over the selected set reproduces
+        // each settlement's payment (and matches ingest_auction).
+        let mut by_bp: std::collections::BTreeMap<BpId, f64> = Default::default();
+        for link in out.selected.iter() {
+            if let Some(lease) = Lease::priced_from(&t, &out, link, 0) {
+                *by_bp.entry(lease.bp).or_insert(0.0) += lease.monthly_payment;
+            }
+        }
+        for s in out.settlements.iter().filter(|s| s.n_selected_links > 0) {
+            let got = by_bp.get(&s.bp).copied().unwrap_or(0.0);
+            assert!((got - s.payment).abs() < 1e-9, "{}: {got} vs {}", s.bp, s.payment);
+        }
+        // Unselected links price to None.
+        let unselected =
+            (0..t.n_links()).map(LinkId::from_index).find(|&l| !out.selected.contains(l));
+        if let Some(l) = unselected {
+            assert!(Lease::priced_from(&t, &out, l, 0).is_none());
+        }
     }
 
     #[test]

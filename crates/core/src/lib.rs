@@ -31,7 +31,7 @@ pub mod tos;
 
 pub use entity::{EntityId, EntityKind, Registry};
 pub use fabric::{FabricError, ForwardingState};
-pub use lease::{Lease, LeaseBook, LeaseState};
+pub use lease::{Lease, LeaseBook, LeaseOpError, LeaseState};
 pub use poc::{BillingSummary, Poc, PocConfig};
 pub use services::{AnycastGroup, MulticastTree, QosCatalog, QosTier};
 pub use settlement::{Account, Ledger, Posting};

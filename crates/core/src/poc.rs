@@ -15,11 +15,11 @@
 
 use crate::entity::{EntityId, EntityKind, Registry, RegistryError};
 use crate::fabric::ForwardingState;
-use crate::lease::LeaseBook;
+use crate::lease::{Lease, LeaseBook, LeaseOpError};
 use crate::settlement::{Account, Ledger};
 use crate::tos::{NeutralityEngine, TrafficPolicy, Verdict};
 use poc_auction::{run_auction, AuctionOutcome, GreedySelector, Market};
-use poc_flow::Constraint;
+use poc_flow::{Constraint, LinkSet};
 use poc_topology::{PocTopology, RouterId};
 use poc_traffic::TrafficMatrix;
 use serde::{Deserialize, Serialize};
@@ -130,6 +130,10 @@ pub struct Poc {
     ledger: Ledger,
     leases: LeaseBook,
     fabric: Option<ForwardingState>,
+    /// The link set the fabric is installed on. Normally the last
+    /// outcome's selection; during a lease transition it tracks the
+    /// plan's intermediate set step by step.
+    active_set: Option<LinkSet>,
     engine: NeutralityEngine,
     violations: Vec<(EntityId, Verdict)>,
     last_outcome: Option<AuctionOutcome>,
@@ -167,6 +171,7 @@ impl Poc {
             ledger: Ledger::new(),
             leases: LeaseBook::new(),
             fabric: None,
+            active_set: None,
             engine: NeutralityEngine::new(),
             violations: Vec::new(),
             last_outcome: None,
@@ -230,17 +235,103 @@ impl Poc {
         Ok(self.registry.register(name, EntityKind::HostedCsp { via_lmp })?)
     }
 
+    /// Run the auction without touching any state: the deterministic
+    /// "what would the next round select" computation. The safe-transition
+    /// planner uses this to obtain the target link set before deciding how
+    /// to migrate the live fabric onto it.
+    pub fn compute_auction_outcome(&self, tm: &TrafficMatrix) -> Result<AuctionOutcome, PocError> {
+        let market = Market::truthful(&self.topo, self.config.virtual_price_factor);
+        run_auction(&market, tm, self.config.constraint, &self.config.selector)
+            .map_err(PocError::Auction)
+    }
+
     /// Run one auction round against the upper-bound traffic matrix,
     /// ingest leases, install the fabric.
     pub fn run_auction_round(&mut self, tm: &TrafficMatrix) -> Result<&AuctionOutcome, PocError> {
-        let market = Market::truthful(&self.topo, self.config.virtual_price_factor);
-        let outcome = run_auction(&market, tm, self.config.constraint, &self.config.selector)
-            .map_err(PocError::Auction)?;
+        let outcome = self.compute_auction_outcome(tm)?;
         self.leases.ingest_auction(&self.topo, &outcome, self.period);
         self.leases.mark_reauctioned();
         self.fabric = Some(ForwardingState::install(&self.topo, &outcome.selected));
+        self.active_set = Some(outcome.selected.clone());
         self.last_outcome = Some(outcome);
         Ok(self.last_outcome.as_ref().expect("just set"))
+    }
+
+    /// The link set the forwarding fabric is currently installed on.
+    pub fn installed_links(&self) -> Option<&LinkSet> {
+        self.active_set.as_ref()
+    }
+
+    /// Apply one transition step: bring `link` into the live fabric and,
+    /// when it is a BP-owned link the new outcome selected, book its lease
+    /// at the pro-rata price the outcome's settlement implies. Virtual
+    /// (external-ISP) links carry no lease; only the fabric changes.
+    ///
+    /// Steps are surgical so a controller killed between any two of them
+    /// recovers a `LeaseBook` consistent with the installed fabric.
+    pub fn transition_add_link(
+        &mut self,
+        outcome: &AuctionOutcome,
+        link: poc_topology::LinkId,
+    ) -> Result<(), LeaseOpError> {
+        if let Some(lease) = Lease::priced_from(&self.topo, outcome, link, self.period) {
+            // Kept links keep their existing lease: adding one that is
+            // already booked means the planner re-applied a step (replay
+            // after a crash) — not an error, but do not double-book.
+            match self.leases.add_lease(lease) {
+                Ok(()) | Err(LeaseOpError::AlreadyLeased { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut set =
+            self.active_set.clone().unwrap_or_else(|| LinkSet::empty(self.topo.links.len()));
+        set.insert(link);
+        self.fabric = Some(ForwardingState::install(&self.topo, &set));
+        self.active_set = Some(set);
+        Ok(())
+    }
+
+    /// Apply one transition step: take `link` out of the live fabric and
+    /// expire its lease. A link already being recalled by its BP is left
+    /// to the recall machinery (`RecallInFlight`); the caller treats that
+    /// as "removal already scheduled", not a failure. Virtual links and
+    /// links with no active lease only change the fabric.
+    pub fn transition_remove_link(
+        &mut self,
+        link: poc_topology::LinkId,
+    ) -> Result<(), LeaseOpError> {
+        match self.leases.remove_lease(link) {
+            Ok(_) | Err(LeaseOpError::NoActiveLease { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let mut set =
+            self.active_set.clone().unwrap_or_else(|| LinkSet::empty(self.topo.links.len()));
+        set.remove(link);
+        self.fabric = Some(ForwardingState::install(&self.topo, &set));
+        self.active_set = Some(set);
+        Ok(())
+    }
+
+    /// Finalize a completed transition onto `outcome`: the fabric is
+    /// already on the target set (the last step put it there), so this
+    /// clears the re-auction flag and records the outcome as current.
+    pub fn commit_transition(&mut self, outcome: AuctionOutcome) {
+        self.leases.mark_reauctioned();
+        self.fabric = Some(ForwardingState::install(&self.topo, &outcome.selected));
+        self.active_set = Some(outcome.selected.clone());
+        self.last_outcome = Some(outcome);
+    }
+
+    /// Atomically force the fabric back onto `links` (last-resort rollback
+    /// when no step-by-step safe plan exists; also used by recovery to
+    /// restore the pre-transition set in one install).
+    pub fn force_install(&mut self, links: &LinkSet) {
+        self.fabric = Some(ForwardingState::install(&self.topo, links));
+        self.active_set = Some(links.clone());
+    }
+
+    pub fn config(&self) -> &PocConfig {
+        &self.config
     }
 
     /// Settle one period. `usage` is billable usage per member (Gbit/s
@@ -392,6 +483,7 @@ impl Poc {
         self.violations = violations;
         self.fabric =
             last_outcome.as_ref().map(|o| ForwardingState::install(&self.topo, &o.selected));
+        self.active_set = last_outcome.as_ref().map(|o| o.selected.clone());
         self.last_outcome = last_outcome;
         self.period = period;
     }
@@ -569,6 +661,46 @@ mod tests {
             &CostModel::default(),
         );
         assert_ne!(topology_fingerprint(&small), topology_fingerprint(&bigger));
+    }
+
+    #[test]
+    fn transition_steps_keep_leases_consistent_with_fabric() {
+        let mut p = poc();
+        let tm = demand(p.topo().n_routers());
+        p.run_auction_round(&tm).unwrap();
+        let original = p.installed_links().unwrap().clone();
+        let outcome = p.last_outcome().unwrap().clone();
+        let universe = p.topo().links.len();
+        let live_before = p.leases().active_links(universe, p.period()).len();
+
+        // Remove one leased link, then add it back from the same outcome.
+        let lease = p.leases().leases()[0].clone();
+        p.transition_remove_link(lease.link).unwrap();
+        assert!(!p.installed_links().unwrap().contains(lease.link));
+        assert_eq!(p.leases().active_links(universe, p.period()).len(), live_before - 1);
+
+        p.transition_add_link(&outcome, lease.link).unwrap();
+        assert!(p.installed_links().unwrap().contains(lease.link));
+        assert_eq!(p.leases().active_links(universe, p.period()).len(), live_before);
+        assert_eq!(p.installed_links().unwrap(), &original);
+
+        // Re-applying an add (crash replay) must not double-book.
+        p.transition_add_link(&outcome, lease.link).unwrap();
+        assert_eq!(p.leases().active_links(universe, p.period()).len(), live_before);
+
+        // Removing a link with no lease (virtual or never leased) only
+        // touches the fabric.
+        let unleased = (0..universe)
+            .map(poc_topology::LinkId::from_index)
+            .find(|l| !p.leases().active_links(universe, p.period()).contains(*l))
+            .unwrap();
+        p.transition_remove_link(unleased).unwrap();
+        assert!(!p.installed_links().unwrap().contains(unleased));
+
+        // Commit restores the outcome's exact selected set.
+        p.commit_transition(outcome.clone());
+        assert_eq!(p.installed_links().unwrap(), &outcome.selected);
+        assert!(!p.reauction_needed());
     }
 
     #[test]

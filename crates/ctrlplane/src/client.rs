@@ -342,6 +342,34 @@ impl PocClient {
         }
     }
 
+    /// Migrate the installed fabric to the link set a fresh auction
+    /// selects — under the live traffic matrix scaled by `demand_scale`
+    /// when given — one journaled lease operation at a time (every
+    /// intermediate set verified feasible and resilient). Never
+    /// auto-retried: a lost reply leaves the migration ambiguous, and
+    /// [`PocClient::transition_status`] is the way to find out.
+    pub fn begin_transition(
+        &mut self,
+        max_extra_links: Option<usize>,
+        demand_scale: Option<f64>,
+    ) -> Result<crate::proto::TransitionSummary, ClientError> {
+        match self.call(Request::BeginTransition { max_extra_links, demand_scale })? {
+            Response::TransitionDone(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!("expected TransitionDone, got {other:?}"))),
+        }
+    }
+
+    /// Summary of the last finished lease transition (including one
+    /// finished by startup recovery), `None` if none ran.
+    pub fn transition_status(
+        &mut self,
+    ) -> Result<Option<crate::proto::TransitionSummary>, ClientError> {
+        match self.call(Request::TransitionStatus)? {
+            Response::Transition(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!("expected Transition, got {other:?}"))),
+        }
+    }
+
     /// The current lease book.
     pub fn leases(&mut self) -> Result<Vec<LeaseWire>, ClientError> {
         match self.call(Request::GetLeases)? {

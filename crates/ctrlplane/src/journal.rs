@@ -128,12 +128,45 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// non-finite usage) deterministically fails the same way on replay.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum JournalEvent {
-    Attach { name: String, role: AttachRole },
-    ReportUsage { entity: EntityId, gbps: f64 },
+    Attach {
+        name: String,
+        role: AttachRole,
+    },
+    ReportUsage {
+        entity: EntityId,
+        gbps: f64,
+    },
     RunAuction,
     RunBilling,
-    RecallLink { bp: u32, link: u32, notice_periods: u32 },
-    ReviewPolicy { policy: TrafficPolicy },
+    RecallLink {
+        bp: u32,
+        link: u32,
+        notice_periods: u32,
+    },
+    ReviewPolicy {
+        policy: TrafficPolicy,
+    },
+    /// A lease transition began. Replay recomputes the target outcome
+    /// deterministically (`Poc::compute_auction_outcome` against the
+    /// journaled-state traffic matrix scaled by `demand_scale`), so the
+    /// record only needs the planner budget and the demand knob.
+    TransitionBegun {
+        max_extra_links: Option<usize>,
+        demand_scale: Option<f64>,
+    },
+    /// One applied transition step. Self-describing — replay applies
+    /// exactly this lease operation, never re-plans — so recovery does
+    /// not depend on the planner revisiting the same order.
+    TransitionStep {
+        add: bool,
+        link: u32,
+    },
+    /// The transition reached its target; the new outcome is current.
+    TransitionCommitted,
+    /// The transition was abandoned; the fabric is back on the
+    /// pre-transition link set (rollback steps, if any, were journaled
+    /// as their own `TransitionStep` records before this).
+    TransitionAborted,
 }
 
 impl JournalEvent {
@@ -158,6 +191,12 @@ impl JournalEvent {
             Request::ReviewPolicy { policy } => {
                 Some(JournalEvent::ReviewPolicy { policy: policy.clone() })
             }
+            Request::BeginTransition { max_extra_links, demand_scale } => {
+                Some(JournalEvent::TransitionBegun {
+                    max_extra_links: *max_extra_links,
+                    demand_scale: *demand_scale,
+                })
+            }
             // The trace envelope is transparent: a traced mutation
             // journals as the bare mutation (replay never re-traces).
             Request::Traced { request, .. } => Self::from_request(request),
@@ -168,24 +207,35 @@ impl JournalEvent {
             | Request::GetLeases
             | Request::GetRecovery
             | Request::Metrics
+            | Request::TransitionStatus
             | Request::Trace { .. } => None,
         }
     }
 
     /// The request this event journals, for replay through the same
-    /// application path live requests take (inverse of
-    /// [`JournalEvent::from_request`]).
-    pub fn into_request(self) -> crate::proto::Request {
+    /// application path live requests take. `None` for transition
+    /// records: a `TransitionStep` is a *fragment* of a
+    /// `BeginTransition`, not a request of its own, so recovery replays
+    /// the transition family through its dedicated path
+    /// (`crate::transition::ReplayTracker`) instead of the live request
+    /// handler.
+    pub fn into_request(self) -> Option<crate::proto::Request> {
         use crate::proto::Request;
         match self {
-            JournalEvent::Attach { name, role } => Request::Attach { name, role },
-            JournalEvent::ReportUsage { entity, gbps } => Request::ReportUsage { entity, gbps },
-            JournalEvent::RunAuction => Request::RunAuction,
-            JournalEvent::RunBilling => Request::RunBilling,
-            JournalEvent::RecallLink { bp, link, notice_periods } => {
-                Request::RecallLink { bp, link, notice_periods }
+            JournalEvent::Attach { name, role } => Some(Request::Attach { name, role }),
+            JournalEvent::ReportUsage { entity, gbps } => {
+                Some(Request::ReportUsage { entity, gbps })
             }
-            JournalEvent::ReviewPolicy { policy } => Request::ReviewPolicy { policy },
+            JournalEvent::RunAuction => Some(Request::RunAuction),
+            JournalEvent::RunBilling => Some(Request::RunBilling),
+            JournalEvent::RecallLink { bp, link, notice_periods } => {
+                Some(Request::RecallLink { bp, link, notice_periods })
+            }
+            JournalEvent::ReviewPolicy { policy } => Some(Request::ReviewPolicy { policy }),
+            JournalEvent::TransitionBegun { .. }
+            | JournalEvent::TransitionStep { .. }
+            | JournalEvent::TransitionCommitted
+            | JournalEvent::TransitionAborted => None,
         }
     }
 
@@ -198,6 +248,10 @@ impl JournalEvent {
             JournalEvent::RunBilling => "run_billing",
             JournalEvent::RecallLink { .. } => "recall_link",
             JournalEvent::ReviewPolicy { .. } => "review_policy",
+            JournalEvent::TransitionBegun { .. } => "transition_begun",
+            JournalEvent::TransitionStep { .. } => "transition_step",
+            JournalEvent::TransitionCommitted => "transition_committed",
+            JournalEvent::TransitionAborted => "transition_aborted",
         }
     }
 }
@@ -303,7 +357,7 @@ impl CrashPoint {
 /// check on the mutation path — irrelevant at control-plane rates.
 #[derive(Clone, Debug, Default)]
 pub struct CrashSwitch {
-    armed: Arc<Mutex<Option<CrashPoint>>>,
+    armed: Arc<Mutex<Option<(CrashPoint, u32)>>>,
 }
 
 impl CrashSwitch {
@@ -314,7 +368,16 @@ impl CrashSwitch {
     /// Arm the switch: the next time the durability path passes
     /// `point`, it simulates a crash there.
     pub fn arm(&self, point: CrashPoint) {
-        *self.armed.lock().unwrap() = Some(point);
+        self.arm_after(point, 0);
+    }
+
+    /// Arm the switch to fire on the `(skip + 1)`-th pass of `point`,
+    /// letting tests die at a chosen *record boundary* inside a
+    /// multi-record request (a lease transition journals a begin record,
+    /// one record per step, and a commit — all within one request, so
+    /// re-arming between them is impossible).
+    pub fn arm_after(&self, point: CrashPoint, skip: u32) {
+        *self.armed.lock().unwrap() = Some((point, skip));
     }
 
     /// Disarm without firing.
@@ -322,14 +385,20 @@ impl CrashSwitch {
         *self.armed.lock().unwrap() = None;
     }
 
-    /// True (and disarms) iff the switch is armed at exactly `point`.
+    /// True (and disarms) iff the switch is armed at exactly `point`
+    /// and its skip count has run out; earlier passes count down.
     pub fn fire_if(&self, point: CrashPoint) -> bool {
         let mut armed = self.armed.lock().unwrap();
-        if *armed == Some(point) {
-            *armed = None;
-            true
-        } else {
-            false
+        match *armed {
+            Some((p, 0)) if p == point => {
+                *armed = None;
+                true
+            }
+            Some((p, skip)) if p == point => {
+                *armed = Some((p, skip - 1));
+                false
+            }
+            _ => false,
         }
     }
 }
@@ -1113,7 +1182,7 @@ mod tests {
 
     /// Strategy for one arbitrary journal event.
     fn event_strategy() -> impl Strategy<Value = JournalEvent> {
-        (0u8..6, 0u32..40, 0u32..8, any_gbps()).prop_map(|(kind, a, b, gbps)| match kind {
+        (0u8..10, 0u32..40, 0u32..8, any_gbps()).prop_map(|(kind, a, b, gbps)| match kind {
             0 => JournalEvent::Attach {
                 name: format!("member-{a}"),
                 role: if a % 2 == 0 {
@@ -1126,6 +1195,13 @@ mod tests {
             2 => JournalEvent::RunAuction,
             3 => JournalEvent::RunBilling,
             4 => JournalEvent::RecallLink { bp: a % 4, link: b, notice_periods: a % 3 },
+            5 => JournalEvent::TransitionBegun {
+                max_extra_links: (a % 2 == 0).then_some(b as usize),
+                demand_scale: (a % 3 == 0).then_some(1.0 + f64::from(b % 16) / 4.0),
+            },
+            6 => JournalEvent::TransitionStep { add: a % 2 == 0, link: b },
+            7 => JournalEvent::TransitionCommitted,
+            8 => JournalEvent::TransitionAborted,
             _ => JournalEvent::ReviewPolicy {
                 policy: TrafficPolicy {
                     lmp: EntityId(a),

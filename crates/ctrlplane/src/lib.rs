@@ -34,7 +34,11 @@
 //!   with crash injection ([`journal::CrashSwitch`]);
 //! * [`snapshot`] — atomic (tmp + fsync + rename) snapshot checkpoints;
 //! * [`recovery`] — startup recovery: newest valid snapshot + journal
-//!   replay, exactly-once by sequence number.
+//!   replay, exactly-once by sequence number;
+//! * `transition` — the safe lease-migration driver: `BeginTransition`
+//!   plans a feasibility-preserving step order (`poc-transition`),
+//!   journals every step before applying it, and startup recovery
+//!   resumes or rolls back a transition the journal left open.
 //!
 //! By default the controller keeps state in memory only. Give
 //! [`server::ServerConfig`] a [`recovery::DurabilityConfig`] (CLI:
@@ -52,9 +56,10 @@ pub mod recovery;
 pub mod server;
 pub(crate) mod shard;
 pub mod snapshot;
+pub(crate) mod transition;
 
 pub use client::{ClientConfig, ClientError, PocClient, RetryPolicy};
 pub use journal::{CrashPoint, CrashSwitch, FsyncFault, FsyncPolicy};
-pub use proto::{AttachRole, Request, Response};
+pub use proto::{AttachRole, Request, Response, TransitionSummary};
 pub use recovery::{DurabilityConfig, RecoveryInfo};
 pub use server::{PocServer, ServerConfig, ServerHandle};

@@ -48,6 +48,20 @@ pub enum Request {
     RecallLink { bp: u32, link: u32, notice_periods: u32 },
     /// Current lease book summary.
     GetLeases,
+    /// Operator: migrate the installed fabric to the link set a fresh
+    /// auction selects, one journaled lease operation at a time, with
+    /// every intermediate set verified feasible and resilient.
+    /// `max_extra_links` bounds planner headroom (extra links live at
+    /// once beyond the larger endpoint); `None` leaves it unbounded.
+    /// `demand_scale` targets the set the auction would select under
+    /// the traffic matrix scaled by that factor — the operator's knob
+    /// for provisioning ahead of forecast demand growth (`None` = 1.0,
+    /// the current matrix). The scale is journaled with the transition,
+    /// so recovery recomputes the same target.
+    BeginTransition { max_extra_links: Option<usize>, demand_scale: Option<f64> },
+    /// Summary of the last finished lease transition (including one
+    /// finished by startup recovery), `None` if none ran.
+    TransitionStatus,
     /// Scrape the controller's live metrics (the global `poc-obs`
     /// registry snapshot, JSON on the wire like every other message).
     Metrics,
@@ -86,6 +100,8 @@ impl Request {
             Request::GetLeases => "get_leases",
             Request::Metrics => "metrics",
             Request::GetRecovery => "get_recovery",
+            Request::BeginTransition { .. } => "begin_transition",
+            Request::TransitionStatus => "transition_status",
             // The envelope is invisible in metrics: a traced RunAuction
             // is still a RunAuction.
             Request::Traced { request, .. } => request.name(),
@@ -110,6 +126,8 @@ impl Request {
             Request::GetLeases => "ctrl.request.get_leases",
             Request::Metrics => "ctrl.request.metrics",
             Request::GetRecovery => "ctrl.request.get_recovery",
+            Request::BeginTransition { .. } => "ctrl.request.begin_transition",
+            Request::TransitionStatus => "ctrl.request.transition_status",
             Request::Traced { request, .. } => request.metric_name(),
             Request::Trace { .. } => "ctrl.request.trace",
         }
@@ -135,6 +153,7 @@ impl Request {
                     | Request::GetLeases
                     | Request::Metrics
                     | Request::GetRecovery
+                    | Request::TransitionStatus
                     | Request::Trace { .. }
             ),
         }
@@ -159,6 +178,25 @@ pub struct OutcomeSummary {
     pub total_payments: f64,
     /// (bp index, payment, payment-over-bid margin).
     pub settlements: Vec<(u32, f64, Option<f64>)>,
+}
+
+/// How a lease transition ended, as shipped to clients.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransitionSummary {
+    /// `"committed"`, `"rolled_back"`, or `"force_restored"`.
+    pub outcome: String,
+    /// Lease operations applied, across the original plan and any
+    /// replans or rollback steps.
+    pub steps_applied: u64,
+    pub replans: u32,
+    pub rollbacks: u32,
+    /// Links installed when the transition started / when it finished.
+    pub n_from_links: usize,
+    pub n_final_links: usize,
+    /// Whether startup recovery finished this transition (resume or
+    /// rollback of one interrupted by a crash) rather than the request
+    /// that began it.
+    pub recovered: bool,
 }
 
 /// Billing summary shipped to clients.
@@ -197,6 +235,11 @@ pub enum Response {
         reauction_needed: bool,
     },
     Leases(Vec<LeaseWire>),
+    /// A lease transition finished (one way or another; the summary's
+    /// `outcome` says which).
+    TransitionDone(TransitionSummary),
+    /// Status of the last finished lease transition.
+    Transition(Option<TransitionSummary>),
     /// The controller's metrics snapshot.
     Metrics(MetricsSnapshot),
     /// Startup recovery report (`None` when the server keeps state in
@@ -270,7 +313,12 @@ mod tests {
         assert!(Request::GetLeases.is_idempotent());
         assert!(Request::Metrics.is_idempotent());
         assert!(Request::GetRecovery.is_idempotent());
+        assert!(Request::TransitionStatus.is_idempotent());
         assert!(!Request::RunAuction.is_idempotent());
+        assert!(
+            !Request::BeginTransition { max_extra_links: None, demand_scale: None }.is_idempotent(),
+            "a lost reply leaves the migration ambiguous; never auto-retry"
+        );
         assert!(!Request::RunBilling.is_idempotent());
         assert!(!Request::ReportUsage { entity: EntityId(1), gbps: 1.0 }.is_idempotent());
         assert!(!Request::RecallLink { bp: 0, link: 0, notice_periods: 1 }.is_idempotent());
@@ -332,6 +380,34 @@ mod tests {
                 "no trace field may leak into an unenveloped request"
             );
         }
+    }
+
+    #[test]
+    fn transition_messages_round_trip() {
+        let req = Request::BeginTransition { max_extra_links: Some(2), demand_scale: Some(1.5) };
+        let back: Request = serde_json::from_slice(&serde_json::to_vec(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(req.name(), "begin_transition");
+        assert_eq!(req.metric_name(), "ctrl.request.begin_transition");
+
+        let summary = TransitionSummary {
+            outcome: "committed".into(),
+            steps_applied: 4,
+            replans: 1,
+            rollbacks: 0,
+            n_from_links: 3,
+            n_final_links: 4,
+            recovered: false,
+        };
+        let resp = Response::TransitionDone(summary.clone());
+        let back: Response = serde_json::from_slice(&serde_json::to_vec(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        let status = Response::Transition(Some(summary));
+        let back: Response = serde_json::from_slice(&serde_json::to_vec(&status).unwrap()).unwrap();
+        assert_eq!(back, status);
+        let none = Response::Transition(None);
+        let back: Response = serde_json::from_slice(&serde_json::to_vec(&none).unwrap()).unwrap();
+        assert_eq!(back, none);
     }
 
     #[test]

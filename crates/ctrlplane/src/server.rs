@@ -177,12 +177,12 @@ impl Drop for AdmissionPermit<'_> {
 /// Everything a connection thread needs: sharded state, the durability
 /// handle (internally synchronized — group commit), recovery info, and
 /// the admission gate.
-struct Shared {
-    state: ShardedState,
+pub(crate) struct Shared {
+    pub(crate) state: ShardedState,
     /// Journal + snapshot handle when the server persists state.
-    durability: Option<Durability>,
+    pub(crate) durability: Option<Durability>,
     /// How startup recovery went (served via `GetRecovery`).
-    recovery: Option<RecoveryInfo>,
+    pub(crate) recovery: Option<RecoveryInfo>,
     admission: Admission,
 }
 
@@ -431,11 +431,31 @@ fn recover(
             }
         }
     }
+    // Transition records replay through their dedicated tracker (a step
+    // is a fragment of a BeginTransition, not a request of its own);
+    // everything else goes through the live application path.
+    let mut txn = crate::transition::ReplayTracker::default();
     for event in recovered.replay {
-        let _ = apply(shared, event.into_request());
+        if txn.absorb(shared, &event) {
+            continue;
+        }
+        if let Some(request) = event.into_request() {
+            let _ = apply(shared, request);
+        }
     }
     shared.durability = Some(recovered.durability);
     shared.recovery = Some(recovered.info);
+    // A journal ending mid-transition: resume it toward the target or
+    // roll it back, journaling as we go (a crash here is just another
+    // recoverable crash — the failed open surfaces as an io error).
+    if let Some(open) = txn.take_open() {
+        crate::transition::finish_open_transition(shared, open).map_err(|p| {
+            crate::recovery::RecoveryError::Io(std::io::Error::other(format!(
+                "crash injected during transition recovery: {}",
+                p.label()
+            )))
+        })?;
+    }
     poc_obs::histogram!("ctrl.recovery.time").record_duration(started.elapsed());
     Ok(())
 }
@@ -642,7 +662,10 @@ fn serve_connection(
 /// its fsync failed, the mutation was *not* persisted, and the caller
 /// must return the error without applying. `Err(point)` means an armed
 /// [`CrashPoint`] fired.
-fn journal_event(shared: &Shared, event: JournalEvent) -> Result<Option<Response>, CrashPoint> {
+pub(crate) fn journal_event(
+    shared: &Shared,
+    event: JournalEvent,
+) -> Result<Option<Response>, CrashPoint> {
     let Some(d) = &shared.durability else { return Ok(None) };
     match d.record(event) {
         Ok(_seq) => Ok(None),
@@ -772,6 +795,18 @@ fn handle(shared: &Shared, request: Request) -> Result<Response, CrashPoint> {
             }
             Ok(Response::PolicyVerdict(g.poc.review_policy(&policy)))
         }
+        Request::BeginTransition { max_extra_links, demand_scale } => {
+            // The whole migration runs under the global lock: planning,
+            // per-step journaling, and lease-book mutation. Concurrent
+            // requests queue behind it exactly as they do for an
+            // auction round.
+            let mut g = shared.state.global.lock();
+            crate::transition::run_transition(shared, &mut g, max_extra_links, demand_scale)
+        }
+        Request::TransitionStatus => {
+            let g = shared.state.global.lock();
+            Ok(Response::Transition(g.last_transition.clone()))
+        }
         // Global reads.
         Request::GetOutcome => {
             let g = shared.state.global.lock();
@@ -854,8 +889,9 @@ fn apply(shared: &Shared, request: Request) -> Response {
             Response::PolicyVerdict(g.poc.review_policy(&policy))
         }
         Request::Traced { request, .. } => apply(shared, *request),
-        // Non-mutating requests are never journaled, but replay safety
-        // demands a total function.
+        // Non-mutating requests are never journaled, and BeginTransition
+        // replays through the transition tracker (its journal events have
+        // no request form) — but replay safety demands a total function.
         other => Response::Error { message: format!("not a mutation: {}", other.name()) },
     }
 }

@@ -49,6 +49,9 @@ pub(crate) struct Global {
     pub poc: Poc,
     /// Upper-bound traffic matrix for auction rounds.
     pub tm: TrafficMatrix,
+    /// Summary of the last finished lease transition (in-memory only;
+    /// a restart resets it unless recovery itself finishes one).
+    pub last_transition: Option<crate::proto::TransitionSummary>,
 }
 
 /// One shard of the usage ledger.
@@ -75,7 +78,7 @@ impl ShardedState {
     pub fn new(poc: Poc, tm: TrafficMatrix, n_shards: usize) -> Self {
         let shards: Vec<Mutex<UsageShard>> =
             (0..n_shards.max(1)).map(|_| Mutex::new(UsageShard::default())).collect();
-        let state = Self { global: Mutex::new(Global { poc, tm }), shards };
+        let state = Self { global: Mutex::new(Global { poc, tm, last_transition: None }), shards };
         {
             let g = state.global.lock();
             for entity in g.poc.registry().iter() {

@@ -1,0 +1,449 @@
+//! The control plane's lease-transition driver.
+//!
+//! `poc-transition` plans and executes a safe migration between link
+//! sets; this module is the glue that makes it *durable*:
+//!
+//! * [`JournalingHooks`] journals every step as its own
+//!   [`JournalEvent::TransitionStep`] record **before** touching the
+//!   lease book (write-ahead discipline), so the journal always brackets
+//!   exactly the lease operations that landed;
+//! * [`run_transition`] is the live `BeginTransition` path:
+//!   `TransitionBegun` → journaled steps → `TransitionCommitted` (or
+//!   `TransitionAborted`);
+//! * [`ReplayTracker`] replays transition records during startup
+//!   recovery. `TransitionBegun` recomputes the deterministic target
+//!   outcome; each `TransitionStep` re-applies exactly its lease
+//!   operation (idempotently — the facade tolerates an already-booked
+//!   add and an already-expired remove);
+//! * [`finish_open_transition`] resolves a journal that ends
+//!   mid-transition (the server died between step records): plan from
+//!   the recovered mid-state *forward* to the target and finish the
+//!   walk, else plan a rollback to the pre-transition set, else restore
+//!   it in one atomic install. Every path keeps journaling, so crashing
+//!   *again* during recovery is just another recoverable crash.
+//!
+//! The invariant all paths preserve: a `TransitionAborted` record means
+//! the fabric is atomically back on the pre-transition link set, and a
+//! `TransitionCommitted` record means it is on the new outcome's set —
+//! replay and live execution agree on both.
+
+use crate::journal::{CrashPoint, JournalEvent};
+use crate::proto::{Response, TransitionSummary};
+use crate::server::{journal_event, Shared};
+use crate::shard::Global;
+use poc_auction::AuctionOutcome;
+use poc_core::lease::LeaseOpError;
+use poc_core::poc::Poc;
+use poc_flow::LinkSet;
+use poc_topology::LinkId;
+use poc_transition::{
+    execute_transition, plan_transition, ExecError, PlanConfig, TransitionOp, TransitionOutcome,
+    TransitionReport,
+};
+
+/// The traffic matrix a transition *targets*: the live matrix scaled by
+/// the operator's demand knob (`None` is the identity). Only the target
+/// outcome is computed under this forecast; planning and intermediate
+/// verification run against the live matrix — that is the traffic the
+/// fabric actually carries while the walk is in progress.
+fn scaled_tm(
+    tm: &poc_traffic::TrafficMatrix,
+    demand_scale: Option<f64>,
+) -> poc_traffic::TrafficMatrix {
+    let mut tm = tm.clone();
+    if let Some(s) = demand_scale {
+        tm.scale(s);
+    }
+    tm
+}
+
+/// Apply one self-describing transition step to the facade. Adds are
+/// priced from the outcome that actually selected the link: the new
+/// outcome for forward steps, the still-current old outcome for
+/// rollback re-adds (its lease terms are the ones being restored).
+/// Replay uses the same function, so pricing is identical either way.
+pub(crate) fn apply_step_to_poc(
+    poc: &mut Poc,
+    outcome: &AuctionOutcome,
+    add: bool,
+    link: LinkId,
+) -> Result<(), LeaseOpError> {
+    if add {
+        if outcome.selected.contains(link) {
+            poc.transition_add_link(outcome, link)
+        } else {
+            let old = poc.last_outcome().cloned();
+            poc.transition_add_link(old.as_ref().unwrap_or(outcome), link)
+        }
+    } else {
+        poc.transition_remove_link(link)
+    }
+}
+
+/// [`poc_transition::TransitionHooks`] that journal each step before
+/// applying it. An armed [`CrashPoint`] firing mid-journal is stashed in
+/// `crashed` (the hook trait speaks `String` errors) and re-raised by
+/// the caller so the server dies exactly as it does on every other
+/// durability path.
+pub(crate) struct JournalingHooks<'a> {
+    shared: &'a Shared,
+    poc: &'a mut Poc,
+    outcome: &'a AuctionOutcome,
+    /// The true pre-transition set: what `TransitionAborted` restores.
+    restore_to: &'a LinkSet,
+    pub crashed: Option<CrashPoint>,
+}
+
+impl<'a> JournalingHooks<'a> {
+    pub fn new(
+        shared: &'a Shared,
+        poc: &'a mut Poc,
+        outcome: &'a AuctionOutcome,
+        restore_to: &'a LinkSet,
+    ) -> Self {
+        Self { shared, poc, outcome, restore_to, crashed: None }
+    }
+
+    fn journal(&mut self, event: JournalEvent) -> Result<(), String> {
+        match journal_event(self.shared, event) {
+            Ok(None) => Ok(()),
+            Ok(Some(_refusal)) => Err("durability failure journaling the step".into()),
+            Err(p) => {
+                self.crashed = Some(p);
+                Err(format!("crash injected at {}", p.label()))
+            }
+        }
+    }
+}
+
+impl poc_transition::TransitionHooks for JournalingHooks<'_> {
+    fn apply_step(
+        &mut self,
+        _idx: usize,
+        op: TransitionOp,
+        _state_after: &LinkSet,
+    ) -> Result<(), String> {
+        self.journal(JournalEvent::TransitionStep { add: op.is_add(), link: op.link().0 })?;
+        apply_step_to_poc(self.poc, self.outcome, op.is_add(), op.link()).map_err(|e| e.to_string())
+    }
+
+    fn force_restore(&mut self, _links: &LinkSet) -> Result<(), String> {
+        // Restore the *pre-transition* set (not whatever the executor's
+        // internal bookkeeping converged to): that is the one state the
+        // `TransitionAborted` record promises on replay.
+        self.journal(JournalEvent::TransitionAborted)?;
+        self.poc.force_install(self.restore_to);
+        Ok(())
+    }
+}
+
+fn summarize(report: &TransitionReport, n_from: usize, recovered: bool) -> TransitionSummary {
+    TransitionSummary {
+        outcome: match report.outcome {
+            TransitionOutcome::Committed => "committed",
+            TransitionOutcome::RolledBack => "rolled_back",
+            TransitionOutcome::ForceRestored => "force_restored",
+        }
+        .into(),
+        steps_applied: report.steps_applied as u64,
+        replans: report.replans,
+        rollbacks: report.rollbacks,
+        n_from_links: n_from,
+        n_final_links: report.final_state.len(),
+        recovered,
+    }
+}
+
+/// The live `BeginTransition` path, called under the global lock. The
+/// preconditions (an installed fabric, a computable target outcome) are
+/// checked *before* the `TransitionBegun` record lands, so a journaled
+/// begin always replays into an open transition.
+pub(crate) fn run_transition(
+    shared: &Shared,
+    g: &mut Global,
+    max_extra_links: Option<usize>,
+    demand_scale: Option<f64>,
+) -> Result<Response, CrashPoint> {
+    if let Some(s) = demand_scale {
+        if !(s.is_finite() && s > 0.0) {
+            return Ok(Response::Error {
+                message: format!("demand_scale must be a positive finite factor, got {s}"),
+            });
+        }
+    }
+    let forecast = scaled_tm(&g.tm, demand_scale);
+    // The walk is verified against the live matrix: the current set was
+    // selected under it (so a safe first step always exists), and it is
+    // what members ride on between steps. The forecast only picks the
+    // destination.
+    let tm = g.tm.clone();
+    let Some(from) = g.poc.installed_links().cloned() else {
+        return Ok(Response::Error {
+            message: "no installed fabric to transition from; run an auction first".into(),
+        });
+    };
+    let outcome = match g.poc.compute_auction_outcome(&forecast) {
+        Ok(o) => o,
+        Err(e) => return Ok(Response::Error { message: e.to_string() }),
+    };
+    if let Some(refusal) =
+        journal_event(shared, JournalEvent::TransitionBegun { max_extra_links, demand_scale })?
+    {
+        return Ok(refusal);
+    }
+
+    let topo = g.poc.topo().clone();
+    let constraint = g.poc.config().constraint;
+    let cfg = PlanConfig { max_extra_links, ..PlanConfig::default() };
+    let plan = match plan_transition(&topo, &tm, constraint, &from, &outcome.selected, &cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            // Nothing was applied; close the journal transaction.
+            if let Some(refusal) = journal_event(shared, JournalEvent::TransitionAborted)? {
+                return Ok(refusal);
+            }
+            return Ok(Response::Error { message: format!("transition not started: {e}") });
+        }
+    };
+
+    let mut hooks = JournalingHooks::new(shared, &mut g.poc, &outcome, &from);
+    let result = execute_transition(&topo, &tm, constraint, &cfg, plan, &mut hooks);
+    let crashed = hooks.crashed;
+    match result {
+        Ok(report) => {
+            match report.outcome {
+                TransitionOutcome::Committed => {
+                    if let Some(refusal) = journal_event(shared, JournalEvent::TransitionCommitted)?
+                    {
+                        return Ok(refusal);
+                    }
+                    g.poc.commit_transition(outcome);
+                }
+                TransitionOutcome::RolledBack => {
+                    // The executor already walked back to `from` through
+                    // journaled steps; this record closes the transaction.
+                    if let Some(refusal) = journal_event(shared, JournalEvent::TransitionAborted)? {
+                        return Ok(refusal);
+                    }
+                }
+                // force_restore journaled the abort and restored already.
+                TransitionOutcome::ForceRestored => {}
+            }
+            let summary = summarize(&report, from.len(), false);
+            g.last_transition = Some(summary.clone());
+            Ok(Response::TransitionDone(summary))
+        }
+        Err(ExecError::Hook { step, reason }) => {
+            if let Some(p) = crashed {
+                return Err(p);
+            }
+            // A lease operation or journal append refused mid-flight.
+            // Every applied step *is* journaled, so closing with an abort
+            // record and restoring atomically keeps memory and journal in
+            // agreement. If even the abort record cannot land, leave the
+            // mid-state as is: it matches the journal exactly, and the
+            // next restart resolves it through recovery.
+            match journal_event(shared, JournalEvent::TransitionAborted)? {
+                None => {
+                    g.poc.force_install(&from);
+                    Ok(Response::Error {
+                        message: format!("transition aborted at step {step}: {reason}"),
+                    })
+                }
+                Some(_refusal) => Ok(Response::Error {
+                    message: format!(
+                        "transition wedged at step {step} ({reason}); durability is failing — \
+                         restart to recover"
+                    ),
+                }),
+            }
+        }
+    }
+}
+
+/// Replay-side state of one in-flight transition.
+pub(crate) struct OpenTransition {
+    pub outcome: AuctionOutcome,
+    /// The installed set when the transition began — what an abort
+    /// restores.
+    pub original: LinkSet,
+    pub max_extra_links: Option<usize>,
+    pub steps_replayed: usize,
+}
+
+/// Absorbs transition records during journal replay. Non-transition
+/// events pass through untouched ([`ReplayTracker::absorb`] returns
+/// `false`); a journal ending with an open transition is resolved by
+/// [`finish_open_transition`] after replay.
+#[derive(Default)]
+pub(crate) struct ReplayTracker {
+    open: Option<OpenTransition>,
+}
+
+impl ReplayTracker {
+    /// Absorb one replayed event if it belongs to the transition family.
+    pub fn absorb(&mut self, shared: &Shared, event: &JournalEvent) -> bool {
+        match event {
+            JournalEvent::TransitionBegun { max_extra_links, demand_scale } => {
+                let g = shared.state.global.lock();
+                let tm = scaled_tm(&g.tm, *demand_scale);
+                let original = g.poc.installed_links().cloned();
+                let outcome = g.poc.compute_auction_outcome(&tm).ok();
+                drop(g);
+                // The live path checks both preconditions before
+                // journaling the begin record, so these recompute
+                // deterministically; `None` here would mean a journal
+                // from a different program version — ignore the family.
+                self.open = original.zip(outcome).map(|(original, outcome)| OpenTransition {
+                    outcome,
+                    original,
+                    max_extra_links: *max_extra_links,
+                    steps_replayed: 0,
+                });
+                true
+            }
+            JournalEvent::TransitionStep { add, link } => {
+                if let Some(open) = &mut self.open {
+                    let mut g = shared.state.global.lock();
+                    let _ = apply_step_to_poc(&mut g.poc, &open.outcome, *add, LinkId(*link));
+                    open.steps_replayed += 1;
+                }
+                true
+            }
+            JournalEvent::TransitionCommitted => {
+                if let Some(open) = self.open.take() {
+                    let mut g = shared.state.global.lock();
+                    g.poc.commit_transition(open.outcome);
+                }
+                true
+            }
+            JournalEvent::TransitionAborted => {
+                if let Some(open) = self.open.take() {
+                    let mut g = shared.state.global.lock();
+                    g.poc.force_install(&open.original);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A transition the journal never closed, if any.
+    pub fn take_open(self) -> Option<OpenTransition> {
+        self.open
+    }
+}
+
+/// Resolve a journal that ended mid-transition: resume if a safe plan
+/// from the recovered mid-state to the target still exists, otherwise
+/// roll back to the pre-transition set (stepwise if possible, atomically
+/// as a last resort). New records are journaled throughout, so recovery
+/// itself is crash-resumable.
+pub(crate) fn finish_open_transition(
+    shared: &Shared,
+    open: OpenTransition,
+) -> Result<(), CrashPoint> {
+    poc_obs::counter!("transition.recovered").inc();
+    let mut g = shared.state.global.lock();
+    // Resume and rollback both plan against the live matrix — the walk
+    // must stay safe for the traffic the fabric carries *now*; the
+    // forecast already did its job when the target was computed.
+    let tm = g.tm.clone();
+    let topo = g.poc.topo().clone();
+    let constraint = g.poc.config().constraint;
+    let cfg = PlanConfig { max_extra_links: open.max_extra_links, ..PlanConfig::default() };
+    let current =
+        g.poc.installed_links().cloned().unwrap_or_else(|| LinkSet::empty(topo.n_links()));
+
+    // Resume: finish the walk to the target.
+    if let Ok(plan) =
+        plan_transition(&topo, &tm, constraint, &current, &open.outcome.selected, &cfg)
+    {
+        let mut hooks = JournalingHooks::new(shared, &mut g.poc, &open.outcome, &open.original);
+        let result = execute_transition(&topo, &tm, constraint, &cfg, plan, &mut hooks);
+        let crashed = hooks.crashed;
+        if let Some(p) = crashed {
+            return Err(p);
+        }
+        if let Ok(report) = result {
+            match report.outcome {
+                TransitionOutcome::Committed => {
+                    if journal_event(shared, JournalEvent::TransitionCommitted)?.is_some() {
+                        return Ok(()); // journal refusing; next restart retries
+                    }
+                    g.poc.commit_transition(open.outcome);
+                    let mut summary = summarize(&report, open.original.len(), true);
+                    summary.steps_applied += open.steps_replayed as u64;
+                    g.last_transition = Some(summary);
+                    poc_obs::counter!("transition.recovered.resumed").inc();
+                    return Ok(());
+                }
+                // The hook journaled the abort and restored the original.
+                TransitionOutcome::ForceRestored => {
+                    let mut summary = summarize(&report, open.original.len(), true);
+                    summary.steps_applied += open.steps_replayed as u64;
+                    g.last_transition = Some(summary);
+                    poc_obs::counter!("transition.recovered.rolled_back").inc();
+                    return Ok(());
+                }
+                // Walked back to the mid-state; fall through to the
+                // explicit rollback below.
+                TransitionOutcome::RolledBack => {}
+            }
+        }
+    }
+
+    // Rollback: walk from wherever we are back to the pre-transition set.
+    let current =
+        g.poc.installed_links().cloned().unwrap_or_else(|| LinkSet::empty(topo.n_links()));
+    let unbounded = PlanConfig::default();
+    if let Ok(plan) = plan_transition(&topo, &tm, constraint, &current, &open.original, &unbounded)
+    {
+        let mut hooks = JournalingHooks::new(shared, &mut g.poc, &open.outcome, &open.original);
+        let result = execute_transition(&topo, &tm, constraint, &unbounded, plan, &mut hooks);
+        let crashed = hooks.crashed;
+        if let Some(p) = crashed {
+            return Err(p);
+        }
+        if let Ok(report) = result {
+            if matches!(
+                report.outcome,
+                TransitionOutcome::Committed | TransitionOutcome::ForceRestored
+            ) {
+                if report.outcome == TransitionOutcome::Committed
+                    && journal_event(shared, JournalEvent::TransitionAborted)?.is_some()
+                {
+                    return Ok(());
+                }
+                g.last_transition = Some(TransitionSummary {
+                    outcome: "rolled_back".into(),
+                    steps_applied: (open.steps_replayed + report.steps_applied) as u64,
+                    replans: report.replans,
+                    rollbacks: 1,
+                    n_from_links: open.original.len(),
+                    n_final_links: open.original.len(),
+                    recovered: true,
+                });
+                poc_obs::counter!("transition.recovered.rolled_back").inc();
+                return Ok(());
+            }
+        }
+    }
+
+    // Last resort: close the transaction and restore atomically.
+    if journal_event(shared, JournalEvent::TransitionAborted)?.is_some() {
+        return Ok(());
+    }
+    g.poc.force_install(&open.original);
+    g.last_transition = Some(TransitionSummary {
+        outcome: "force_restored".into(),
+        steps_applied: open.steps_replayed as u64,
+        replans: 0,
+        rollbacks: 1,
+        n_from_links: open.original.len(),
+        n_final_links: open.original.len(),
+        recovered: true,
+    });
+    poc_obs::counter!("transition.recovered.forced").inc();
+    Ok(())
+}

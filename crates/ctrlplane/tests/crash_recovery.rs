@@ -324,6 +324,244 @@ fn state_dir_from_a_different_topology_is_refused() {
 }
 
 // ---------------------------------------------------------------------------
+// Lease transitions: multi-record journal transactions. One
+// `BeginTransition` at demand scale 12 on this world journals exactly
+// four records — Begun, Step(+l10), Step(-l0), Committed — so the tests
+// below can kill the server at *every* record boundary of the
+// transaction and demand recovery lands on exactly one of the two
+// consistent states: the pre-transition set or the committed target.
+// ---------------------------------------------------------------------------
+
+/// The demand scale whose auction target differs from the 1× set on
+/// [`build_world`]: {l0, l1} → {l1, l10}, a two-step migration.
+const SHIFTED_SCALE: f64 = 12.0;
+
+#[test]
+fn committed_transition_survives_restart_and_reverses() {
+    let dir = fresh_dir("txn-lifecycle");
+    let (handle, join) = start_durable(&dir, 0, CrashSwitch::new());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    run_setup(&mut client);
+
+    // Migrate onto the set the auction selects at 12× forecast demand.
+    let up = client.begin_transition(None, Some(SHIFTED_SCALE)).unwrap();
+    assert_eq!(up.outcome, "committed");
+    assert_eq!(up.steps_applied, 2, "one add + one remove on this world");
+    assert_eq!((up.replans, up.rollbacks, up.recovered), (0, 0, false));
+    assert_eq!(client.transition_status().unwrap().unwrap(), up);
+    let outcome_up = client.outcome().unwrap().unwrap();
+    let leases_up = client.leases().unwrap();
+    handle.shutdown();
+    let _ = join.join();
+
+    // Restart: the journaled transition family replays into the same
+    // committed state (5 setup records + Begun/Step/Step/Committed).
+    let (handle, join) = start_durable(&dir, 0, CrashSwitch::new());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    assert_eq!(client.recovery_info().unwrap().unwrap().replayed_records, 9);
+    assert_eq!(client.outcome().unwrap().unwrap(), outcome_up);
+    assert_eq!(client.leases().unwrap(), leases_up);
+    // A fully *replayed* (not resumed) transition leaves no status: the
+    // summary is in-memory operator feedback, not recovered state.
+    assert!(client.transition_status().unwrap().is_none());
+
+    // And the migration reverses: back down to the live-demand set.
+    let down = client.begin_transition(None, None).unwrap();
+    assert_eq!(down.outcome, "committed");
+    assert_eq!(down.steps_applied, 2);
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
+fn noop_and_unplannable_transitions_keep_the_journal_consistent() {
+    let dir = fresh_dir("txn-refused");
+    let (handle, join) = start_durable(&dir, 0, CrashSwitch::new());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    run_setup(&mut client);
+    let pre_outcome = client.outcome().unwrap().unwrap();
+    let pre_leases = client.leases().unwrap();
+
+    // 1× demand: the fabric is already on the auction's set — a noop
+    // transition commits with zero steps (journal: Begun, Committed).
+    let noop = client.begin_transition(None, None).unwrap();
+    assert_eq!((noop.outcome.as_str(), noop.steps_applied), ("committed", 0));
+
+    // With zero headroom links, the 12× swap must interleave removes
+    // before adds — and dropping either live link first is infeasible:
+    // the planner proves NoSafePlan, nothing is applied, and the journal
+    // transaction closes with an abort record.
+    let err = client.begin_transition(Some(0), Some(SHIFTED_SCALE)).unwrap_err();
+    let ClientError::Server(message) = err else { panic!("expected typed refusal, got {err}") };
+    assert!(message.contains("transition not started"), "{message}");
+    assert_eq!(client.outcome().unwrap().unwrap(), pre_outcome);
+    assert_eq!(client.leases().unwrap(), pre_leases);
+    handle.shutdown();
+    let _ = join.join();
+
+    // Both closed transactions replay cleanly: 5 setup + 2 noop + 2
+    // aborted records rebuild exactly the pre-crash state.
+    let (handle, join) = start_durable(&dir, 0, CrashSwitch::new());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    assert_eq!(client.recovery_info().unwrap().unwrap().replayed_records, 9);
+    assert_eq!(client.outcome().unwrap().unwrap(), pre_outcome);
+    assert_eq!(client.leases().unwrap(), pre_leases);
+    handle.shutdown();
+    let _ = join.join();
+}
+
+/// Kill the server at one record boundary inside the transition
+/// transaction, restart, and return what a client then observes plus
+/// the recovered server's transition status.
+fn crash_transition_at(
+    name: &str,
+    point: CrashPoint,
+    skip: u32,
+    snapshot_every: u64,
+) -> (String, Option<poc_ctrlplane::TransitionSummary>) {
+    let dir = fresh_dir(name);
+    let crash = CrashSwitch::new();
+    let (handle, join) = start_durable(&dir, snapshot_every, crash.clone());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    run_setup(&mut client);
+
+    crash.arm_after(point, skip);
+    let err = client.begin_transition(None, Some(SHIFTED_SCALE)).unwrap_err();
+    assert!(
+        !matches!(err, ClientError::Server(_) | ClientError::Protocol(_)),
+        "{point:?}+{skip}: crashed transition must fail at the transport, got {err:?}"
+    );
+    let _ = join.join();
+
+    let (handle, join) = start_durable(&dir, snapshot_every, CrashSwitch::new());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    let status = client.transition_status().unwrap();
+    let state = observable_state(&mut client);
+    handle.shutdown();
+    let _ = join.join();
+    (state, status)
+}
+
+#[test]
+fn transition_crash_at_every_record_boundary_resumes_or_rolls_back() {
+    // What the two consistent outcomes look like, billing included —
+    // computed from uninterrupted durable runs of the same lifecycle.
+    let committed = {
+        let dir = fresh_dir("txn-ref-committed");
+        let (handle, join) = start_durable(&dir, 0, CrashSwitch::new());
+        let mut client = PocClient::connect(handle.local_addr).unwrap();
+        run_setup(&mut client);
+        client.begin_transition(None, Some(SHIFTED_SCALE)).unwrap();
+        let state = observable_state(&mut client);
+        handle.shutdown();
+        let _ = join.join();
+        state
+    };
+    let original = {
+        let dir = fresh_dir("txn-ref-original");
+        let (handle, join) = start_durable(&dir, 0, CrashSwitch::new());
+        let mut client = PocClient::connect(handle.local_addr).unwrap();
+        run_setup(&mut client);
+        let state = observable_state(&mut client);
+        handle.shutdown();
+        let _ = join.join();
+        state
+    };
+    assert_ne!(committed, original, "the scaled transition must be observable");
+
+    // The transaction's four records give eight boundaries. A torn
+    // begin record never opened the transaction (→ original); every
+    // later boundary leaves enough journal for recovery to finish the
+    // walk (→ committed, resumed by `finish_open_transition` except the
+    // last boundary, where the whole family replays as-is).
+    struct Case {
+        point: CrashPoint,
+        skip: u32,
+        expect_committed: bool,
+        expect_recovered_status: bool,
+    }
+    let cases = [
+        Case {
+            point: CrashPoint::MidAppend,
+            skip: 0,
+            expect_committed: false,
+            expect_recovered_status: false,
+        },
+        Case {
+            point: CrashPoint::AfterAppend,
+            skip: 0,
+            expect_committed: true,
+            expect_recovered_status: true,
+        },
+        Case {
+            point: CrashPoint::MidAppend,
+            skip: 1,
+            expect_committed: true,
+            expect_recovered_status: true,
+        },
+        Case {
+            point: CrashPoint::AfterAppend,
+            skip: 1,
+            expect_committed: true,
+            expect_recovered_status: true,
+        },
+        Case {
+            point: CrashPoint::MidAppend,
+            skip: 2,
+            expect_committed: true,
+            expect_recovered_status: true,
+        },
+        Case {
+            point: CrashPoint::AfterAppend,
+            skip: 2,
+            expect_committed: true,
+            expect_recovered_status: true,
+        },
+        Case {
+            point: CrashPoint::MidAppend,
+            skip: 3,
+            expect_committed: true,
+            expect_recovered_status: true,
+        },
+        Case {
+            point: CrashPoint::AfterAppend,
+            skip: 3,
+            expect_committed: true,
+            expect_recovered_status: false,
+        },
+    ];
+    for case in cases {
+        let label = format!("{:?}+{}", case.point, case.skip);
+        let (state, status) =
+            crash_transition_at(&format!("txn-{label}"), case.point, case.skip, 0);
+        let expect = if case.expect_committed { &committed } else { &original };
+        assert_eq!(&state, expect, "{label}: wrong recovered state");
+        match status {
+            Some(s) => {
+                assert!(case.expect_recovered_status, "{label}: unexpected status {s:?}");
+                assert!(s.recovered, "{label}");
+                assert_eq!(s.outcome, "committed", "{label}");
+            }
+            None => assert!(!case.expect_recovered_status, "{label}: expected a resumed status"),
+        }
+    }
+
+    // The three snapshot-path crash points fire in the checkpoint cut
+    // *after* the transition request: the committed transaction is
+    // already durable, so recovery lands on the committed state from
+    // wreckage alone (orphan tmp, torn snapshot, un-truncated journal).
+    for point in [
+        CrashPoint::MidSnapshotRename,
+        CrashPoint::TornSnapshotWrite,
+        CrashPoint::AfterSnapshotBeforeTruncate,
+    ] {
+        let (state, _status) =
+            crash_transition_at(&format!("txn-snap-{}", point.label()), point, 0, 1);
+        assert_eq!(&state, &committed, "{point:?}: wrong recovered state");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Property: recovery after a crash at an arbitrary record boundary is
 // indistinguishable from uninterrupted execution.
 // ---------------------------------------------------------------------------
@@ -337,15 +575,21 @@ enum Op {
     Auction,
     Billing,
     Recall(u8, u8),
+    /// A lease transition at 1× or the set-shifting 12× demand scale.
+    /// Crashing on it cuts at the *begin* record (the request's first
+    /// append), so recovery must finish the whole walk to match the
+    /// uninterrupted run.
+    Transition(bool),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u8..5, 0u8..=255, 0u32..2000u32).prop_map(|(kind, x, y)| match kind {
+    (0u8..6, 0u8..=255, 0u32..2000u32).prop_map(|(kind, x, y)| match kind {
         0 => Op::Attach(x % 6),
         1 => Op::Usage(x % 8, y),
         2 => Op::Auction,
         3 => Op::Billing,
-        _ => Op::Recall(x % 3, x % 12),
+        4 => Op::Recall(x % 3, x % 12),
+        _ => Op::Transition(x % 2 == 0),
     })
 }
 
@@ -363,6 +607,9 @@ fn send_op(client: &mut PocClient, op: &Op) -> Result<(), ClientError> {
         Op::Auction => client.run_auction().map(|_| ()),
         Op::Billing => client.run_billing().map(|_| ()),
         Op::Recall(bp, link) => client.recall_link(*bp as u32, *link as u32, 1).map(|_| ()),
+        Op::Transition(shift) => {
+            client.begin_transition(None, shift.then_some(SHIFTED_SCALE)).map(|_| ())
+        }
     };
     match r {
         Ok(()) | Err(ClientError::Server(_)) => Ok(()),
@@ -402,16 +649,29 @@ proptest! {
         let dir = fresh_dir(&format!("prop-{cut_seed}-{}", ops.len()));
         let crash = CrashSwitch::new();
 
-        // Crashed run: ops[..cut] acknowledged, ops[cut] journaled but
-        // unanswered (AfterAppend ⇒ it must survive).
+        // Crashed run: ops[..cut] acknowledged; the armed switch fires
+        // on the next journal *append*. An op refused before any append
+        // (a transition with no installed fabric — the one mutation that
+        // checks preconditions pre-journal) returns a typed error and
+        // leaves the switch armed, so walk forward until an op actually
+        // journals; billing always appends and is the guaranteed
+        // fallback.
         let (handle, join) = start_durable(&dir, snapshot_every, crash.clone());
         let mut client = PocClient::connect(handle.local_addr).unwrap();
         for op in &ops[..cut] {
             prop_assert!(send_op(&mut client, op).is_ok());
         }
         crash.arm(CrashPoint::AfterAppend);
-        let err = send_op(&mut client, &ops[cut]);
-        prop_assert!(err.is_err(), "crashed op must fail at the transport");
+        let mut crashed_at: Option<usize> = None;
+        for (i, op) in ops[cut..].iter().enumerate() {
+            if send_op(&mut client, op).is_err() {
+                crashed_at = Some(cut + i);
+                break;
+            }
+        }
+        if crashed_at.is_none() {
+            prop_assert!(client.run_billing().is_err(), "billing must hit the armed crash");
+        }
         let _ = join.join();
 
         // Recover and read the observable state.
@@ -425,8 +685,18 @@ proptest! {
         // op: its record was durable).
         let (handle, join) = start_in_memory();
         let mut reference = PocClient::connect(handle.local_addr).unwrap();
-        for op in &ops[..=cut] {
-            prop_assert!(send_op(&mut reference, op).is_ok());
+        match crashed_at {
+            Some(last) => {
+                for op in &ops[..=last] {
+                    prop_assert!(send_op(&mut reference, op).is_ok());
+                }
+            }
+            None => {
+                for op in &ops {
+                    prop_assert!(send_op(&mut reference, op).is_ok());
+                }
+                let _ = reference.run_billing();
+            }
         }
         let state_reference = observable_state(&mut reference);
         handle.shutdown();
@@ -458,11 +728,19 @@ proptest! {
             for op in &ops[..cut] {
                 prop_assert!(send_op(&mut client, op).is_ok());
             }
+            // As above: skip over pre-journal refusals until an op
+            // appends and hits the armed crash (billing as fallback).
             crash.arm(CrashPoint::AfterAppend);
-            prop_assert!(
-                send_op(&mut client, &ops[cut]).is_err(),
-                "crashed op must fail at the transport"
-            );
+            let mut crashed = false;
+            for op in &ops[cut..] {
+                if send_op(&mut client, op).is_err() {
+                    crashed = true;
+                    break;
+                }
+            }
+            if !crashed {
+                prop_assert!(client.run_billing().is_err(), "billing must hit the armed crash");
+            }
             let _ = join.join();
 
             let (handle, join) =

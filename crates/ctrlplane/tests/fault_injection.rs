@@ -129,6 +129,31 @@ fn mutating_requests_are_never_replayed() {
 }
 
 #[test]
+fn begin_transition_is_never_auto_retried() {
+    let (handle, join) = start_server_with(ServerConfig::default());
+    let mut client = PocClient::connect(handle.local_addr).unwrap();
+    client.ping().unwrap();
+
+    client.inject_disconnect();
+    // BeginTransition journals lease mutations: a lost reply leaves the
+    // migration ambiguous (committed? rolled back?), so the client must
+    // surface the transport failure instead of blindly replaying it.
+    let err = client.begin_transition(None, None).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Codec(_) | ClientError::TimedOut),
+        "expected a transport error, got {err}"
+    );
+
+    // The operator's next move rides the retry loop: TransitionStatus is
+    // idempotent, so the same client object reconnects and answers.
+    let status = client.transition_status().expect("idempotent status must retry");
+    assert!(status.is_none(), "no transition ever finished on this server");
+
+    handle.shutdown();
+    let _ = join.join();
+}
+
+#[test]
 fn garbage_json_closes_that_connection_only() {
     let (handle, join) = start_server_with(ServerConfig::default());
 

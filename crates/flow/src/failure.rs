@@ -35,12 +35,68 @@ pub enum ResilienceResult {
     Survives,
     /// The first failing scenario: the pair whose primary-path failure
     /// cannot be absorbed, and why.
-    Fails { pair: (RouterId, RouterId), reason: String },
+    Fails { pair: (RouterId, RouterId), reason: FailReason },
 }
 
 impl ResilienceResult {
     pub fn survives(&self) -> bool {
         matches!(self, ResilienceResult::Survives)
+    }
+}
+
+/// Why a failure scenario could not be absorbed. Typed so callers (the
+/// transition planner in particular) can branch on the cause instead of
+/// parsing messages; [`std::fmt::Display`] renders the exact strings the
+/// stringly-typed predecessor produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailReason {
+    /// Part of the displaced demand has no path at all on the residual
+    /// capacities (under the scenario's veto set).
+    NoBackupRoute { pair: (RouterId, RouterId), remaining_gbps: f64 },
+    /// A backup path exists but its bottleneck residual is zero.
+    ZeroBackupResidual { pair: (RouterId, RouterId) },
+    /// The demand would need more than the per-flow split budget of
+    /// backup paths.
+    SplitBudgetExceeded { pair: (RouterId, RouterId) },
+    /// Constraint #3: a pair has no connectivity avoiding its primary.
+    NoBackupConnectivity,
+    /// Constraint #3: backup connectivity exists but the simultaneous
+    /// backup demands do not fit.
+    BackupUnroutable { remaining_gbps: f64 },
+}
+
+impl FailReason {
+    /// Whether the failure is a capacity shortfall (more capacity between
+    /// the pair could fix it) as opposed to a structural one (no route at
+    /// any capacity). The transition planner uses this to decide between
+    /// provisioning more headroom and giving up on an ordering.
+    pub fn is_capacity_shortfall(&self) -> bool {
+        matches!(
+            self,
+            FailReason::ZeroBackupResidual { .. }
+                | FailReason::SplitBudgetExceeded { .. }
+                | FailReason::BackupUnroutable { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailReason::NoBackupRoute { pair: (src, dst), remaining_gbps } => {
+                write!(f, "{remaining_gbps:.2} Gbps of {src}->{dst} has no backup route")
+            }
+            FailReason::ZeroBackupResidual { pair: (src, dst) } => {
+                write!(f, "zero backup residual for {src}->{dst}")
+            }
+            FailReason::SplitBudgetExceeded { pair: (src, dst) } => {
+                write!(f, "{src}->{dst} exceeded backup split budget")
+            }
+            FailReason::NoBackupConnectivity => write!(f, "no backup connectivity"),
+            FailReason::BackupUnroutable { remaining_gbps } => {
+                write!(f, "{remaining_gbps:.2} Gbps of backup demand unroutable")
+            }
+        }
     }
 }
 
@@ -74,7 +130,7 @@ pub fn failing_single_path_scenarios(
     base: &Routing,
     sample_every: usize,
     max_failures: usize,
-) -> Vec<((RouterId, RouterId), String)> {
+) -> Vec<((RouterId, RouterId), FailReason)> {
     assert!(sample_every >= 1, "sample stride must be >= 1");
     let mut failures = Vec::new();
     // One graph with all base loads applied; scenarios edit it locally.
@@ -148,13 +204,12 @@ pub fn survives_all_pairs_backup(
         .collect();
     match route_tm_with_veto(topo, active, tm, |fi, l| !vetoes[fi].contains(&l)) {
         Ok(_) => ResilienceResult::Survives,
-        Err(RouteError::Disconnected { src, dst }) => ResilienceResult::Fails {
-            pair: (src, dst),
-            reason: "no backup connectivity".to_string(),
-        },
+        Err(RouteError::Disconnected { src, dst }) => {
+            ResilienceResult::Fails { pair: (src, dst), reason: FailReason::NoBackupConnectivity }
+        }
         Err(RouteError::Unroutable { src, dst, remaining_gbps }) => ResilienceResult::Fails {
             pair: (src, dst),
-            reason: format!("{remaining_gbps:.2} Gbps of backup demand unroutable"),
+            reason: FailReason::BackupUnroutable { remaining_gbps },
         },
     }
 }
@@ -169,7 +224,7 @@ fn reroute_demand(
     dst: RouterId,
     demand: f64,
     veto: &HashSet<LinkId>,
-) -> Result<Vec<(Vec<LinkId>, f64)>, String> {
+) -> Result<Vec<(Vec<LinkId>, f64)>, FailReason> {
     let mut remaining = demand;
     let mut placed: Vec<(Vec<LinkId>, f64)> = Vec::new();
     let mut splits = 0;
@@ -192,7 +247,7 @@ fn reroute_demand(
             });
         let Some(path) = path else {
             undo(g, src, &placed);
-            return Err(format!("{remaining:.2} Gbps of {src}->{dst} has no backup route"));
+            return Err(FailReason::NoBackupRoute { pair: (src, dst), remaining_gbps: remaining });
         };
         let dirs = g.path_dirs(src, &path);
         let bottleneck =
@@ -200,7 +255,7 @@ fn reroute_demand(
         let amount = remaining.min(bottleneck);
         if amount <= 1e-9 {
             undo(g, src, &placed);
-            return Err(format!("zero backup residual for {src}->{dst}"));
+            return Err(FailReason::ZeroBackupResidual { pair: (src, dst) });
         }
         for (&l, &d) in path.iter().zip(&dirs) {
             g.consume(l, d, amount);
@@ -210,7 +265,7 @@ fn reroute_demand(
         splits += 1;
         if splits > MAX_REROUTE_SPLITS && remaining > 1e-9 {
             undo(g, src, &placed);
-            return Err(format!("{src}->{dst} exceeded backup split budget"));
+            return Err(FailReason::SplitBudgetExceeded { pair: (src, dst) });
         }
     }
     Ok(placed)
@@ -234,7 +289,7 @@ pub fn absorb_link_failure(
     active: &LinkSet,
     base: &Routing,
     failed: &HashSet<LinkId>,
-) -> Result<(), String> {
+) -> Result<(), FailReason> {
     let mut surviving = active.clone();
     for &l in failed {
         surviving.remove(l);
@@ -410,6 +465,31 @@ mod tests {
         let all_r1: HashSet<LinkId> =
             t.links.iter().filter(|l| l.a == r(1) || l.b == r(1)).map(|l| l.id).collect();
         assert!(absorb_link_failure(&t, &all, &base, &all_r1).is_err());
+    }
+
+    #[test]
+    fn fail_reason_display_preserves_legacy_messages() {
+        // The reason became a typed enum; the rendered strings are the
+        // exact messages the stringly predecessor produced (callers that
+        // log or snapshot them must not see a diff).
+        let pair = (r(0), r(3));
+        for (reason, want) in [
+            (
+                FailReason::NoBackupRoute { pair, remaining_gbps: 12.5 },
+                "12.50 Gbps of r0->r3 has no backup route",
+            ),
+            (FailReason::ZeroBackupResidual { pair }, "zero backup residual for r0->r3"),
+            (FailReason::SplitBudgetExceeded { pair }, "r0->r3 exceeded backup split budget"),
+            (FailReason::NoBackupConnectivity, "no backup connectivity"),
+            (
+                FailReason::BackupUnroutable { remaining_gbps: 3.25 },
+                "3.25 Gbps of backup demand unroutable",
+            ),
+        ] {
+            assert_eq!(reason.to_string(), want);
+        }
+        assert!(FailReason::BackupUnroutable { remaining_gbps: 1.0 }.is_capacity_shortfall());
+        assert!(!FailReason::NoBackupConnectivity.is_capacity_shortfall());
     }
 
     #[test]

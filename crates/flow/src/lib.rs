@@ -29,6 +29,7 @@ pub mod oracle;
 pub mod route;
 pub mod warm;
 
+pub use failure::{absorb_link_failure, FailReason, ResilienceResult};
 pub use graph::CapacityGraph;
 pub use kpaths::{disjoint_degree, k_shortest_paths, RankedPath};
 pub use linkset::LinkSet;

@@ -4,7 +4,9 @@
 //! under the configured [`Constraint`]. The oracle also exposes the routing
 //! it found, which the auction's greedy selection reuses.
 
-use crate::failure::{survives_all_pairs_backup, survives_single_path_failures, ResilienceResult};
+use crate::failure::{
+    survives_all_pairs_backup, survives_single_path_failures, FailReason, ResilienceResult,
+};
 use crate::linkset::LinkSet;
 use crate::route::{route_tm, RouteError, Routing};
 use poc_topology::{PocTopology, RouterId};
@@ -18,7 +20,9 @@ pub enum Rejection {
     /// The base traffic matrix itself could not be routed.
     BaseRoute(RouteError),
     /// Base routing fits but a resilience scenario fails for this pair.
-    Resilience { pair: (RouterId, RouterId), reason: String },
+    /// The typed [`FailReason`] lets callers (the transition planner)
+    /// branch on the cause; its `Display` renders the legacy message.
+    Resilience { pair: (RouterId, RouterId), reason: FailReason },
 }
 
 /// The paper's three constraint levels (Figure 2).
@@ -355,11 +359,14 @@ impl<'a> FeasibilityOracle<'a> {
                     sample_every,
                     max,
                 )
+                .into_iter()
+                .map(|(pair, reason)| (pair, reason.to_string()))
+                .collect()
             }
             Constraint::AllPairsBackup => {
                 match survives_all_pairs_backup(self.topo, links, self.tm, &base) {
                     ResilienceResult::Survives => Vec::new(),
-                    ResilienceResult::Fails { pair, reason } => vec![(pair, reason)],
+                    ResilienceResult::Fails { pair, reason } => vec![(pair, reason.to_string())],
                 }
             }
         }

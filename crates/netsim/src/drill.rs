@@ -145,9 +145,215 @@ pub fn run_drill(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Transition drills: fail the fabric *while it is migrating*.
+// ---------------------------------------------------------------------------
+
+use poc_flow::{AcceptabilityOracle, Constraint, WarmOracle};
+use poc_transition::{
+    execute_transition, plan_transition, PlanConfig, TransitionEvent, TransitionHooks,
+    TransitionOp, TransitionOutcome,
+};
+use std::collections::HashSet;
+
+/// Parameters of a mid-transition failure drill: which poll (round
+/// boundary) the outside world intrudes at, and how hard.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransitionDrillSpec {
+    /// Cut this many of the busiest target links (they vanish from the
+    /// live set and every future state, rollback included).
+    pub n_cuts: usize,
+    /// BP-recall this many of the next-busiest target links (they drain
+    /// via planned Remove steps and must not survive into the target).
+    pub n_recalls: usize,
+    /// Which executor poll delivers the events (0 = before the first
+    /// round — the plan is stale before a single step lands).
+    pub at_poll: usize,
+}
+
+impl Default for TransitionDrillSpec {
+    fn default() -> Self {
+        Self { n_cuts: 1, n_recalls: 1, at_poll: 0 }
+    }
+}
+
+/// What a mid-transition drill proved.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransitionDrillReport {
+    pub outcome: TransitionOutcome,
+    pub steps_applied: usize,
+    pub replans: u32,
+    pub rollbacks: u32,
+    /// Links cut / recalled, in injection order.
+    pub cut_links: Vec<LinkId>,
+    pub recalled_links: Vec<LinkId>,
+    /// Applied intermediate states an *independent* oracle rejected
+    /// (a fresh [`WarmOracle`], separate from the executor's — warm
+    /// accepts carry a genuine routing witness, warm failures fall back
+    /// to a full cold evaluation). The whole point of the planner is
+    /// that this is zero, whatever was injected.
+    pub unsafe_intermediates: usize,
+    /// Applied states containing an already-cut link (must be zero: a
+    /// dead link may never re-enter the fabric).
+    pub dead_link_reappearances: usize,
+    /// The live set when the executor finished.
+    pub final_state: LinkSet,
+}
+
+/// Errors from [`run_transition_drill`].
+#[derive(Clone, Debug)]
+pub enum TransitionDrillError {
+    /// No safe plan exists between the endpoints even before any fault.
+    Plan(poc_transition::TransitionError),
+    /// The base traffic matrix could not be routed over the target set
+    /// (needed to rank links by load for the failure schedule).
+    Route(poc_flow::RouteError),
+    /// A hook refused mid-drill (cannot happen with the drill's own
+    /// in-memory hooks; kept for parity with control-plane callers).
+    Exec(String),
+}
+
+impl std::fmt::Display for TransitionDrillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransitionDrillError::Plan(e) => write!(f, "transition drill unplannable: {e}"),
+            TransitionDrillError::Route(e) => write!(f, "transition drill unroutable: {e}"),
+            TransitionDrillError::Exec(e) => write!(f, "transition drill execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransitionDrillError {}
+
+/// Hooks that deliver a scheduled batch of events at one poll and
+/// independently re-verify every state the executor applies. The
+/// verifier is its own [`WarmOracle`] (not the executor's), seeded with
+/// the pre-transition routing — exactly the fabric's position when the
+/// walk starts. It then follows the applied state sequence one link at a
+/// time, so its witness chain tracks the fabric, and any rejection it
+/// produces is a genuine safety violation — an unseeded or cold-only
+/// check would misreport feasible sets its greedy router happens not to
+/// pack.
+struct DrillHooks<'a> {
+    verifier: WarmOracle<'a>,
+    events: Vec<TransitionEvent>,
+    at_poll: usize,
+    polls: usize,
+    delivered_cuts: HashSet<LinkId>,
+    unsafe_intermediates: usize,
+    dead_link_reappearances: usize,
+    force_restored: Option<LinkSet>,
+}
+
+impl TransitionHooks for DrillHooks<'_> {
+    fn apply_step(
+        &mut self,
+        _idx: usize,
+        _op: TransitionOp,
+        state_after: &LinkSet,
+    ) -> Result<(), String> {
+        // `evaluate` (not `acceptable`): it bypasses the verdict memo, so
+        // a state revisited across replans is re-judged from the current
+        // witness rather than a stale chain position.
+        if self.verifier.evaluate(state_after).is_err() {
+            self.unsafe_intermediates += 1;
+        }
+        if self.delivered_cuts.iter().any(|&l| state_after.contains(l)) {
+            self.dead_link_reappearances += 1;
+        }
+        Ok(())
+    }
+
+    fn poll_events(&mut self) -> Vec<TransitionEvent> {
+        let evs =
+            if self.polls == self.at_poll { std::mem::take(&mut self.events) } else { Vec::new() };
+        self.polls += 1;
+        for ev in &evs {
+            if let TransitionEvent::LinkCut(l) = ev {
+                self.delivered_cuts.insert(*l);
+            }
+        }
+        evs
+    }
+
+    fn force_restore(&mut self, links: &LinkSet) -> Result<(), String> {
+        self.force_restored = Some(links.clone());
+        Ok(())
+    }
+}
+
+/// Drill a migration `from → to`: plan it, then — at the chosen round
+/// boundary — cut the busiest target links and recall the next-busiest
+/// while the executor is mid-walk. The executor must replan (or unwind)
+/// rather than ever applying a state the cold oracle rejects; the report
+/// carries the violation counters for callers to assert on.
+pub fn run_transition_drill(
+    topo: &PocTopology,
+    tm: &TrafficMatrix,
+    constraint: Constraint,
+    from: &LinkSet,
+    to: &LinkSet,
+    spec: &TransitionDrillSpec,
+) -> Result<TransitionDrillReport, TransitionDrillError> {
+    let cfg = PlanConfig::default();
+    let plan = plan_transition(topo, tm, constraint, from, to, &cfg)
+        .map_err(TransitionDrillError::Plan)?;
+
+    // Rank the target's links by load (same schedule logic as
+    // [`run_drill`]): faults hit where they hurt.
+    let base = route_tm(topo, to, tm).map_err(TransitionDrillError::Route)?;
+    let mut by_load: Vec<(f64, LinkId)> = (0..topo.n_links())
+        .filter(|&i| to.contains(LinkId::from_index(i)))
+        .map(|i| (base.load_fwd[i] + base.load_rev[i], LinkId::from_index(i)))
+        .collect();
+    by_load.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let cut_links: Vec<LinkId> = by_load.iter().take(spec.n_cuts).map(|&(_, l)| l).collect();
+    let recalled_links: Vec<LinkId> =
+        by_load.iter().skip(spec.n_cuts).take(spec.n_recalls).map(|&(_, l)| l).collect();
+
+    let events = cut_links
+        .iter()
+        .map(|&l| TransitionEvent::LinkCut(l))
+        .chain(recalled_links.iter().map(|&l| TransitionEvent::Recall(l)))
+        .collect();
+    let verifier = WarmOracle::new(topo, tm, constraint);
+    // Anchor the verifier's witness chain where the fabric actually is:
+    // traffic is routed on `from` when the walk begins (a successful
+    // evaluation installs its routing as the warm witness). A degraded
+    // `from` that no longer routes just leaves the chain unseeded — the
+    // first accepted probe seeds it instead.
+    let _ = verifier.evaluate(from);
+    let mut hooks = DrillHooks {
+        verifier,
+        events,
+        at_poll: spec.at_poll,
+        polls: 0,
+        delivered_cuts: HashSet::new(),
+        unsafe_intermediates: 0,
+        dead_link_reappearances: 0,
+        force_restored: None,
+    };
+    let report = execute_transition(topo, tm, constraint, &cfg, plan, &mut hooks)
+        .map_err(|e| TransitionDrillError::Exec(e.to_string()))?;
+
+    let final_state = hooks.force_restored.clone().unwrap_or_else(|| report.final_state.clone());
+    Ok(TransitionDrillReport {
+        outcome: report.outcome,
+        steps_applied: report.steps_applied,
+        replans: report.replans,
+        rollbacks: report.rollbacks,
+        cut_links,
+        recalled_links,
+        unsafe_intermediates: hooks.unsafe_intermediates,
+        dead_link_reappearances: hooks.dead_link_reappearances,
+        final_state,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use poc_flow::FeasibilityOracle;
     use poc_topology::builder::two_bp_square;
     use poc_topology::RouterId;
 
@@ -219,5 +425,129 @@ mod tests {
         let rep = run_drill(&t, &all, &tm, &DrillSpec::default()).unwrap();
         let direct = t.links.iter().find(|l| l.connects(r(0), r(1))).unwrap().id;
         assert_eq!(rep.failed_links[0], direct);
+    }
+
+    // -- transition drills --------------------------------------------------
+
+    fn drill_tm(t: &PocTopology) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(r(0), r(1), 10.0);
+        tm.set(r(2), r(3), 10.0);
+        tm
+    }
+
+    /// A minimal acceptable set: greedily prune the full fabric while the
+    /// cold oracle keeps saying yes.
+    fn minimal_set(t: &PocTopology, tm: &TrafficMatrix, c: Constraint) -> LinkSet {
+        let cold = FeasibilityOracle::new(t, tm, c);
+        let mut cur = LinkSet::full(t.n_links());
+        for i in 0..t.n_links() {
+            let mut cand = cur.clone();
+            cand.remove(LinkId::from_index(i));
+            if cold.acceptable(&cand) {
+                cur = cand;
+            }
+        }
+        cur
+    }
+
+    #[test]
+    fn cut_during_expansion_forces_replan_and_excludes_dead_link() {
+        let t = two_bp_square();
+        let tm = drill_tm(&t);
+        let c = Constraint::BaseLoad;
+        let from = minimal_set(&t, &tm, c);
+        let to = LinkSet::full(t.n_links());
+        assert_ne!(from, to, "two_bp_square must have slack to migrate across");
+
+        // Cut the busiest target link before the first step lands: the
+        // redundant full fabric stays feasible without it, so the drill
+        // must end committed — on the shrunken target, after a replan.
+        let spec = TransitionDrillSpec { n_cuts: 1, n_recalls: 0, at_poll: 0 };
+        let rep = run_transition_drill(&t, &tm, c, &from, &to, &spec).unwrap();
+        assert_eq!(rep.outcome, TransitionOutcome::Committed, "{rep:?}");
+        assert!(rep.replans >= 1, "cut must force a replan: {rep:?}");
+        assert_eq!(rep.cut_links.len(), 1);
+        assert!(!rep.final_state.contains(rep.cut_links[0]));
+        assert_eq!(rep.unsafe_intermediates, 0, "{rep:?}");
+        assert_eq!(rep.dead_link_reappearances, 0, "{rep:?}");
+        let mut want = to.clone();
+        want.remove(rep.cut_links[0]);
+        assert_eq!(rep.final_state, want);
+    }
+
+    #[test]
+    fn recall_during_expansion_drains_the_link_safely() {
+        let t = two_bp_square();
+        let tm = drill_tm(&t);
+        let c = Constraint::BaseLoad;
+        let from = minimal_set(&t, &tm, c);
+        let to = LinkSet::full(t.n_links());
+
+        let spec = TransitionDrillSpec { n_cuts: 0, n_recalls: 2, at_poll: 0 };
+        let rep = run_transition_drill(&t, &tm, c, &from, &to, &spec).unwrap();
+        assert_eq!(rep.outcome, TransitionOutcome::Committed, "{rep:?}");
+        assert_eq!(rep.recalled_links.len(), 2);
+        for &l in &rep.recalled_links {
+            assert!(!rep.final_state.contains(l), "recalled link must drain out: {rep:?}");
+        }
+        assert_eq!(rep.unsafe_intermediates, 0, "{rep:?}");
+    }
+
+    #[test]
+    fn contraction_under_heavy_cuts_never_applies_unsafe_state() {
+        let t = two_bp_square();
+        let tm = drill_tm(&t);
+        let c = Constraint::BaseLoad;
+        let from = LinkSet::full(t.n_links());
+        let to = minimal_set(&t, &tm, c);
+        assert_ne!(from, to);
+
+        // Cut the two busiest links of an already-minimal target: the
+        // target may collapse below feasibility, in which case the
+        // executor must unwind rather than press on. Whatever the
+        // outcome, the safety counters stay at zero and no dead link
+        // survives.
+        let spec = TransitionDrillSpec { n_cuts: 2, n_recalls: 1, at_poll: 0 };
+        let rep = run_transition_drill(&t, &tm, c, &from, &to, &spec).unwrap();
+        assert_eq!(rep.unsafe_intermediates, 0, "{rep:?}");
+        assert_eq!(rep.dead_link_reappearances, 0, "{rep:?}");
+        for &l in &rep.cut_links {
+            assert!(!rep.final_state.contains(l), "dead link in final state: {rep:?}");
+        }
+        if rep.outcome == TransitionOutcome::Committed {
+            for &l in &rep.recalled_links {
+                assert!(!rep.final_state.contains(l), "{rep:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn noop_migration_commits_without_steps() {
+        let t = two_bp_square();
+        let tm = drill_tm(&t);
+        let c = Constraint::BaseLoad;
+        let set = LinkSet::full(t.n_links());
+        let rep =
+            run_transition_drill(&t, &tm, c, &set, &set, &TransitionDrillSpec::default()).unwrap();
+        assert_eq!(rep.outcome, TransitionOutcome::Committed);
+        assert_eq!(rep.steps_applied, 0);
+        assert_eq!(rep.final_state, set);
+    }
+
+    #[test]
+    fn transition_drill_report_round_trips_through_serde() {
+        let t = two_bp_square();
+        let tm = drill_tm(&t);
+        let c = Constraint::BaseLoad;
+        let from = minimal_set(&t, &tm, c);
+        let to = LinkSet::full(t.n_links());
+        let rep =
+            run_transition_drill(&t, &tm, c, &from, &to, &TransitionDrillSpec::default()).unwrap();
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: TransitionDrillReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.outcome, rep.outcome);
+        assert_eq!(back.steps_applied, rep.steps_applied);
+        assert_eq!(back.final_state, rep.final_state);
     }
 }

@@ -14,7 +14,9 @@
 //!   event queue, directional FIFO link buffers with tail drops,
 //!   store-and-forward + propagation latency, millions of user-flows;
 //! * [`drill`] — failure drills measuring delivered-traffic availability
-//!   (experiment E-R1);
+//!   (experiment E-R1), plus mid-transition drills that cut and recall
+//!   links while a lease migration is in flight and prove the executor
+//!   replans instead of ever applying an infeasible intermediate set;
 //! * [`discrim`] — throttling injection and its observable goodput
 //!   signature (experiment E-N1's data-plane half).
 
@@ -26,7 +28,10 @@ pub mod sim;
 pub mod workload;
 
 pub use discrim::{detect_throttling, detect_throttling_packets, ThrottleSpec};
-pub use drill::{run_drill, DrillError, DrillReport, DrillSpec};
+pub use drill::{
+    run_drill, run_transition_drill, DrillError, DrillReport, DrillSpec, TransitionDrillError,
+    TransitionDrillReport, TransitionDrillSpec,
+};
 pub use engine::{Engine, EngineConfig, EngineError, EngineReport, SourceKind, TagStats};
 pub use fairness::max_min_rates;
 pub use sim::{FlowSpec, SimConfig, SimError, SimReport, Simulator};

@@ -1,0 +1,523 @@
+//! Executing a transition plan: antichain verification, journaled steps,
+//! mid-flight replanning, rollback.
+//!
+//! The executor walks the plan's homogeneous rounds (all-add / all-remove
+//! runs — the DAG's antichains: ops within a round commute). Before each
+//! round it polls [`TransitionHooks::poll_events`] for the outside world
+//! intruding — a link cut, a BP recall — and re-verifies the round's
+//! states concurrently (scoped threads sharing one warm oracle, the same
+//! pattern as the auction's parallel Clarke pivots). Anything off plan
+//! triggers a replan from the live state toward the (possibly shrunken)
+//! target; when no safe forward plan remains, the executor plans a
+//! rollback to the original set, and as a last resort force-restores it
+//! atomically.
+//!
+//! Application order is strictly the plan's canonical linearization:
+//! every step goes through [`TransitionHooks::apply_step`] so a control
+//! plane can journal it durably *before* mutating the lease book —
+//! that's what makes a crash at any point recoverable.
+
+use crate::plan::{plan_transition, PlanConfig, TransitionOp, TransitionPlan};
+use poc_flow::{AcceptabilityOracle, Constraint, LinkSet, WarmOracle};
+use poc_topology::{LinkId, PocTopology};
+use poc_traffic::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Something that happened to the network while a transition was in
+/// flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionEvent {
+    /// The link physically failed: it must leave the live set immediately
+    /// and can appear in no future state (including rollback).
+    LinkCut(LinkId),
+    /// The owning BP recalled the link: it may finish serving the current
+    /// state but must not be in the target.
+    Recall(LinkId),
+}
+
+/// How a transition ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransitionOutcome {
+    /// All steps applied; the fabric is on the target set.
+    Committed,
+    /// Forward progress became unsafe; applied steps were unwound by a
+    /// planned (per-step-verified) rollback to the original set.
+    RolledBack,
+    /// Even rollback had no safe step order; the original set was
+    /// restored in one atomic install.
+    ForceRestored,
+}
+
+/// What the executor did.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransitionReport {
+    pub outcome: TransitionOutcome,
+    /// Steps applied across the original plan and any replans/rollbacks.
+    pub steps_applied: usize,
+    pub replans: u32,
+    pub rollbacks: u32,
+    /// The live set when the executor returned.
+    pub final_state: LinkSet,
+}
+
+/// Executor failures: the planner's own errors never escape (they become
+/// rollbacks); only a hook refusing a step does.
+#[derive(Debug)]
+pub enum ExecError {
+    /// A hook failed to apply or restore; the transition cannot proceed
+    /// and the caller (control plane) must recover from its journal.
+    Hook { step: usize, reason: String },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Hook { step, reason } => write!(f, "hook failed at step {step}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The executor's side effects, so the control plane can journal each
+/// step before it lands and the simulator can inject failures between
+/// rounds.
+pub trait TransitionHooks {
+    /// Apply one step. `idx` counts applied steps monotonically across
+    /// replans (it is the journal sequence number); `state_after` is the
+    /// verified link set the fabric is on once this step lands.
+    fn apply_step(
+        &mut self,
+        idx: usize,
+        op: TransitionOp,
+        state_after: &LinkSet,
+    ) -> Result<(), String>;
+
+    /// Drain outside-world events. Called before every round.
+    fn poll_events(&mut self) -> Vec<TransitionEvent> {
+        Vec::new()
+    }
+
+    /// Last-resort atomic restore when not even rollback has a safe step
+    /// order.
+    fn force_restore(&mut self, links: &LinkSet) -> Result<(), String> {
+        let _ = links;
+        Ok(())
+    }
+}
+
+/// Hooks that do nothing (pure planning/verification runs, benchmarks).
+pub struct NoHooks;
+
+impl TransitionHooks for NoHooks {
+    fn apply_step(&mut self, _: usize, _: TransitionOp, _: &LinkSet) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Replan ceiling: events keep arriving faster than this and the
+/// executor stops chasing the target and unwinds instead.
+const MAX_REPLANS: u32 = 8;
+
+/// Run `plan`, applying each step through `hooks`. See the module docs
+/// for the replan/rollback state machine.
+pub fn execute_transition(
+    topo: &PocTopology,
+    tm: &TrafficMatrix,
+    constraint: Constraint,
+    cfg: &PlanConfig,
+    plan: TransitionPlan,
+    hooks: &mut dyn TransitionHooks,
+) -> Result<TransitionReport, ExecError> {
+    let _span = poc_obs::span!("transition.run");
+    let mut original = plan.from.clone();
+    let mut target = plan.to.clone();
+    let mut current = plan.from.clone();
+    let mut plan = plan;
+    let mut steps_applied = 0usize;
+    let mut replans = 0u32;
+    let mut rollbacks = 0u32;
+    let mut rolling_back = false;
+
+    // One warm oracle re-verifies every round; sharing it across the
+    // round's verification threads keeps its witness chain close to the
+    // states being probed (soundness does not depend on probe order — a
+    // warm accept is a genuine witness, and warm failures fall back
+    // cold).
+    let oracle = WarmOracle::new(topo, tm, constraint);
+
+    'replan: loop {
+        let states = plan.states();
+        for round in plan.rounds() {
+            // 1. Let the outside world intrude.
+            let events = hooks.poll_events();
+            let drifted = apply_events(&events, &mut current, &mut target, &mut original);
+
+            // 2. Re-verify this round's states concurrently (antichain
+            //    fan-out, mirroring the auction's parallel pivots).
+            let verified = !drifted && verify_round(&oracle, &states[round.clone()]);
+
+            if drifted || !verified {
+                replans += 1;
+                poc_obs::counter!("transition.replans").inc();
+                if replans <= MAX_REPLANS && !rolling_back {
+                    if let Ok(p) = plan_transition(topo, tm, constraint, &current, &target, cfg) {
+                        plan = p;
+                        continue 'replan;
+                    }
+                }
+                // No safe way forward: unwind to the original set.
+                if !rolling_back {
+                    rolling_back = true;
+                    rollbacks += 1;
+                    poc_obs::counter!("transition.rollbacks").inc();
+                    target = original.clone();
+                    if let Ok(p) = plan_transition(topo, tm, constraint, &current, &target, cfg) {
+                        plan = p;
+                        continue 'replan;
+                    }
+                }
+                // Not even rollback has a safe order (or rollback itself
+                // drifted): restore atomically.
+                hooks
+                    .force_restore(&target)
+                    .map_err(|reason| ExecError::Hook { step: steps_applied, reason })?;
+                poc_obs::counter!("transition.steps").inc();
+                return Ok(TransitionReport {
+                    outcome: TransitionOutcome::ForceRestored,
+                    steps_applied,
+                    replans,
+                    rollbacks,
+                    final_state: target,
+                });
+            }
+
+            // 3. Apply the round in canonical order, one journaled step at
+            //    a time.
+            for i in round {
+                let op = plan.steps[i];
+                let state_after = &states[i];
+                let _step_span = poc_obs::span!("transition.step");
+                hooks
+                    .apply_step(steps_applied, op, state_after)
+                    .map_err(|reason| ExecError::Hook { step: steps_applied, reason })?;
+                poc_obs::counter!("transition.steps").inc();
+                current = state_after.clone();
+                steps_applied += 1;
+            }
+        }
+        return Ok(TransitionReport {
+            outcome: if rolling_back {
+                TransitionOutcome::RolledBack
+            } else {
+                TransitionOutcome::Committed
+            },
+            steps_applied,
+            replans,
+            rollbacks,
+            final_state: current,
+        });
+    }
+}
+
+/// Fold events into the live, target, and original sets. Returns whether
+/// anything actually changed (an event about an absent link is a no-op).
+fn apply_events(
+    events: &[TransitionEvent],
+    current: &mut LinkSet,
+    target: &mut LinkSet,
+    original: &mut LinkSet,
+) -> bool {
+    let mut changed = false;
+    for ev in events {
+        match *ev {
+            TransitionEvent::LinkCut(l) => {
+                // A dead link is gone everywhere: live now, and from every
+                // set we might still steer toward.
+                for set in [&mut *current, &mut *target, &mut *original] {
+                    if set.contains(l) {
+                        set.remove(l);
+                        changed = true;
+                    }
+                }
+            }
+            TransitionEvent::Recall(l) => {
+                // Recalled links drain via a planned Remove step: they
+                // leave the destinations, not the live set.
+                for set in [&mut *target, &mut *original] {
+                    if set.contains(l) {
+                        set.remove(l);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Verify a round's states against the shared warm oracle: a concurrent
+/// fan-out first, then — only if the fan-out rejects something — a
+/// sequential re-walk of the round in plan order.
+///
+/// The retry is not redundancy, it is completeness. The warm oracle's
+/// witness is the *last* accepted routing, so unordered concurrent probes
+/// can warm-start far from the state they check, trip the invalidation
+/// guard, and land on the cold fallback — whose greedy packing is
+/// incomplete and can reject states the planner (probing the chain in
+/// order, each state one link from its witness) proved safe. Re-walking
+/// in plan order reproduces the planner's chain exactly; `evaluate`
+/// bypasses the verdict memo, so a spurious concurrent reject does not
+/// stick. A warm accept always carries a genuine routing witness, so the
+/// retry can only repair false rejections, never mask a real one.
+fn verify_round(oracle: &WarmOracle<'_>, states: &[LinkSet]) -> bool {
+    let fan_out_ok = if states.len() <= 1 {
+        states.iter().all(|s| oracle.acceptable(s))
+    } else {
+        std::thread::scope(|scope| {
+            // Capture the transition's trace context before fanning out, so
+            // per-state verification spans parent under the transition trace
+            // across the thread boundary.
+            let ctx = poc_obs::TraceCtx::current();
+            let handles: Vec<_> = states
+                .iter()
+                .map(|s| {
+                    scope.spawn(move || {
+                        let _trace = ctx.as_ref().map(poc_obs::TraceCtx::adopt);
+                        let _span = poc_obs::span!("transition.verify");
+                        oracle.acceptable(s)
+                    })
+                })
+                .collect();
+            handles.into_iter().all(|h| h.join().expect("verify thread panicked"))
+        })
+    };
+    if fan_out_ok {
+        return true;
+    }
+    poc_obs::counter!("transition.verify.retries").inc();
+    let _span = poc_obs::span!("transition.verify.sequential");
+    states.iter().all(|s| oracle.evaluate(s).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poc_flow::FeasibilityOracle;
+    use poc_topology::builder::two_bp_square;
+    use poc_topology::{PocTopology, RouterId};
+    use poc_traffic::TrafficMatrix;
+
+    fn tm_for(t: &PocTopology) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::zero(t.n_routers());
+        tm.set(RouterId(0), RouterId(1), 10.0);
+        tm.set(RouterId(2), RouterId(3), 10.0);
+        tm
+    }
+
+    /// Hooks that record every applied step and can inject events at a
+    /// chosen poll.
+    #[derive(Default)]
+    struct Recorder {
+        applied: Vec<(usize, TransitionOp)>,
+        states: Vec<LinkSet>,
+        events_at_poll: std::collections::HashMap<usize, Vec<TransitionEvent>>,
+        polls: usize,
+        restored: Option<LinkSet>,
+    }
+
+    impl TransitionHooks for Recorder {
+        fn apply_step(
+            &mut self,
+            idx: usize,
+            op: TransitionOp,
+            state_after: &LinkSet,
+        ) -> Result<(), String> {
+            self.applied.push((idx, op));
+            self.states.push(state_after.clone());
+            Ok(())
+        }
+
+        fn poll_events(&mut self) -> Vec<TransitionEvent> {
+            let evs = self.events_at_poll.remove(&self.polls).unwrap_or_default();
+            self.polls += 1;
+            evs
+        }
+
+        fn force_restore(&mut self, links: &LinkSet) -> Result<(), String> {
+            self.restored = Some(links.clone());
+            Ok(())
+        }
+    }
+
+    fn two_minimal_sets(t: &PocTopology, tm: &TrafficMatrix, c: Constraint) -> (LinkSet, LinkSet) {
+        let cold = FeasibilityOracle::new(t, tm, c);
+        let full = LinkSet::full(t.n_links());
+        let prune = |order: Vec<poc_topology::LinkId>| {
+            let mut cur = full.clone();
+            for l in order {
+                let mut cand = cur.clone();
+                cand.remove(l);
+                if cand.len() < cur.len() && cold.acceptable(&cand) {
+                    cur = cand;
+                }
+            }
+            cur
+        };
+        let fwd: Vec<_> = (0..t.n_links()).map(poc_topology::LinkId::from_index).collect();
+        let rev: Vec<_> = fwd.iter().rev().copied().collect();
+        (prune(fwd), prune(rev))
+    }
+
+    #[test]
+    fn quiet_execution_commits_and_applies_every_step_in_order() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let c = Constraint::BaseLoad;
+        let (a, b) = two_minimal_sets(&t, &tm, c);
+        if a == b {
+            return;
+        }
+        let cfg = PlanConfig::default();
+        let plan = plan_transition(&t, &tm, c, &a, &b, &cfg).unwrap();
+        let n_steps = plan.steps.len();
+        let mut rec = Recorder::default();
+        let report = execute_transition(&t, &tm, c, &cfg, plan, &mut rec).unwrap();
+        assert_eq!(report.outcome, TransitionOutcome::Committed);
+        assert_eq!(report.steps_applied, n_steps);
+        assert_eq!(report.replans, 0);
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.final_state, b);
+        assert_eq!(rec.applied.len(), n_steps);
+        // Step indices are the journal sequence: 0..n in order.
+        assert!(rec.applied.iter().enumerate().all(|(i, (idx, _))| i == *idx));
+        assert_eq!(rec.states.last().unwrap(), &b);
+    }
+
+    #[test]
+    fn link_cut_mid_transition_triggers_replan_not_violation() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let c = Constraint::BaseLoad;
+        let (a, b) = two_minimal_sets(&t, &tm, c);
+        if a == b {
+            return;
+        }
+        let cfg = PlanConfig::default();
+        let plan = plan_transition(&t, &tm, c, &a, &b, &cfg).unwrap();
+        // Cut a link the target keeps — but only one that is not load-
+        // bearing for feasibility: pick a target link whose removal stays
+        // acceptable, so a forward replan must exist.
+        let cold = FeasibilityOracle::new(&t, &tm, c);
+        let Some(cut) = b.iter().find(|&l| {
+            let mut s = b.clone();
+            s.remove(l);
+            cold.acceptable(&s)
+        }) else {
+            return;
+        };
+        let mut rec = Recorder::default();
+        rec.events_at_poll.insert(0, vec![TransitionEvent::LinkCut(cut)]);
+        let report = execute_transition(&t, &tm, c, &cfg, plan, &mut rec).unwrap();
+        assert_eq!(report.outcome, TransitionOutcome::Committed);
+        assert!(report.replans >= 1, "cut must force a replan");
+        assert!(!report.final_state.contains(cut), "dead link must not be in the final set");
+        let mut want = b.clone();
+        want.remove(cut);
+        assert_eq!(report.final_state, want);
+        // Every applied state is feasible and never contains the cut link.
+        for s in &rec.states {
+            assert!(!s.contains(cut));
+            assert!(cold.acceptable(s));
+        }
+    }
+
+    #[test]
+    fn recall_mid_transition_drains_the_link_via_a_remove_step() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let c = Constraint::BaseLoad;
+        let (a, b) = two_minimal_sets(&t, &tm, c);
+        if a == b {
+            return;
+        }
+        let cold = FeasibilityOracle::new(&t, &tm, c);
+        let Some(recalled) = b.iter().find(|&l| {
+            let mut s = b.clone();
+            s.remove(l);
+            cold.acceptable(&s)
+        }) else {
+            return;
+        };
+        let cfg = PlanConfig::default();
+        let plan = plan_transition(&t, &tm, c, &a, &b, &cfg).unwrap();
+        let mut rec = Recorder::default();
+        rec.events_at_poll.insert(0, vec![TransitionEvent::Recall(recalled)]);
+        let report = execute_transition(&t, &tm, c, &cfg, plan, &mut rec).unwrap();
+        assert_eq!(report.outcome, TransitionOutcome::Committed);
+        assert!(!report.final_state.contains(recalled));
+        // Unlike a cut, the recalled link may appear in intermediate
+        // states (it drains via a planned Remove) — but each such state
+        // still passed the oracle.
+        for s in &rec.states {
+            assert!(cold.acceptable(s));
+        }
+    }
+
+    #[test]
+    fn impossible_target_after_event_rolls_back() {
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let c = Constraint::BaseLoad;
+        let (a, b) = two_minimal_sets(&t, &tm, c);
+        if a == b {
+            return;
+        }
+        let cfg = PlanConfig::default();
+        let plan = plan_transition(&t, &tm, c, &a, &b, &cfg).unwrap();
+        // Cut every link that is in the target but not the source: the
+        // target collapses to a ⊆-of-a set; if that is infeasible the
+        // executor must unwind to (what remains of) the original set —
+        // never commit an unsafe state.
+        let cuts: Vec<_> = b.difference(&a).iter().map(TransitionEvent::LinkCut).collect();
+        if cuts.is_empty() {
+            return;
+        }
+        let mut rec = Recorder::default();
+        rec.events_at_poll.insert(0, cuts);
+        let report = execute_transition(&t, &tm, c, &cfg, plan, &mut rec).unwrap();
+        // All surviving-target links were already live, so whatever path
+        // was taken, the final state may not contain a cut link and every
+        // applied state must have been safe.
+        for l in b.difference(&a).iter() {
+            assert!(!report.final_state.contains(l));
+        }
+        let cold = FeasibilityOracle::new(&t, &tm, c);
+        for s in &rec.states {
+            assert!(cold.acceptable(s));
+        }
+    }
+
+    #[test]
+    fn hook_failure_surfaces_with_step_index() {
+        struct FailingHooks;
+        impl TransitionHooks for FailingHooks {
+            fn apply_step(&mut self, _: usize, _: TransitionOp, _: &LinkSet) -> Result<(), String> {
+                Err("journal full".into())
+            }
+        }
+        let t = two_bp_square();
+        let tm = tm_for(&t);
+        let c = Constraint::BaseLoad;
+        let (a, b) = two_minimal_sets(&t, &tm, c);
+        if a == b {
+            return;
+        }
+        let cfg = PlanConfig::default();
+        let plan = plan_transition(&t, &tm, c, &a, &b, &cfg).unwrap();
+        let err = execute_transition(&t, &tm, c, &cfg, plan, &mut FailingHooks).unwrap_err();
+        let ExecError::Hook { step, reason } = err;
+        assert_eq!(step, 0);
+        assert_eq!(reason, "journal full");
+    }
+}

@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         "auction" => cmd_auction(rest),
         "welfare" => cmd_welfare(),
         "drill" => cmd_drill(rest),
+        "transition" => cmd_transition(rest),
         "dataplane" => cmd_dataplane(rest),
         "serve" => cmd_serve(rest),
         "metrics" => cmd_metrics(rest),
@@ -71,6 +72,15 @@ commands:
   auction [--paper] [--constraint N]   run one VCG round, print PoB (E-F2)
   welfare                              §4 regime comparison (E-W1)
   drill [--failures N]                 failure drill on the leased fabric (E-R1)
+  transition [--headroom FACTOR]       migrate the fabric to the set the auction
+             [--constraint N]            selects under demand scaled by FACTOR
+             [--max-extra N]             (default 1.5), every intermediate set
+             [--cut N] [--recall N]      verified feasible. --max-extra caps
+             [--addr HOST:PORT]          headroom links held mid-walk; --cut/
+             [--status]                  --recall inject faults mid-transition
+                                         (local drill only). --addr runs the
+                                         migration on a live server instead;
+                                         --status asks it how the last one ended.
   dataplane [--horizon-ms N]           auction → leases → packets → money: run one
             [--cheat FACTOR]             VCG round, replay the traffic matrix as
             [--addr HOST:PORT]           packets on the leased fabric, settle the
@@ -246,6 +256,115 @@ fn cmd_drill(rest: &[String]) -> Result<(), String> {
             drill.total_reroutes
         );
     }
+    Ok(())
+}
+
+/// Safe lease migration, two ways. Locally: run the auction, re-run it
+/// under demand scaled by `--headroom`, and walk the fabric from the
+/// first selection to the second with every intermediate set verified —
+/// optionally cutting/recalling links mid-walk to drill the replanner.
+/// With `--addr`: ask a running server to do the same under its journal,
+/// or (`--status`) how its last transition ended.
+fn cmd_transition(rest: &[String]) -> Result<(), String> {
+    use public_option_core::netsim::{run_transition_drill, TransitionDrillSpec};
+
+    let headroom = num_opt::<f64>(rest, "--headroom")?.unwrap_or(1.5);
+    if !headroom.is_finite() || headroom <= 0.0 {
+        return Err(format!("--headroom wants a positive finite factor, got {headroom}"));
+    }
+    let max_extra = num_opt::<usize>(rest, "--max-extra")?;
+
+    if let Some(raw) = opt(rest, "--addr") {
+        let addr: std::net::SocketAddr =
+            raw.parse().map_err(|e| format!("bad --addr {raw:?}: {e}"))?;
+        // Transitions verify every intermediate set; give them the same
+        // generous deadline as auction rounds.
+        let config = public_option_core::ctrlplane::ClientConfig {
+            read_timeout: std::time::Duration::from_millis(
+                num_opt::<u64>(rest, "--timeout-ms")?.unwrap_or(600_000),
+            ),
+            ..Default::default()
+        };
+        let mut client = public_option_core::ctrlplane::PocClient::connect_with(addr, config)
+            .map_err(|e| format!("connect {addr}: {e} (is `poc serve` running?)"))?;
+        let summary = if flag(rest, "--status") {
+            match client.transition_status().map_err(|e| format!("status: {e}"))? {
+                Some(s) => s,
+                None => {
+                    println!("no transition has finished on this server");
+                    return Ok(());
+                }
+            }
+        } else {
+            client
+                .begin_transition(max_extra, Some(headroom))
+                .map_err(|e| format!("transition: {e}"))?
+        };
+        println!(
+            "{}: {} -> {} links, {} steps, {} replans, {} rollbacks{}",
+            summary.outcome,
+            summary.n_from_links,
+            summary.n_final_links,
+            summary.steps_applied,
+            summary.replans,
+            summary.rollbacks,
+            if summary.recovered { " (finished by crash recovery)" } else { "" }
+        );
+        return Ok(());
+    }
+
+    let stride = if preset(rest)? == Preset::Small { 4 } else { 32 };
+    let constraint = match opt(rest, "--constraint").unwrap_or("1") {
+        "1" => Constraint::BaseLoad,
+        "2" => Constraint::SinglePathFailure { sample_every: stride },
+        "3" => Constraint::AllPairsBackup,
+        other => return Err(format!("unknown constraint {other:?} (use 1, 2 or 3)")),
+    };
+    let (topo, tm) = build_instance(preset(rest)?);
+    let mut poc = Poc::new(topo, PocConfig { constraint, ..PocConfig::default() });
+    poc.run_auction_round(&tm).map_err(|e| format!("auction failed: {e}"))?;
+    let from = poc.last_outcome().expect("round just ran").selected.clone();
+    let mut forecast = tm.clone();
+    forecast.scale(headroom);
+    let to = poc
+        .compute_auction_outcome(&forecast)
+        .map_err(|e| format!("forecast auction failed: {e}"))?
+        .selected;
+    println!(
+        "migrating {} -> {} links (headroom x{headroom}, constraint {})",
+        from.len(),
+        to.len(),
+        constraint.label()
+    );
+
+    let spec = TransitionDrillSpec {
+        n_cuts: num_opt(rest, "--cut")?.unwrap_or(0),
+        n_recalls: num_opt(rest, "--recall")?.unwrap_or(0),
+        at_poll: 0,
+    };
+    // Intermediates are verified against the *live* matrix — the traffic
+    // the fabric carries during the walk; the forecast only picked the
+    // destination (same contract as the server's BeginTransition).
+    let rep = run_transition_drill(poc.topo(), &tm, constraint, &from, &to, &spec)
+        .map_err(|e| format!("{e}"))?;
+    println!(
+        "{:?}: {} steps, {} replans, {} rollbacks, final {} links",
+        rep.outcome,
+        rep.steps_applied,
+        rep.replans,
+        rep.rollbacks,
+        rep.final_state.len()
+    );
+    if !rep.cut_links.is_empty() {
+        println!("cut mid-walk: {:?}", rep.cut_links);
+    }
+    if !rep.recalled_links.is_empty() {
+        println!("recalled mid-walk: {:?}", rep.recalled_links);
+    }
+    println!(
+        "safety: {} infeasible intermediates, {} dead-link reappearances",
+        rep.unsafe_intermediates, rep.dead_link_reappearances
+    );
     Ok(())
 }
 

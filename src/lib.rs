@@ -8,3 +8,4 @@ pub use poc_netsim as netsim;
 pub use poc_obs as obs;
 pub use poc_topology as topology;
 pub use poc_traffic as traffic;
+pub use poc_transition as transition;
